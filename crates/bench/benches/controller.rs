@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the Amoeba control plane: the per-tick
+//! decision cost (what a cloud vendor pays per service per control
+//! period) and the monitor update path.
+
+use amoeba_core::controller::ServiceModel;
+use amoeba_core::{
+    ContentionMonitor, ControllerConfig, DeployMode, DeploymentController, MonitorConfig,
+};
+use amoeba_meters::{LatencySurface, ProfileCurve};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_workload::benchmarks;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn model() -> ServiceModel {
+    let spec = benchmarks::dd();
+    let phases = [
+        spec.demand.cpu_s,
+        spec.demand.io_mb / 500.0,
+        spec.demand.net_mb / 250.0,
+    ];
+    let l0 = phases.iter().sum::<f64>() + 0.02;
+    let surfaces: [LatencySurface; 3] = [0, 1, 2].map(|r| {
+        LatencySurface::analytic(
+            phases,
+            0.02,
+            r,
+            [1.2, 1.8, 1.5][r],
+            16,
+            0.95,
+            vec![0.5, 12.5, 25.0, 50.0, 62.5],
+            vec![0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9],
+        )
+    });
+    ServiceModel {
+        spec,
+        l0_s: l0,
+        surfaces,
+        util_per_qps: [0.001, 0.04, 0.0001],
+        n_max: 16,
+    }
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut ctl = DeploymentController::new(ControllerConfig::default());
+    ctl.register(model());
+    let now = SimTime::from_secs(100);
+    for i in 0..100 {
+        ctl.record_arrival(0, now - SimDuration::from_millis(i * 35));
+    }
+    c.bench_function("controller/decide", |b| {
+        b.iter(|| {
+            black_box(ctl.decide(
+                0,
+                DeployMode::Iaas,
+                now,
+                SimTime::ZERO,
+                black_box([0.1, 0.4, 0.05]),
+                [0.34, 0.33, 0.33],
+                &[],
+            ))
+        })
+    });
+    c.bench_function("controller/lambda_max", |b| {
+        b.iter(|| black_box(ctl.lambda_max(0, black_box([0.1, 0.4, 0.05]), [0.34, 0.33, 0.33])))
+    });
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let curves: [ProfileCurve; 3] = [0, 1, 2]
+        .map(|r| ProfileCurve::analytic([0.04, 0.0, 0.0], 0, 0.02, [1.2, 1.8, 1.5][r], 0.95, 40));
+    c.bench_function("monitor/observe_and_heartbeat", |b| {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.observe_meter_latency(0, 0.06 + (i % 13) as f64 * 0.002);
+            m.observe_meter_latency(1, 0.05 + (i % 7) as f64 * 0.003);
+            m.observe_meter_latency(2, 0.045 + (i % 5) as f64 * 0.001);
+            m.heartbeat();
+            black_box(m.weights())
+        })
+    });
+}
+
+criterion_group!(benches, bench_decide, bench_monitor);
+criterion_main!(benches);

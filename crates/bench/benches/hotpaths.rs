@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the hot paths: event calendar, RNG,
+//! M/M/N evaluation, PCA, surface interpolation, percentile extraction.
+
+use amoeba_linalg::{Matrix, Pca};
+use amoeba_meters::LatencySurface;
+use amoeba_metrics::LatencyRecorder;
+use amoeba_queueing::MmnModel;
+use amoeba_sim::{Distributions, EventQueue, SimDuration, SimRng, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                let t = SimTime::from_micros(rng.next_u64() % 1_000_000);
+                q.push(t, i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exponential_100k", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exponential(10.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_mmn(c: &mut Criterion) {
+    let m = MmnModel::new(16, 8.0).unwrap();
+    c.bench_function("mmn/wait_quantile", |b| {
+        b.iter(|| black_box(m.wait_quantile(black_box(100.0), 0.95)))
+    });
+    c.bench_function("mmn/discriminant_lambda", |b| {
+        b.iter(|| black_box(m.discriminant_lambda(black_box(0.5), 0.95)))
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(3);
+    let rows: Vec<Vec<f64>> = (0..240)
+        .map(|_| (0..3).map(|_| rng.uniform()).collect())
+        .collect();
+    let data = Matrix::from_nested(&rows);
+    c.bench_function("pca/fit_240x3", |b| {
+        b.iter(|| black_box(Pca::default().fit(&data)))
+    });
+}
+
+fn bench_surface(c: &mut Criterion) {
+    let surface = LatencySurface::analytic(
+        [0.08, 0.0, 0.0],
+        0.02,
+        0,
+        1.2,
+        16,
+        0.95,
+        vec![0.5, 10.0, 30.0, 60.0, 120.0],
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9],
+    );
+    c.bench_function("surface/predict", |b| {
+        b.iter(|| black_box(surface.predict(black_box(42.0), black_box(0.55))))
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(4);
+    c.bench_function("latency_recorder/p95_of_100k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut r = LatencyRecorder::new();
+                for _ in 0..100_000 {
+                    r.record(SimDuration::from_micros(rng.next_u64() % 1_000_000));
+                }
+                r
+            },
+            |mut r| black_box(r.quantile(0.95)),
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_mmn,
+    bench_pca,
+    bench_surface,
+    bench_percentiles
+);
+criterion_main!(benches);

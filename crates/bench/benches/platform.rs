@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the simulated platforms: serverless
+//! submit→complete cycles (warm and contended) and full experiment-cell
+//! throughput.
+
+use amoeba_bench::scenarios::run_cell;
+use amoeba_core::SystemVariant;
+use amoeba_platform::{ClusterEvent, Effect, Query, QueryId, ServerlessConfig, ServerlessPlatform};
+use amoeba_sim::{EventQueue, SimRng, SimTime};
+use amoeba_workload::benchmarks;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Drive a batch of queries through a fresh serverless platform to
+/// completion; returns the number of completions (sanity anchor).
+fn serverless_batch(n: u64) -> usize {
+    let mut p = ServerlessPlatform::new(ServerlessConfig::default());
+    let mut rng = SimRng::seed_from_u64(7);
+    let sid = p.register(benchmarks::float());
+    let mut queue: EventQueue<ClusterEvent> = EventQueue::new();
+    let mut completions = 0usize;
+    let absorb = |effects: Vec<Effect>,
+                  now: SimTime,
+                  queue: &mut EventQueue<ClusterEvent>,
+                  completions: &mut usize| {
+        for e in effects {
+            match e {
+                Effect::Schedule { after, event } => {
+                    queue.push(now + after, event);
+                }
+                Effect::Completed(_) => *completions += 1,
+                _ => {}
+            }
+        }
+    };
+    for i in 0..n {
+        let t = SimTime::from_millis(i * 25);
+        let q = Query {
+            id: QueryId(i),
+            service: sid,
+            submitted: t,
+        };
+        let eff = p.submit(q, t, &mut rng);
+        absorb(eff, t, &mut queue, &mut completions);
+        // Drain events that are due before the next arrival.
+        while let Some(peek) = queue.peek_time() {
+            if peek > SimTime::from_millis((i + 1) * 25) {
+                break;
+            }
+            let ev = queue.pop().unwrap();
+            let eff = p.handle(ev.payload, ev.time, &mut rng);
+            absorb(eff, ev.time, &mut queue, &mut completions);
+        }
+    }
+    while let Some(ev) = queue.pop() {
+        let eff = p.handle(ev.payload, ev.time, &mut rng);
+        absorb(eff, ev.time, &mut queue, &mut completions);
+    }
+    completions
+}
+
+fn bench_serverless(c: &mut Criterion) {
+    c.bench_function("serverless/1k_queries_end_to_end", |b| {
+        b.iter(|| black_box(serverless_batch(1_000)))
+    });
+}
+
+fn bench_experiment_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_cell");
+    g.sample_size(10);
+    g.bench_function("nameko_float_60s_day", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                SystemVariant::Nameko,
+                benchmarks::float(),
+                60.0,
+                1,
+            ))
+        })
+    });
+    g.bench_function("amoeba_float_60s_day", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                SystemVariant::Amoeba,
+                benchmarks::float(),
+                60.0,
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serverless, bench_experiment_cell);
+criterion_main!(benches);

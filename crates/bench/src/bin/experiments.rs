@@ -1,0 +1,114 @@
+//! The experiment runner: regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! experiments [all|investigation|profiling|evaluation|ablations|<id>...] [--json DIR]
+//! ```
+//!
+//! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 overhead ablation-slowdown.
+
+use amoeba_bench::{ablations, evaluation, extensions, investigation, profiling, Report};
+use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
+use std::io::Write;
+
+fn by_id(id: &str) -> Option<Report> {
+    let r = match id {
+        "table2" => investigation::table2(),
+        "table3" => investigation::table3(),
+        "fig2" => investigation::fig2(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig3" => investigation::fig3(DEFAULT_SEED),
+        "fig4" => investigation::fig4(DEFAULT_SEED),
+        "fig8" => profiling::fig8(DEFAULT_SEED),
+        "fig9" => profiling::fig9(),
+        "fig10" => evaluation::fig10(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig11" => evaluation::fig11(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig12" => evaluation::fig12(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig13" => evaluation::fig13(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig14" => ablations::fig14(DEFAULT_DAY_S, DEFAULT_SEED),
+        "fig15" => ablations::fig15(DEFAULT_SEED),
+        "fig16" => ablations::fig16(DEFAULT_DAY_S, DEFAULT_SEED),
+        "overhead" => ablations::overhead(DEFAULT_DAY_S, DEFAULT_SEED),
+        "ablation-slowdown" => ablations::ablation_slowdown(),
+        "cost" => extensions::cost(DEFAULT_DAY_S, DEFAULT_SEED),
+        "multi-tenant" => extensions::multi_tenant(DEFAULT_DAY_S, DEFAULT_SEED),
+        "ablation-prewarm" => extensions::ablation_prewarm(DEFAULT_DAY_S, DEFAULT_SEED),
+        "ablation-percentile" => extensions::ablation_percentile(DEFAULT_DAY_S, DEFAULT_SEED),
+        "week" => extensions::week(DEFAULT_DAY_S, DEFAULT_SEED),
+        "ablation-placement" => extensions::ablation_placement(DEFAULT_SEED),
+        _ => return None,
+    };
+    Some(r)
+}
+
+const GROUPS: &[(&str, &[&str])] = &[
+    (
+        "investigation",
+        &["table2", "table3", "fig2", "fig3", "fig4"],
+    ),
+    ("profiling", &["fig8", "fig9"]),
+    ("evaluation", &["fig10", "fig11", "fig12", "fig13"]),
+    (
+        "ablations",
+        &["fig14", "fig15", "fig16", "overhead", "ablation-slowdown"],
+    ),
+    (
+        "extensions",
+        &[
+            "cost",
+            "multi-tenant",
+            "ablation-prewarm",
+            "ablation-percentile",
+            "week",
+            "ablation-placement",
+        ],
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_dir = it.next(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    for t in &targets {
+        if t == "all" {
+            for (_, group) in GROUPS {
+                ids.extend(group.iter().map(|s| s.to_string()));
+            }
+        } else if let Some((_, group)) = GROUPS.iter().find(|(g, _)| g == t) {
+            ids.extend(group.iter().map(|s| s.to_string()));
+        } else {
+            ids.push(t.clone());
+        }
+    }
+
+    for id in ids {
+        let Some(report) = by_id(&id) else {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        };
+        println!("{}", report.render());
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{}.json", report.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let blob = serde_json::json!({
+                "id": report.id,
+                "title": report.title,
+                "data": report.json,
+            });
+            writeln!(f, "{}", serde_json::to_string_pretty(&blob).unwrap()).expect("write json");
+        }
+    }
+}

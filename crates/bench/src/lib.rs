@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Experiment harness for the Amoeba reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§II investigation +
+//! §VII evaluation) has a regenerator here; the `experiments` binary
+//! runs them and prints the same rows/series the paper reports, plus a
+//! machine-readable JSON blob per experiment. See DESIGN.md §6 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+pub mod ablations;
+pub mod evaluation;
+pub mod extensions;
+pub mod investigation;
+pub mod profiling;
+pub mod report;
+pub mod scenarios;
+pub mod steady;
+
+pub use report::Report;
+pub use scenarios::{standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED};

@@ -1,0 +1,76 @@
+//! Experiment output: human-readable text plus machine-readable JSON.
+
+use serde_json::Value;
+
+/// One experiment's rendered result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("fig2", "table3", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The text body (tables, series).
+    pub lines: Vec<String>,
+    /// Structured result for regression diffing.
+    pub json: Value,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            lines: Vec::new(),
+            json: Value::Null,
+        }
+    }
+
+    /// Append one output line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Render the full text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_header_and_lines() {
+        let mut r = Report::new("fig2", "CPU utilisation");
+        r.line("a");
+        r.line("b");
+        let text = r.render();
+        assert!(text.contains("fig2"));
+        assert!(text.contains("CPU utilisation"));
+        assert!(text.ends_with("a\nb\n"));
+    }
+
+    #[test]
+    fn row_alignment() {
+        let s = row(&["x".into(), "42".into()], &[3, 5]);
+        assert_eq!(s, "  x     42");
+    }
+}

@@ -1,0 +1,107 @@
+//! Standard experiment scenarios (§VII-A).
+//!
+//! The paper evaluates each benchmark with a diurnal pattern "whose peak
+//! load is set high enough to arise transformation", while `float`, `dd`
+//! and `cloud_stor` run at lower peaks as background services that put "a
+//! slight pressure" on the serverless platform. A full day is compressed
+//! into [`DEFAULT_DAY_S`] simulated seconds so one diurnal cycle fits in
+//! an experiment run (§II-A: the exact fluctuation pattern does not
+//! affect the analysis).
+
+use amoeba_core::{Experiment, ServiceSetup, SystemVariant};
+use amoeba_sim::SimDuration;
+use amoeba_workload::{benchmarks, DiurnalPattern, LoadTrace, MicroserviceSpec};
+
+/// Compressed day length, simulated seconds.
+pub const DEFAULT_DAY_S: f64 = 480.0;
+
+/// Default experiment seed.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Fractions of each background service's nominal peak (§VII-A: "a lower
+/// peak load ... by carefully designed parameters").
+const BACKGROUND: [(&str, f64); 3] = [("float", 0.20), ("dd", 0.15), ("cloud_stor", 0.20)];
+
+/// The §VII-A setup: one foreground benchmark plus the three background
+/// services, all on Didi-shaped diurnal traces over a compressed day.
+pub fn standard_scenario(foreground: MicroserviceSpec, day_s: f64) -> Vec<ServiceSetup> {
+    let mut setups = vec![ServiceSetup {
+        trace: LoadTrace::new(DiurnalPattern::didi(), foreground.peak_qps, day_s),
+        spec: foreground,
+        background: false,
+    }];
+    for (name, frac) in BACKGROUND {
+        let mut spec = benchmarks::benchmark_by_name(name).expect("known benchmark");
+        let peak = spec.peak_qps * frac;
+        spec.name = format!("bg_{name}");
+        spec.peak_qps = peak;
+        setups.push(ServiceSetup {
+            trace: LoadTrace::new(DiurnalPattern::didi(), peak, day_s),
+            spec,
+            background: true,
+        });
+    }
+    setups
+}
+
+/// A ready experiment for (variant, foreground benchmark).
+pub fn standard_experiment(
+    variant: SystemVariant,
+    foreground: MicroserviceSpec,
+    day_s: f64,
+    seed: u64,
+) -> Experiment {
+    Experiment::new(
+        variant,
+        standard_scenario(foreground, day_s),
+        SimDuration::from_secs_f64(day_s),
+        seed,
+    )
+}
+
+/// Run one (variant, benchmark) cell of the evaluation grid.
+pub fn run_cell(
+    variant: SystemVariant,
+    foreground: MicroserviceSpec,
+    day_s: f64,
+    seed: u64,
+) -> amoeba_core::RunResult {
+    standard_experiment(variant, foreground, day_s, seed).run()
+}
+
+/// The five foreground benchmarks in Table III order.
+pub fn foregrounds() -> Vec<MicroserviceSpec> {
+    benchmarks::standard_benchmarks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_has_one_foreground_three_background() {
+        let s = standard_scenario(benchmarks::matmul(), DEFAULT_DAY_S);
+        assert_eq!(s.len(), 4);
+        assert!(!s[0].background);
+        assert!(s[1..].iter().all(|x| x.background));
+        assert_eq!(s[0].spec.name, "matmul");
+    }
+
+    #[test]
+    fn background_peaks_are_slight_pressure() {
+        let s = standard_scenario(benchmarks::float(), DEFAULT_DAY_S);
+        for bg in &s[1..] {
+            let nominal = benchmarks::benchmark_by_name(&bg.spec.name["bg_".len()..])
+                .unwrap()
+                .peak_qps;
+            assert!(bg.spec.peak_qps <= nominal * 0.25, "{}", bg.spec.name);
+        }
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let r = run_cell(SystemVariant::Nameko, benchmarks::float(), 60.0, 1);
+        assert_eq!(r.services.len(), 4);
+        assert!(r.services[0].completed > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The systems compared in the paper's evaluation (§VII).
+
+use serde::{Deserialize, Serialize};
+
+/// Which system runs an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemVariant {
+    /// Pure IaaS baseline — Nameko on peak-sized VMs, never switches.
+    Nameko,
+    /// Pure serverless baseline — everything in the shared OpenWhisk
+    /// pool, never switches.
+    OpenWhisk,
+    /// The full system: controller + engine + monitor.
+    Amoeba,
+    /// Ablation (§VII-C): the monitor's PCA correction is disabled; the
+    /// controller pessimistically accumulates per-resource degradations
+    /// (uniform weights in Eq. 6), so it switches to serverless late.
+    AmoebaNoM,
+    /// Ablation (§VII-D): no container prewarming; on a switch to
+    /// serverless, queries are routed immediately and eat cold starts.
+    AmoebaNoP,
+}
+
+impl SystemVariant {
+    /// All variants, in the order the paper's figures list them.
+    pub const ALL: [SystemVariant; 5] = [
+        SystemVariant::Amoeba,
+        SystemVariant::Nameko,
+        SystemVariant::OpenWhisk,
+        SystemVariant::AmoebaNoM,
+        SystemVariant::AmoebaNoP,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemVariant::Nameko => "Nameko",
+            SystemVariant::OpenWhisk => "OpenWhisk",
+            SystemVariant::Amoeba => "Amoeba",
+            SystemVariant::AmoebaNoM => "Amoeba-NoM",
+            SystemVariant::AmoebaNoP => "Amoeba-NoP",
+        }
+    }
+
+    /// Does this variant ever switch deployment modes?
+    pub fn switches(self) -> bool {
+        !matches!(self, SystemVariant::Nameko | SystemVariant::OpenWhisk)
+    }
+
+    /// Does this variant use the PCA weight correction?
+    pub fn uses_pca(self) -> bool {
+        matches!(self, SystemVariant::Amoeba | SystemVariant::AmoebaNoP)
+    }
+
+    /// Does this variant prewarm containers before switching?
+    pub fn prewarms(self) -> bool {
+        matches!(self, SystemVariant::Amoeba | SystemVariant::AmoebaNoM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemVariant::Amoeba.label(), "Amoeba");
+        assert_eq!(SystemVariant::AmoebaNoM.label(), "Amoeba-NoM");
+        assert_eq!(SystemVariant::AmoebaNoP.label(), "Amoeba-NoP");
+    }
+
+    #[test]
+    fn feature_matrix() {
+        use SystemVariant::*;
+        assert!(!Nameko.switches() && !OpenWhisk.switches());
+        assert!(Amoeba.switches() && AmoebaNoM.switches() && AmoebaNoP.switches());
+        assert!(Amoeba.uses_pca() && !AmoebaNoM.uses_pca());
+        assert!(Amoeba.prewarms() && !AmoebaNoP.prewarms());
+        // The ablations differ from Amoeba in exactly one feature each.
+        assert!(AmoebaNoM.prewarms());
+        assert!(AmoebaNoP.uses_pca());
+    }
+
+    #[test]
+    fn all_contains_every_variant_once() {
+        let mut labels: Vec<&str> = SystemVariant::ALL.iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,805 @@
+// Indexing `0..3` over the fixed [cpu, io, net] resource axes reads
+// better than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+//! The contention-aware deployment controller (§IV).
+//!
+//! Per control period and per service the controller:
+//!
+//! 1. estimates the service's load `V_u` (arrivals over a sliding
+//!    window);
+//! 2. takes the platform pressure `P = {P_cpu, P_io, P_net}` from the
+//!    monitor, minus the service's own contribution when it is already
+//!    running on the serverless platform;
+//! 3. looks up the per-resource predicted latencies `L₁, L₂, L₃` in the
+//!    profiled latency surfaces (Fig. 9) and combines them with the
+//!    monitor's PCA weights into the per-container processing capacity
+//!    `μ` (Eq. 6), calibrated by a feedback gain that converges `μ` to
+//!    the real capacity (§VI-A);
+//! 4. evaluates the discriminant `λ(μ)` (Eq. 5) on the M/M/N model with
+//!    the container ceiling `n_max` (§IV-A) and compares the observed
+//!    load against it, with a hysteresis band so the deployment does not
+//!    flap;
+//! 5. refuses a switch to serverless that would push any co-located
+//!    service past its own QoS target (§III).
+
+use amoeba_meters::LatencySurface;
+use amoeba_queueing::MmnModel;
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_workload::MicroserviceSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Where a service's queries are currently routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployMode {
+    /// Dedicated VM group.
+    Iaas,
+    /// Shared serverless pool.
+    Serverless,
+}
+
+/// The controller's verdict for one service at one control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current mode.
+    Stay,
+    /// Begin the switch to serverless (low load, contention acceptable).
+    SwitchToServerless,
+    /// Begin the switch to IaaS (load too high for the shared pool).
+    SwitchToIaas,
+}
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Switch to serverless when `V_u < down_margin · λ(μ)`.
+    pub down_margin: f64,
+    /// Switch to IaaS when `V_u > up_margin · λ(μ)`.
+    pub up_margin: f64,
+    /// Minimum time between switches of one service (anti-flapping).
+    pub min_dwell: SimDuration,
+    /// Sliding window for load estimation.
+    pub load_window: SimDuration,
+    /// EWMA factor of the μ-calibration gain.
+    pub gain_alpha: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            down_margin: 0.65,
+            up_margin: 0.85,
+            min_dwell: SimDuration::from_secs(8),
+            load_window: SimDuration::from_secs(4),
+            gain_alpha: 0.15,
+        }
+    }
+}
+
+/// Everything the controller knows about one service.
+pub struct ServiceModel {
+    /// The service's spec (QoS target, percentile, peak load).
+    pub spec: MicroserviceSpec,
+    /// Solo end-to-end latency `L₀` on the serverless platform, seconds
+    /// (includes the per-query overhead `α`).
+    pub l0_s: f64,
+    /// Latency surfaces per metered resource [cpu, io, net] (Fig. 9).
+    pub surfaces: [LatencySurface; 3],
+    /// Utilisation added to resource `r` per unit of load (qps) when this
+    /// service runs serverless: `ΔU_r = V_u · l0 · rate_r / capacity_r`
+    /// precomputed as per-qps values.
+    pub util_per_qps: [f64; 3],
+    /// Container ceiling `n_max` (§IV-A).
+    pub n_max: u32,
+}
+
+struct ServiceState {
+    model: ServiceModel,
+    arrivals: VecDeque<SimTime>,
+    gain: f64,
+}
+
+/// The deployment controller for a set of services.
+pub struct DeploymentController {
+    cfg: ControllerConfig,
+    services: Vec<ServiceState>,
+}
+
+impl DeploymentController {
+    /// An empty controller.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        DeploymentController {
+            cfg,
+            services: Vec::new(),
+        }
+    }
+
+    /// Register a service model; indices align with registration order
+    /// (and thus with the platforms' `ServiceId`s).
+    pub fn register(&mut self, model: ServiceModel) -> usize {
+        self.services.push(ServiceState {
+            model,
+            arrivals: VecDeque::new(),
+            gain: 1.0,
+        });
+        self.services.len() - 1
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Record a query arrival (drives the load estimator).
+    pub fn record_arrival(&mut self, idx: usize, at: SimTime) {
+        let s = &mut self.services[idx];
+        s.arrivals.push_back(at);
+        // Prune outside the window as we go to bound memory.
+        let cutoff = at
+            .as_micros()
+            .saturating_sub(self.cfg.load_window.as_micros());
+        while let Some(front) = s.arrivals.front() {
+            if front.as_micros() < cutoff {
+                s.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimated load `V_u` in queries/second at `now`.
+    pub fn estimated_load(&self, idx: usize, now: SimTime) -> f64 {
+        let s = &self.services[idx];
+        let window_s = self.cfg.load_window.as_secs_f64();
+        let cutoff = now
+            .as_micros()
+            .saturating_sub(self.cfg.load_window.as_micros());
+        let count = s
+            .arrivals
+            .iter()
+            .filter(|t| t.as_micros() >= cutoff)
+            .count();
+        count as f64 / window_s
+    }
+
+    /// Eq. 6: the predicted per-container processing capacity `μ` under
+    /// pressure `P` with weights `w`, scaled by the service's calibration
+    /// gain. `L_i` is the surface latency at the low-load edge (pure
+    /// contention effect — queueing is the M/M/N model's job, not the
+    /// surface's). The service time combines the solo latency with the
+    /// weighted per-resource *degradations*:
+    ///
+    /// ```text
+    /// S = gain · (L₀ + Σ_i w_i · (L_i − L₀)),   μ = 1/S
+    /// ```
+    ///
+    /// With `w = (1,1,1)` this is exactly Amoeba-NoM's "pessimistically
+    /// assume that the QoS degradations due to the contention on each of
+    /// the shared resources are accumulated" (§VII-C); with the monitor's
+    /// PCA weights, correlated resources are merged instead of
+    /// double-counted.
+    pub fn predicted_mu(&self, idx: usize, pressures: [f64; 3], weights: [f64; 3]) -> f64 {
+        let service_time = self.predicted_service_time(idx, pressures, weights);
+        debug_assert!(service_time > 0.0);
+        1.0 / service_time
+    }
+
+    /// The Eq. 6 denominator: `gain · Σ w_i · L_i` (the overhead `α` is
+    /// part of each surface's latency already).
+    pub fn predicted_service_time(
+        &self,
+        idx: usize,
+        pressures: [f64; 3],
+        weights: [f64; 3],
+    ) -> f64 {
+        let s = &self.services[idx];
+        (s.gain * self.raw_service_time(idx, pressures, weights)).max(1e-6)
+    }
+
+    /// The uncalibrated Eq. 6 denominator `L₀ + Σ w_i·(L_i − L₀)`.
+    fn raw_service_time(&self, idx: usize, pressures: [f64; 3], weights: [f64; 3]) -> f64 {
+        let s = &self.services[idx];
+        let (loads, _) = s.model.surfaces[0].axes();
+        let low_load = loads[0];
+        let mut acc = s.model.l0_s;
+        for r in 0..3 {
+            let l_i = s.model.surfaces[r].predict(low_load, pressures[r]);
+            acc += weights[r] * (l_i - s.model.l0_s).max(0.0);
+        }
+        acc
+    }
+
+    /// Feed back an observed serverless service time (end-to-end minus
+    /// queue wait and cold start) to calibrate the gain, converging `μₙ`
+    /// to the real capacity (§VI-A).
+    pub fn observe_service_time(
+        &mut self,
+        idx: usize,
+        observed_s: f64,
+        pressures: [f64; 3],
+        weights: [f64; 3],
+    ) {
+        if !(observed_s.is_finite() && observed_s > 0.0) {
+            return;
+        }
+        let raw_pred = self.raw_service_time(idx, pressures, weights);
+        if raw_pred <= 0.0 {
+            return;
+        }
+        let target = observed_s / raw_pred;
+        let s = &mut self.services[idx];
+        s.gain += self.cfg.gain_alpha * (target - s.gain);
+        s.gain = s.gain.clamp(0.25, 4.0);
+    }
+
+    /// The current calibration gain (diagnostics).
+    pub fn gain(&self, idx: usize) -> f64 {
+        self.services[idx].gain
+    }
+
+    /// Eq. 5 resolved: the maximum admissible load `λ(μ)` for this
+    /// service under the given pressure and weights.
+    pub fn lambda_max(&self, idx: usize, pressures: [f64; 3], weights: [f64; 3]) -> f64 {
+        let s = &self.services[idx];
+        let mu = self.predicted_mu(idx, pressures, weights);
+        let Some(model) = MmnModel::new(s.model.n_max.max(1), mu) else {
+            return 0.0;
+        };
+        model.discriminant_lambda(s.model.spec.qos_target_s, s.model.spec.qos_percentile)
+    }
+
+    /// Pressure with this service's own serverless contribution removed
+    /// (used when the service already runs in the pool, so its own load
+    /// is not mistaken for co-tenant contention).
+    pub fn pressures_without_own(&self, idx: usize, pressures: [f64; 3], load: f64) -> [f64; 3] {
+        let s = &self.services[idx];
+        let mut p = pressures;
+        for r in 0..3 {
+            p[r] = (p[r] - load * s.model.util_per_qps[r]).max(0.0);
+        }
+        p
+    }
+
+    /// §III: would moving `idx` (at `load` qps) onto the serverless
+    /// platform keep every co-located service within its QoS target?
+    /// `others` lists (service index, its current load) for services
+    /// already on the platform.
+    pub fn impact_ok(
+        &self,
+        idx: usize,
+        load: f64,
+        pressures: [f64; 3],
+        others: &[(usize, f64)],
+    ) -> bool {
+        let s = &self.services[idx];
+        // Added pressure from the candidate's own traffic.
+        let mut p_after = pressures;
+        for r in 0..3 {
+            p_after[r] = (p_after[r] + load * s.model.util_per_qps[r]).min(0.98);
+        }
+        for &(j, load_j) in others {
+            if j == idx {
+                continue;
+            }
+            let o = &self.services[j].model;
+            // Predicted p95 of the co-located service at its own load
+            // under the increased pressure, taking the worst resource
+            // (surfaces are per-resource; the worst one bounds the
+            // combined effect from below — conservative enough for a
+            // veto check, and independent of the weight calibration).
+            let mut worst: f64 = 0.0;
+            for r in 0..3 {
+                worst = worst.max(o.surfaces[r].predict(load_j, p_after[r]));
+            }
+            if worst > o.spec.qos_target_s {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The full decision for one service at one control tick.
+    ///
+    /// `mode` is the service's current deployment, `last_switch` when it
+    /// last changed, `others` the co-located serverless services for the
+    /// impact check.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide(
+        &self,
+        idx: usize,
+        mode: DeployMode,
+        now: SimTime,
+        last_switch: SimTime,
+        pressures: [f64; 3],
+        weights: [f64; 3],
+        others: &[(usize, f64)],
+    ) -> Decision {
+        if now.duration_since(last_switch) < self.cfg.min_dwell {
+            return Decision::Stay;
+        }
+        let load = self.estimated_load(idx, now);
+        match mode {
+            DeployMode::Iaas => {
+                // Measured pressure excludes this service (it runs on
+                // IaaS); project its own contribution at the candidate
+                // load on top, so self-contention is part of the
+                // admission decision — Fig. 9's surfaces are functions
+                // of (V_u, P) for exactly this reason.
+                let p_eff = self.pressures_with_own(idx, pressures, load);
+                let lambda_max = self.lambda_max(idx, p_eff, weights);
+                if load < self.cfg.down_margin * lambda_max
+                    && self.impact_ok(idx, load, pressures, others)
+                {
+                    Decision::SwitchToServerless
+                } else {
+                    Decision::Stay
+                }
+            }
+            DeployMode::Serverless => {
+                // Measured pressure already includes this service's own
+                // traffic: evaluate admissibility of the current load at
+                // the pressure that load creates.
+                let lambda_max = self.lambda_max(idx, pressures, weights);
+                if load > self.cfg.up_margin * lambda_max {
+                    Decision::SwitchToIaas
+                } else {
+                    Decision::Stay
+                }
+            }
+        }
+    }
+
+    /// The self-consistent admissible load: the largest `λ` with
+    /// `λ ≤ λ_max(P_env + own(λ))` — the Eq. 5 discriminant evaluated at
+    /// the pressure the service itself would add at that load. This is
+    /// the quantity Fig. 15 compares against the enumerated real switch
+    /// point; [`Self::decide`] evaluates the same predicate at the
+    /// current load.
+    pub fn admissible_load(&self, idx: usize, p_env: [f64; 3], weights: [f64; 3]) -> f64 {
+        let cap = self.services[idx].model.n_max as f64 * self.predicted_mu(idx, p_env, weights);
+        let ok = |lam: f64| {
+            let p = self.pressures_with_own(idx, p_env, lam);
+            lam <= self.lambda_max(idx, p, weights)
+        };
+        if !ok(1e-3) {
+            return 0.0;
+        }
+        let mut lo = 1e-3;
+        let mut hi = cap.max(1.0);
+        if ok(hi) {
+            return hi;
+        }
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if ok(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Pressure with this service's own projected serverless
+    /// contribution added (used when deciding whether to move an
+    /// IaaS-resident service onto the pool).
+    pub fn pressures_with_own(&self, idx: usize, pressures: [f64; 3], load: f64) -> [f64; 3] {
+        let s = &self.services[idx];
+        let mut p = pressures;
+        for r in 0..3 {
+            p[r] = (p[r] + load * s.model.util_per_qps[r]).min(0.97);
+        }
+        p
+    }
+
+    /// The service's registered model.
+    pub fn model(&self, idx: usize) -> &ServiceModel {
+        &self.services[idx].model
+    }
+}
+
+/// Eq. 7: the prewarm container count `n` with
+/// `(n−1)/QoS_t < V_u ≤ n/QoS_t`, i.e. the smallest `n ≥ V_u · QoS_t`
+/// (at least 1 — a switch always warms something).
+pub fn prewarm_count(load_qps: f64, qos_target_s: f64) -> u32 {
+    assert!(qos_target_s > 0.0);
+    let n = (load_qps * qos_target_s).ceil();
+    (n as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_workload::benchmarks;
+
+    fn surfaces_for(spec: &MicroserviceSpec) -> [LatencySurface; 3] {
+        let phases = [
+            spec.demand.cpu_s,
+            spec.demand.io_mb / 500.0,
+            spec.demand.net_mb / 250.0,
+        ];
+        let overhead = 0.02;
+        let loads = vec![0.5, 5.0, 20.0, 60.0, 120.0];
+        let pressures = vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.95];
+        let kappas = [1.2, 1.8, 1.5];
+        [0, 1, 2].map(|r| {
+            LatencySurface::analytic(
+                phases,
+                overhead,
+                r,
+                kappas[r],
+                120,
+                spec.qos_percentile,
+                loads.clone(),
+                pressures.clone(),
+            )
+        })
+    }
+
+    fn model_for(spec: MicroserviceSpec) -> ServiceModel {
+        let surfaces = surfaces_for(&spec);
+        let phases_sum = spec.demand.cpu_s + spec.demand.io_mb / 500.0 + spec.demand.net_mb / 250.0;
+        let l0 = phases_sum + 0.02;
+        let base = phases_sum.max(1e-3);
+        // util per qps on a 40-core / 3000 MBps / 3125 MBps node.
+        let util_per_qps = [
+            l0 * (spec.demand.cpu_s / base) / 40.0,
+            l0 * (spec.demand.io_mb / base) / 3000.0,
+            l0 * (spec.demand.net_mb / base) / 3125.0,
+        ];
+        ServiceModel {
+            spec,
+            l0_s: l0,
+            surfaces,
+            util_per_qps,
+            n_max: 12,
+        }
+    }
+
+    fn controller_with(specs: Vec<MicroserviceSpec>) -> DeploymentController {
+        let mut c = DeploymentController::new(ControllerConfig::default());
+        for s in specs {
+            c.register(model_for(s));
+        }
+        c
+    }
+
+    const UNIFORM: [f64; 3] = [1.0, 1.0, 1.0];
+    const CALIBRATED: [f64; 3] = [0.34, 0.33, 0.33];
+
+    #[test]
+    fn eq7_prewarm_count() {
+        // (n-1)/QoS < V ≤ n/QoS.
+        assert_eq!(prewarm_count(10.0, 0.2), 2);
+        assert_eq!(prewarm_count(10.0, 0.5), 5);
+        assert_eq!(prewarm_count(9.9, 0.5), 5);
+        assert_eq!(prewarm_count(10.1, 0.5), 6);
+        assert_eq!(prewarm_count(0.0, 0.5), 1);
+    }
+
+    #[test]
+    fn load_estimation_over_window() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        // 20 arrivals within the 4s window.
+        for i in 0..20 {
+            c.record_arrival(0, SimTime::from_millis(i * 100));
+        }
+        let load = c.estimated_load(0, SimTime::from_secs(2));
+        assert!((load - 5.0).abs() < 0.01, "load {load}");
+        // After the window slides past, old arrivals drop out.
+        let load = c.estimated_load(0, SimTime::from_secs(60));
+        assert_eq!(load, 0.0);
+    }
+
+    #[test]
+    fn mu_degrades_with_pressure() {
+        let c = controller_with(vec![benchmarks::float()]);
+        let mu_idle = c.predicted_mu(0, [0.0; 3], CALIBRATED);
+        let mu_pressed = c.predicted_mu(0, [0.8, 0.0, 0.0], CALIBRATED);
+        assert!(mu_pressed < mu_idle, "{mu_pressed} !< {mu_idle}");
+    }
+
+    #[test]
+    fn mu_sensitive_only_to_relevant_resource() {
+        // float is CPU-bound: IO pressure barely moves its μ.
+        let c = controller_with(vec![benchmarks::float()]);
+        let mu_idle = c.predicted_mu(0, [0.0; 3], CALIBRATED);
+        let mu_io = c.predicted_mu(0, [0.0, 0.9, 0.0], CALIBRATED);
+        assert!((mu_idle - mu_io) / mu_idle < 0.05, "{mu_idle} vs {mu_io}");
+        // dd is IO-bound: IO pressure hits hard.
+        let c = controller_with(vec![benchmarks::dd()]);
+        let mu_idle = c.predicted_mu(0, [0.0; 3], CALIBRATED);
+        let mu_io = c.predicted_mu(0, [0.0, 0.9, 0.0], CALIBRATED);
+        assert!(mu_io < mu_idle * 0.5, "{mu_idle} vs {mu_io}");
+    }
+
+    #[test]
+    fn nom_weights_are_pessimistic() {
+        // cloud_stor touches all three resources, so the accumulation
+        // across resources actually bites.
+        let c = controller_with(vec![benchmarks::cloud_stor()]);
+        let mu_amoeba = c.predicted_mu(0, [0.6, 0.6, 0.6], CALIBRATED);
+        let mu_nom = c.predicted_mu(0, [0.6, 0.6, 0.6], UNIFORM);
+        // Uniform (1,1,1) accumulates all three degradations -> smaller μ.
+        assert!(mu_nom < mu_amoeba * 0.75, "{mu_nom} vs {mu_amoeba}");
+        // With no contention at all the two readings coincide: the
+        // pessimism is about degradations, not the base latency.
+        let idle_nom = c.predicted_mu(0, [0.0; 3], UNIFORM);
+        let idle_cal = c.predicted_mu(0, [0.0; 3], CALIBRATED);
+        assert!((idle_nom - idle_cal).abs() / idle_cal < 1e-6);
+    }
+
+    #[test]
+    fn lambda_max_shrinks_under_contention() {
+        let c = controller_with(vec![benchmarks::float()]);
+        let lam_idle = c.lambda_max(0, [0.0; 3], CALIBRATED);
+        let lam_pressed = c.lambda_max(0, [0.8, 0.2, 0.0], CALIBRATED);
+        assert!(lam_idle > 0.0);
+        assert!(
+            lam_pressed < lam_idle,
+            "contention must lower the switch point: {lam_pressed} vs {lam_idle}"
+        );
+    }
+
+    #[test]
+    fn decide_switches_down_at_low_load() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let now = SimTime::from_secs(100);
+        // 2 qps — far below the idle-platform admissible load.
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        let d = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::SwitchToServerless);
+    }
+
+    #[test]
+    fn decide_stays_on_iaas_at_high_load() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let now = SimTime::from_secs(100);
+        // 120 qps = peak.
+        for i in 0..480 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 8));
+        }
+        let d = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::Stay);
+    }
+
+    #[test]
+    fn decide_switches_up_when_load_rises_on_serverless() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let now = SimTime::from_secs(100);
+        for i in 0..480 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 8));
+        }
+        let d = c.decide(
+            0,
+            DeployMode::Serverless,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::SwitchToIaas);
+    }
+
+    #[test]
+    fn contention_moves_the_switch_point() {
+        // The paper's core claim: there is no fixed switch load — under
+        // heavy IO pressure, an IO-bound service must stay on IaaS at a
+        // load it could happily serve on an idle pool.
+        let mut c = controller_with(vec![benchmarks::dd()]);
+        let now = SimTime::from_secs(100);
+        // 6 qps.
+        for i in 0..24 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 160));
+        }
+        let idle = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(idle, Decision::SwitchToServerless);
+        let io_storm = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0, 0.93, 0.0],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(
+            io_storm,
+            Decision::Stay,
+            "IO-bound service must not move into an IO storm"
+        );
+        // A CPU-bound service at comparable relative load is unaffected
+        // by the same IO storm (paper: "a CPU-bound microservice can be
+        // safely switched").
+        let mut c2 = controller_with(vec![benchmarks::float()]);
+        for i in 0..24 {
+            c2.record_arrival(0, now - SimDuration::from_millis(i * 160));
+        }
+        let d = c2.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0, 0.93, 0.0],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::SwitchToServerless);
+    }
+
+    #[test]
+    fn dwell_time_prevents_flapping() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let now = SimTime::from_secs(10);
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        // Switched 2s ago, dwell is 8s.
+        let d = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            now - SimDuration::from_secs(2),
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::Stay);
+    }
+
+    #[test]
+    fn impact_check_vetoes_harmful_switch() {
+        // dd (heavy IO per query) moving in at high load must not be
+        // allowed to wreck a co-located IO-sensitive service already
+        // near its QoS.
+        let mut c = controller_with(vec![benchmarks::dd(), benchmarks::cloud_stor()]);
+        let ok = c.impact_ok(0, 40.0, [0.0, 0.55, 0.3], &[(1, 30.0)]);
+        assert!(
+            !ok,
+            "switching 40qps of dd into an IO-pressed pool must be vetoed"
+        );
+        let ok_low = c.impact_ok(0, 1.0, [0.0, 0.1, 0.0], &[(1, 5.0)]);
+        assert!(ok_low, "a tiny load on a quiet pool is harmless");
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn gain_calibration_converges() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let pressures = [0.2, 0.0, 0.0];
+        let raw_pred = {
+            // Raw (gain-1) prediction.
+            c.predicted_service_time(0, pressures, CALIBRATED)
+        };
+        // Observed service times are consistently 1.5x the raw model.
+        for _ in 0..200 {
+            c.observe_service_time(0, raw_pred * 1.5, pressures, CALIBRATED);
+        }
+        assert!((c.gain(0) - 1.5).abs() < 0.05, "gain {}", c.gain(0));
+        let pred = c.predicted_service_time(0, pressures, CALIBRATED);
+        assert!((pred - raw_pred * 1.5).abs() / pred < 0.05);
+    }
+
+    #[test]
+    fn gain_is_clamped() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        for _ in 0..500 {
+            c.observe_service_time(0, 1e6, [0.0; 3], CALIBRATED);
+        }
+        assert!(c.gain(0) <= 4.0);
+        for _ in 0..500 {
+            c.observe_service_time(0, 1e-9, [0.0; 3], CALIBRATED);
+        }
+        assert!(c.gain(0) >= 0.25);
+    }
+
+    #[test]
+    fn own_pressure_subtraction() {
+        let c = controller_with(vec![benchmarks::float()]);
+        let p = c.pressures_without_own(0, [0.5, 0.1, 0.1], 40.0);
+        assert!(p[0] < 0.5, "own cpu contribution removed: {p:?}");
+        assert!(p.iter().all(|&x| x >= 0.0));
+        // Subtracting more than present clamps at zero.
+        let p = c.pressures_without_own(0, [0.01, 0.0, 0.0], 500.0);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn with_and_without_own_are_inverse_below_clamp() {
+        let c = controller_with(vec![benchmarks::dd()]);
+        let env = [0.1, 0.2, 0.05];
+        let load = 8.0;
+        let with = c.pressures_with_own(0, env, load);
+        let back = c.pressures_without_own(0, with, load);
+        for r in 0..3 {
+            assert!((back[r] - env[r]).abs() < 1e-9, "{back:?} vs {env:?}");
+        }
+    }
+
+    #[test]
+    fn admissible_load_is_the_self_consistent_fixed_point() {
+        let c = controller_with(vec![benchmarks::dd()]);
+        let env = [0.05, 0.15, 0.05];
+        let lam = c.admissible_load(0, env, CALIBRATED);
+        assert!(lam > 0.0, "dd must be admissible at mild pressure");
+        // Just inside: the predicate holds at the pressure the load
+        // itself creates.
+        let p_in = c.pressures_with_own(0, env, lam * 0.98);
+        assert!(
+            lam * 0.98 <= c.lambda_max(0, p_in, CALIBRATED),
+            "fixed point not satisfied from below"
+        );
+        // Just outside: it fails.
+        let p_out = c.pressures_with_own(0, env, lam * 1.05);
+        assert!(
+            lam * 1.05 > c.lambda_max(0, p_out, CALIBRATED),
+            "fixed point not binding from above"
+        );
+    }
+
+    #[test]
+    fn admissible_load_shrinks_with_environment_pressure() {
+        let c = controller_with(vec![benchmarks::dd()]);
+        let mut prev = f64::MAX;
+        for io in [0.0, 0.2, 0.4, 0.6] {
+            let lam = c.admissible_load(0, [0.0, io, 0.0], CALIBRATED);
+            assert!(
+                lam <= prev + 1e-9,
+                "not monotone at io={io}: {lam} > {prev}"
+            );
+            prev = lam;
+        }
+    }
+
+    #[test]
+    fn admissible_load_zero_when_environment_already_violates() {
+        // An IO-saturated pool cannot admit dd at any load.
+        let c = controller_with(vec![benchmarks::dd()]);
+        let lam = c.admissible_load(0, [0.0, 0.95, 0.0], CALIBRATED);
+        assert_eq!(lam, 0.0);
+    }
+
+    #[test]
+    fn cpu_pure_service_ignores_io_environment_in_admission() {
+        let c = controller_with(vec![benchmarks::float()]);
+        let clean = c.admissible_load(0, [0.0; 3], CALIBRATED);
+        let io_storm = c.admissible_load(0, [0.0, 0.85, 0.0], CALIBRATED);
+        assert!(
+            (clean - io_storm).abs() / clean < 0.05,
+            "float's admission moved under IO pressure: {clean} vs {io_storm}"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The hybrid execution engine (§V).
+//!
+//! The engine owns the per-service router and the switch protocol:
+//!
+//! 1. On a switch decision, the controller sends the prewarm signal
+//!    `S_pw`: the engine prepares the *target* side — prewarms Eq. 7's
+//!    container count on the serverless platform, or boots the VM group
+//!    on the IaaS platform — while queries keep flowing to the old side.
+//! 2. When the acknowledgement (PrewarmReady / VmGroupReady) arrives,
+//!    the router flips: *new* queries go to the new side; in-flight
+//!    queries finish where they started.
+//! 3. The engine then sends the shutdown signal `S_sd` to the old side
+//!    (release idle containers / drain and deallocate VMs).
+//!
+//! The Amoeba-NoP ablation (§VII-D) skips step 1 for switches toward
+//! serverless: the router flips immediately and queries eat cold starts.
+
+use crate::controller::DeployMode;
+use amoeba_platform::ServiceId;
+use amoeba_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Where the router sends a new query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteTarget {
+    /// To the serverless pool.
+    Serverless,
+    /// To the IaaS VM group.
+    Iaas,
+}
+
+/// What the engine asks the runtime to do on the platforms (the runtime
+/// owns the platform objects, so the engine speaks in commands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineAction {
+    /// Prewarm `count` containers for the service (then wait for the
+    /// `PrewarmReady` ack).
+    Prewarm {
+        /// The service to warm.
+        service: ServiceId,
+        /// Eq. 7's container count.
+        count: u32,
+    },
+    /// Boot the service's VM group (then wait for `VmGroupReady`).
+    ActivateVms {
+        /// The service whose group boots.
+        service: ServiceId,
+    },
+    /// Release the service's serverless containers (`S_sd`).
+    ReleaseContainers {
+        /// The service to release.
+        service: ServiceId,
+    },
+    /// Drain and deallocate the service's VM group (`S_sd`).
+    ReleaseVms {
+        /// The service to drain.
+        service: ServiceId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    Steady,
+    /// Waiting for the target side's readiness ack.
+    Preparing {
+        target: DeployMode,
+    },
+}
+
+struct ServiceRoute {
+    mode: DeployMode,
+    transition: Transition,
+    last_switch: SimTime,
+    /// Switch history for Fig. 12: (time, new mode, load at switch).
+    history: Vec<(SimTime, DeployMode, f64)>,
+}
+
+/// The engine: one router entry per service.
+pub struct HybridEngine {
+    routes: Vec<ServiceRoute>,
+    /// Skip prewarming (Amoeba-NoP).
+    prewarm_enabled: bool,
+}
+
+impl HybridEngine {
+    /// An engine for `n` services, all starting in the given mode
+    /// (Amoeba starts everything on IaaS to guarantee QoS by default,
+    /// §III step 1).
+    pub fn new(n: usize, initial: DeployMode, prewarm_enabled: bool) -> Self {
+        HybridEngine {
+            routes: (0..n)
+                .map(|_| ServiceRoute {
+                    mode: initial,
+                    transition: Transition::Steady,
+                    last_switch: SimTime::ZERO,
+                    history: Vec::new(),
+                })
+                .collect(),
+            prewarm_enabled,
+        }
+    }
+
+    /// Pin a service to a mode without the switch protocol — used for
+    /// background services (always serverless) and for the static
+    /// baselines. Does not touch the switch history.
+    pub fn force_mode(&mut self, service: ServiceId, mode: DeployMode) {
+        let r = &mut self.routes[service.raw() as usize];
+        r.mode = mode;
+        r.transition = Transition::Steady;
+    }
+
+    /// Where a new query of `service` goes right now.
+    pub fn route(&self, service: ServiceId) -> RouteTarget {
+        match self.routes[service.raw() as usize].mode {
+            DeployMode::Iaas => RouteTarget::Iaas,
+            DeployMode::Serverless => RouteTarget::Serverless,
+        }
+    }
+
+    /// Current deployment mode of a service.
+    pub fn mode(&self, service: ServiceId) -> DeployMode {
+        self.routes[service.raw() as usize].mode
+    }
+
+    /// When the service last changed mode.
+    pub fn last_switch(&self, service: ServiceId) -> SimTime {
+        self.routes[service.raw() as usize].last_switch
+    }
+
+    /// Is a switch currently in flight for this service?
+    pub fn in_transition(&self, service: ServiceId) -> bool {
+        !matches!(
+            self.routes[service.raw() as usize].transition,
+            Transition::Steady
+        )
+    }
+
+    /// The switch history (for the Fig. 12 timeline).
+    pub fn history(&self, service: ServiceId) -> &[(SimTime, DeployMode, f64)] {
+        &self.routes[service.raw() as usize].history
+    }
+
+    /// Begin a switch to `target`. Returns the preparation actions; the
+    /// runtime executes them against the platforms and later calls
+    /// [`Self::on_ready`] when the ack arrives. `prewarm_count` is Eq. 7's
+    /// `n` (ignored for switches toward IaaS). With prewarming disabled
+    /// (NoP) a switch to serverless commits immediately and the returned
+    /// actions already include the IaaS release.
+    pub fn begin_switch(
+        &mut self,
+        service: ServiceId,
+        target: DeployMode,
+        prewarm_count: u32,
+        load: f64,
+        now: SimTime,
+    ) -> Vec<EngineAction> {
+        let r = &mut self.routes[service.raw() as usize];
+        if r.mode == target || !matches!(r.transition, Transition::Steady) {
+            return Vec::new();
+        }
+        match target {
+            DeployMode::Serverless => {
+                if self.prewarm_enabled {
+                    r.transition = Transition::Preparing { target };
+                    vec![EngineAction::Prewarm {
+                        service,
+                        count: prewarm_count,
+                    }]
+                } else {
+                    // NoP: flip immediately; queries cold start.
+                    r.mode = DeployMode::Serverless;
+                    r.last_switch = now;
+                    r.history.push((now, DeployMode::Serverless, load));
+                    vec![EngineAction::ReleaseVms { service }]
+                }
+            }
+            DeployMode::Iaas => {
+                r.transition = Transition::Preparing { target };
+                vec![EngineAction::ActivateVms { service }]
+            }
+        }
+    }
+
+    /// The target side acked readiness (PrewarmReady or VmGroupReady):
+    /// flip the router and release the old side. `load` is recorded in
+    /// the switch history. Stale acks (no transition pending, or for the
+    /// wrong side) are ignored — e.g. a VmGroupReady from an activation
+    /// that a faster opposite decision already cancelled.
+    pub fn on_ready(
+        &mut self,
+        service: ServiceId,
+        side: DeployMode,
+        load: f64,
+        now: SimTime,
+    ) -> Vec<EngineAction> {
+        let r = &mut self.routes[service.raw() as usize];
+        let Transition::Preparing { target } = r.transition else {
+            return Vec::new();
+        };
+        if target != side {
+            return Vec::new();
+        }
+        r.mode = target;
+        r.transition = Transition::Steady;
+        r.last_switch = now;
+        r.history.push((now, target, load));
+        match target {
+            DeployMode::Serverless => vec![EngineAction::ReleaseVms { service }],
+            DeployMode::Iaas => vec![EngineAction::ReleaseContainers { service }],
+        }
+    }
+
+    /// Abort an in-flight transition (e.g. the controller reversed its
+    /// decision before the ack). The prepared resources are released.
+    pub fn abort_transition(&mut self, service: ServiceId) -> Vec<EngineAction> {
+        let r = &mut self.routes[service.raw() as usize];
+        let Transition::Preparing { target } = r.transition else {
+            return Vec::new();
+        };
+        r.transition = Transition::Steady;
+        match target {
+            DeployMode::Serverless => vec![EngineAction::ReleaseContainers { service }],
+            DeployMode::Iaas => vec![EngineAction::ReleaseVms { service }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: ServiceId = ServiceId(0);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn initial_mode_routes_accordingly() {
+        let e = HybridEngine::new(2, DeployMode::Iaas, true);
+        assert_eq!(e.route(S), RouteTarget::Iaas);
+        let e = HybridEngine::new(1, DeployMode::Serverless, true);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
+    }
+
+    #[test]
+    fn switch_to_serverless_prewarms_then_flips() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 8.0, t(10));
+        assert_eq!(
+            actions,
+            vec![EngineAction::Prewarm {
+                service: S,
+                count: 5
+            }]
+        );
+        // Router still points at IaaS until the ack (§V-B: "the
+        // transformation only occurs after acknowledgement received").
+        assert_eq!(e.route(S), RouteTarget::Iaas);
+        assert!(e.in_transition(S));
+        let actions = e.on_ready(S, DeployMode::Serverless, 8.0, t(12));
+        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
+        assert!(!e.in_transition(S));
+        assert_eq!(e.last_switch(S), t(12));
+        assert_eq!(e.history(S), &[(t(12), DeployMode::Serverless, 8.0)]);
+    }
+
+    #[test]
+    fn switch_to_iaas_boots_then_flips() {
+        let mut e = HybridEngine::new(1, DeployMode::Serverless, true);
+        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 80.0, t(20));
+        assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
+        let actions = e.on_ready(S, DeployMode::Iaas, 80.0, t(31));
+        assert_eq!(
+            actions,
+            vec![EngineAction::ReleaseContainers { service: S }]
+        );
+        assert_eq!(e.route(S), RouteTarget::Iaas);
+    }
+
+    #[test]
+    fn nop_variant_flips_immediately_without_prewarm() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, false);
+        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 3.0, t(10));
+        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(e.route(S), RouteTarget::Serverless, "NoP routes directly");
+        assert!(!e.in_transition(S));
+        // Toward IaaS, NoP still waits for VMs (nothing cold-start-like
+        // about that direction; the paper's ablation only drops container
+        // prewarming).
+        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(30));
+        assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
+    }
+
+    #[test]
+    fn duplicate_switch_requests_are_ignored() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        assert!(!e
+            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1))
+            .is_empty());
+        // Second request while preparing: no-op.
+        assert!(e
+            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2))
+            .is_empty());
+        // Request for the current mode: no-op.
+        let mut e2 = HybridEngine::new(1, DeployMode::Iaas, true);
+        assert!(e2
+            .begin_switch(S, DeployMode::Iaas, 3, 1.0, t(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_or_mismatched_acks_ignored() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        // Ack with no transition pending.
+        assert!(e.on_ready(S, DeployMode::Serverless, 0.0, t(1)).is_empty());
+        // Ack for the wrong side.
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2));
+        assert!(e.on_ready(S, DeployMode::Iaas, 0.0, t(3)).is_empty());
+        assert!(e.in_transition(S));
+        // The right ack still lands.
+        assert!(!e.on_ready(S, DeployMode::Serverless, 1.0, t(4)).is_empty());
+    }
+
+    #[test]
+    fn abort_releases_prepared_side() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1));
+        let actions = e.abort_transition(S);
+        assert_eq!(
+            actions,
+            vec![EngineAction::ReleaseContainers { service: S }]
+        );
+        assert!(!e.in_transition(S));
+        assert_eq!(e.route(S), RouteTarget::Iaas, "mode unchanged after abort");
+        // Abort with nothing pending: no-op.
+        assert!(e.abort_transition(S).is_empty());
+    }
+
+    #[test]
+    fn history_records_both_directions() {
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.begin_switch(S, DeployMode::Serverless, 2, 4.0, t(10));
+        e.on_ready(S, DeployMode::Serverless, 4.0, t(12));
+        e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(50));
+        e.on_ready(S, DeployMode::Iaas, 90.0, t(61));
+        let h = e.history(S);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1, DeployMode::Serverless);
+        assert_eq!(h[1].1, DeployMode::Iaas);
+        // The loads at which the two switches happened are not equal —
+        // the Fig. 12 observation.
+        assert_ne!(h[0].2, h[1].2);
+    }
+}

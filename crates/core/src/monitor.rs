@@ -1,0 +1,335 @@
+//! The multi-resource contention monitor (§VI).
+//!
+//! Responsibilities, mapped to the paper:
+//!
+//! * hold the profiled latency-vs-pressure curves of the three contention
+//!   meters (Fig. 8) and invert observed meter latencies into pressure
+//!   estimates (`P = {P_cpu, P_io, P_net}`, §IV-B step 2);
+//! * collect heartbeat samples of per-resource pressure over the sample
+//!   period `T` (Eq. 8) and run PCA over them to update the Eq. 6
+//!   weights `w₀ → w₁ … wₙ` (§VI-A);
+//! * calibrate the scalar gain of the latency prediction from observed
+//!   serverless latencies so `μₙ` "converges to the real processing
+//!   capacity of containers" (§VI-A).
+
+use amoeba_linalg::{Matrix, Pca};
+use amoeba_meters::ProfileCurve;
+use serde::{Deserialize, Serialize};
+
+/// Eq. 8: the lower bound on the sample period so that one accidental
+/// cold start inside a period cannot trick the controller into seeing a
+/// QoS violation:
+///
+/// ```text
+/// T > (cold_start − QoS_t + t_exec) / ((1 − e)·QoS_t)
+/// ```
+///
+/// All arguments in seconds; `e` is the allowed error fraction. Returns
+/// 0 when the numerator is non-positive (a cold start fits inside the
+/// QoS budget — any period works).
+pub fn sample_period_lower_bound(
+    cold_start_s: f64,
+    qos_target_s: f64,
+    t_exec_s: f64,
+    e: f64,
+) -> f64 {
+    assert!(qos_target_s > 0.0 && (0.0..1.0).contains(&e));
+    let numerator = cold_start_s - qos_target_s + t_exec_s;
+    if numerator <= 0.0 {
+        return 0.0;
+    }
+    numerator / ((1.0 - e) * qos_target_s)
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// EWMA smoothing factor for meter latencies (0 < α ≤ 1; higher =
+    /// more reactive).
+    pub ewma_alpha: f64,
+    /// Use the PCA weight correction (false = Amoeba-NoM's pessimistic
+    /// uniform weights).
+    pub use_pca: bool,
+    /// Heartbeat samples kept for PCA (sliding window).
+    pub pca_window: usize,
+    /// Minimum samples before PCA replaces the initial weights.
+    pub pca_min_samples: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            ewma_alpha: 0.3,
+            use_pca: true,
+            pca_window: 240,
+            pca_min_samples: 12,
+        }
+    }
+}
+
+/// The monitor. One instance serves the whole platform (pressures are
+/// global); the per-service calibration gain lives in the controller's
+/// per-service state.
+pub struct ContentionMonitor {
+    cfg: MonitorConfig,
+    curves: [ProfileCurve; 3],
+    /// Smoothed meter latencies [cpu, io, net], seconds.
+    smoothed_latency: [Option<f64>; 3],
+    /// Heartbeat window of pressure samples (rows).
+    heartbeats: Vec<[f64; 3]>,
+    /// Current Eq. 6 weights.
+    weights: [f64; 3],
+}
+
+impl ContentionMonitor {
+    /// A monitor with the given profiled curves `[cpu, io, net]`.
+    ///
+    /// Initial weights: uniform `(1, 1, 1)` — §IV-B: "previous queries
+    /// routed to the serverless platform serve to estimate the value of
+    /// the weight w₀"; until enough heartbeats arrive the monitor stays
+    /// at the pessimistic prior (which is also exactly the Amoeba-NoM
+    /// behaviour when PCA is disabled).
+    pub fn new(cfg: MonitorConfig, curves: [ProfileCurve; 3]) -> Self {
+        ContentionMonitor {
+            cfg,
+            curves,
+            smoothed_latency: [None; 3],
+            heartbeats: Vec::new(),
+            weights: [1.0; 3],
+        }
+    }
+
+    /// Record one observed meter query latency for the `resource`-th
+    /// meter (0 = cpu, 1 = io, 2 = net).
+    pub fn observe_meter_latency(&mut self, resource: usize, latency_s: f64) {
+        assert!(resource < 3);
+        if !(latency_s.is_finite() && latency_s > 0.0) {
+            return;
+        }
+        let s = &mut self.smoothed_latency[resource];
+        *s = Some(match *s {
+            None => latency_s,
+            Some(prev) => prev + self.cfg.ewma_alpha * (latency_s - prev),
+        });
+    }
+
+    /// Current pressure estimate `P = {P_cpu, P_io, P_net}` — observed
+    /// meter latencies inverted through the Fig. 8 curves. Resources
+    /// with no observation yet read as zero pressure.
+    pub fn pressures(&self) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for (r, lat) in self.smoothed_latency.iter().enumerate() {
+            if let Some(l) = lat {
+                p[r] = self.curves[r].pressure_at(*l);
+            }
+        }
+        p
+    }
+
+    /// Deliver one heartbeat package (end of a sample period): the
+    /// current pressure vector is appended to the PCA window and the
+    /// weights are refreshed (§VI-A).
+    pub fn heartbeat(&mut self) {
+        let p = self.pressures();
+        self.heartbeats.push(p);
+        if self.heartbeats.len() > self.cfg.pca_window {
+            let excess = self.heartbeats.len() - self.cfg.pca_window;
+            self.heartbeats.drain(0..excess);
+        }
+        self.refresh_weights();
+    }
+
+    fn refresh_weights(&mut self) {
+        if !self.cfg.use_pca {
+            self.weights = [1.0; 3];
+            return;
+        }
+        if self.heartbeats.len() < self.cfg.pca_min_samples {
+            return;
+        }
+        let rows: Vec<Vec<f64>> = self.heartbeats.iter().map(|r| r.to_vec()).collect();
+        let data = Matrix::from_nested(&rows);
+        if let Some(model) = Pca::default().fit(&data) {
+            let imp = model.variable_importance();
+            // variable_importance sums to 1, which is the calibrated (not
+            // pessimistically accumulated) normalisation for Eq. 6.
+            self.weights = [imp[0], imp[1], imp[2]];
+        }
+    }
+
+    /// The current Eq. 6 weights `w = (w_cpu, w_io, w_net)`.
+    pub fn weights(&self) -> [f64; 3] {
+        self.weights
+    }
+
+    /// Number of heartbeat samples currently in the PCA window.
+    pub fn heartbeat_count(&self) -> usize {
+        self.heartbeats.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curves() -> [ProfileCurve; 3] {
+        let mk = |base: f64| {
+            ProfileCurve::from_sweep(vec![
+                (0.0, base),
+                (0.3, base * 1.2),
+                (0.6, base * 1.8),
+                (0.9, base * 5.0),
+            ])
+        };
+        [mk(0.05), mk(0.08), mk(0.07)]
+    }
+
+    #[test]
+    fn eq8_sample_period() {
+        // cold_start 1.5s, QoS 0.2s, exec 0.1s, e = 0.1:
+        // T > (1.5 - 0.2 + 0.1) / (0.9 * 0.2) = 1.4 / 0.18.
+        let t = sample_period_lower_bound(1.5, 0.2, 0.1, 0.1);
+        assert!((t - 1.4 / 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq8_zero_when_cold_start_fits() {
+        assert_eq!(sample_period_lower_bound(0.5, 1.0, 0.1, 0.1), 0.0);
+    }
+
+    #[test]
+    fn eq8_smaller_error_means_more_frequent_sampling() {
+        // "If the allowed error is small, Amoeba has to sample the
+        // contention on the serverless platform more frequently" — i.e.
+        // a smaller allowed error e yields a smaller lower bound on T.
+        let loose = sample_period_lower_bound(2.0, 0.3, 0.1, 0.3);
+        let tight = sample_period_lower_bound(2.0, 0.3, 0.1, 0.05);
+        assert!(
+            tight < loose,
+            "smaller e ⇒ shorter sample period: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn pressures_invert_meter_latency() {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        assert_eq!(m.pressures(), [0.0; 3]);
+        // Feed the cpu meter its latency at pressure 0.6 repeatedly so
+        // the EWMA converges there.
+        for _ in 0..50 {
+            m.observe_meter_latency(0, 0.05 * 1.8);
+        }
+        let p = m.pressures();
+        assert!((p[0] - 0.6).abs() < 0.01, "{p:?}");
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        for _ in 0..50 {
+            m.observe_meter_latency(0, 0.05); // idle
+        }
+        m.observe_meter_latency(0, 0.25); // one cold-start outlier
+        let p = m.pressures();
+        assert!(p[0] < 0.9, "one outlier must not read as saturation: {p:?}");
+        // A few more idle observations wash the outlier out again.
+        for _ in 0..15 {
+            m.observe_meter_latency(0, 0.05);
+        }
+        let p = m.pressures();
+        assert!(p[0] < 0.1, "EWMA must recover after the outlier: {p:?}");
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        m.observe_meter_latency(1, f64::NAN);
+        m.observe_meter_latency(1, -1.0);
+        assert_eq!(m.pressures()[1], 0.0);
+    }
+
+    #[test]
+    fn weights_start_uniform() {
+        let m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        assert_eq!(m.weights(), [1.0; 3]);
+    }
+
+    #[test]
+    fn nom_variant_keeps_uniform_weights() {
+        let cfg = MonitorConfig {
+            use_pca: false,
+            ..Default::default()
+        };
+        let mut m = ContentionMonitor::new(cfg, curves());
+        for i in 0..100 {
+            m.observe_meter_latency(0, 0.05 + (i % 7) as f64 * 0.01);
+            m.observe_meter_latency(1, 0.08 + (i % 5) as f64 * 0.01);
+            m.heartbeat();
+        }
+        assert_eq!(m.weights(), [1.0; 3], "NoM never departs from uniform");
+    }
+
+    #[test]
+    fn pca_downweights_a_quiet_resource() {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        // CPU and IO pressures move (correlated); network stays silent.
+        for i in 0..60 {
+            let level = (i % 10) as f64 / 10.0 * 0.6;
+            m.observe_meter_latency(0, m_curve_lat(0.05, level));
+            m.observe_meter_latency(1, m_curve_lat(0.08, level));
+            m.observe_meter_latency(2, 0.07); // idle network
+            m.heartbeat();
+        }
+        let w = m.weights();
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "PCA weights normalised: {w:?}");
+        assert!(
+            w[2] < w[0] && w[2] < w[1],
+            "quiet resource downweighted: {w:?}"
+        );
+        // Correlated cpu/io share the weight roughly equally.
+        assert!((w[0] - w[1]).abs() < 0.15, "{w:?}");
+    }
+
+    /// Latency of the test curve (base latency scaled like `curves()`)
+    /// at a given pressure, linear between the control points.
+    fn m_curve_lat(base: f64, u: f64) -> f64 {
+        let pts = [(0.0, 1.0), (0.3, 1.2), (0.6, 1.8), (0.9, 5.0)];
+        for w in pts.windows(2) {
+            if u <= w[1].0 {
+                let f = (u - w[0].0) / (w[1].0 - w[0].0);
+                return base * (w[0].1 * (1.0 - f) + w[1].1 * f);
+            }
+        }
+        base * 5.0
+    }
+
+    #[test]
+    fn heartbeat_window_is_bounded() {
+        let cfg = MonitorConfig {
+            pca_window: 10,
+            ..Default::default()
+        };
+        let mut m = ContentionMonitor::new(cfg, curves());
+        for _ in 0..50 {
+            m.heartbeat();
+        }
+        assert_eq!(m.heartbeat_count(), 10);
+    }
+
+    #[test]
+    fn weights_sum_to_one_after_pca_kicks_in() {
+        let mut m = ContentionMonitor::new(MonitorConfig::default(), curves());
+        for i in 0..40 {
+            m.observe_meter_latency(0, 0.05 * (1.0 + (i % 9) as f64 * 0.1));
+            m.observe_meter_latency(1, 0.08 * (1.0 + ((i * 3) % 7) as f64 * 0.1));
+            m.observe_meter_latency(2, 0.07 * (1.0 + ((i * 5) % 4) as f64 * 0.1));
+            m.heartbeat();
+        }
+        let w = m.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{w:?}");
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! N-dimensional contention monitor — the §VI-A production extension.
+//!
+//! "In our experiment, three resource dimensions were involved. In a
+//! production environment, Cloud vendors may take more diverse resources
+//! contention into consideration. PCA will significantly reduce the cost
+//! of the training process" (§VI-A). The main pipeline is hard-wired to
+//! the paper's three metered resources for clarity; this module is the
+//! generalisation a vendor would deploy with additional meters (memory
+//! bandwidth, L3, network PPS, …): one profiled curve per dimension,
+//! pressure inversion, and PCA weight merging over an arbitrary number
+//! of dimensions.
+
+use crate::monitor::MonitorConfig;
+use amoeba_linalg::{Matrix, Pca};
+use amoeba_meters::ProfileCurve;
+
+/// A contention monitor over `R` arbitrary resource dimensions.
+pub struct NdContentionMonitor {
+    cfg: MonitorConfig,
+    curves: Vec<ProfileCurve>,
+    names: Vec<String>,
+    smoothed_latency: Vec<Option<f64>>,
+    heartbeats: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+}
+
+impl NdContentionMonitor {
+    /// A monitor with one named, profiled meter curve per dimension.
+    /// Panics on empty input or mismatched lengths.
+    pub fn new(cfg: MonitorConfig, meters: Vec<(String, ProfileCurve)>) -> Self {
+        assert!(!meters.is_empty(), "need at least one dimension");
+        let (names, curves): (Vec<_>, Vec<_>) = meters.into_iter().unzip();
+        let r = curves.len();
+        NdContentionMonitor {
+            cfg,
+            curves,
+            names,
+            smoothed_latency: vec![None; r],
+            heartbeats: Vec::new(),
+            weights: vec![1.0; r],
+        }
+    }
+
+    /// Number of monitored dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// Dimension names, in weight order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Record one observed meter latency for dimension `r`.
+    pub fn observe_meter_latency(&mut self, r: usize, latency_s: f64) {
+        assert!(r < self.curves.len());
+        if !(latency_s.is_finite() && latency_s > 0.0) {
+            return;
+        }
+        let s = &mut self.smoothed_latency[r];
+        *s = Some(match *s {
+            None => latency_s,
+            Some(prev) => prev + self.cfg.ewma_alpha * (latency_s - prev),
+        });
+    }
+
+    /// Current pressure estimate per dimension (curve inversion).
+    pub fn pressures(&self) -> Vec<f64> {
+        self.smoothed_latency
+            .iter()
+            .enumerate()
+            .map(|(r, lat)| lat.map_or(0.0, |l| self.curves[r].pressure_at(l)))
+            .collect()
+    }
+
+    /// Deliver one heartbeat: append the pressure vector and refresh the
+    /// PCA weights.
+    pub fn heartbeat(&mut self) {
+        let p = self.pressures();
+        self.heartbeats.push(p);
+        if self.heartbeats.len() > self.cfg.pca_window {
+            let excess = self.heartbeats.len() - self.cfg.pca_window;
+            self.heartbeats.drain(0..excess);
+        }
+        self.refresh_weights();
+    }
+
+    fn refresh_weights(&mut self) {
+        let r = self.curves.len();
+        if !self.cfg.use_pca {
+            self.weights = vec![1.0; r];
+            return;
+        }
+        if self.heartbeats.len() < self.cfg.pca_min_samples {
+            return;
+        }
+        let data = Matrix::from_nested(&self.heartbeats);
+        if let Some(model) = Pca::default().fit(&data) {
+            self.weights = model.variable_importance();
+        }
+    }
+
+    /// The current Eq. 6-style weights, one per dimension (sum 1 once
+    /// PCA is active).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// How many principal components the last PCA retained — the
+    /// "merge correlated variables into as few new variables as
+    /// possible" count. `None` before enough heartbeats arrived.
+    pub fn retained_components(&self) -> Option<usize> {
+        if self.heartbeats.len() < self.cfg.pca_min_samples || !self.cfg.use_pca {
+            return None;
+        }
+        let data = Matrix::from_nested(&self.heartbeats);
+        Pca::default().fit(&data).map(|m| m.retained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(base: f64) -> ProfileCurve {
+        ProfileCurve::from_sweep(vec![
+            (0.0, base),
+            (0.3, base * 1.3),
+            (0.6, base * 2.0),
+            (0.9, base * 6.0),
+        ])
+    }
+
+    fn monitor(r: usize) -> NdContentionMonitor {
+        let meters = (0..r)
+            .map(|i| (format!("res{i}"), curve(0.05 + 0.01 * i as f64)))
+            .collect();
+        NdContentionMonitor::new(MonitorConfig::default(), meters)
+    }
+
+    /// Latency of the test curve at pressure u (linear segments).
+    fn lat(base: f64, u: f64) -> f64 {
+        let pts = [(0.0, 1.0), (0.3, 1.3), (0.6, 2.0), (0.9, 6.0)];
+        for w in pts.windows(2) {
+            if u <= w[1].0 {
+                let f = (u - w[0].0) / (w[1].0 - w[0].0);
+                return base * (w[0].1 * (1.0 - f) + w[1].1 * f);
+            }
+        }
+        base * 6.0
+    }
+
+    #[test]
+    fn construction_and_dimensions() {
+        let m = monitor(5);
+        assert_eq!(m.dimensions(), 5);
+        assert_eq!(m.names().len(), 5);
+        assert_eq!(m.pressures(), vec![0.0; 5]);
+        assert_eq!(m.weights(), &[1.0; 5][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn rejects_zero_dimensions() {
+        NdContentionMonitor::new(MonitorConfig::default(), Vec::new());
+    }
+
+    #[test]
+    fn pressures_invert_per_dimension() {
+        let mut m = monitor(4);
+        for _ in 0..60 {
+            m.observe_meter_latency(0, lat(0.05, 0.3));
+            m.observe_meter_latency(2, lat(0.07, 0.6));
+        }
+        let p = m.pressures();
+        assert!((p[0] - 0.3).abs() < 0.02, "{p:?}");
+        assert_eq!(p[1], 0.0);
+        assert!((p[2] - 0.6).abs() < 0.02, "{p:?}");
+        assert_eq!(p[3], 0.0);
+    }
+
+    #[test]
+    fn pca_merges_two_correlated_clusters_out_of_six_dimensions() {
+        // Dimensions 0-2 move together (e.g. cpu / memory-bandwidth /
+        // L3), dimensions 3-4 move together (disk / disk-iops), 5 idle.
+        let mut m = monitor(6);
+        for i in 0..120 {
+            let a = ((i % 10) as f64 / 10.0) * 0.6;
+            let b = (((i / 10) % 6) as f64 / 6.0) * 0.6;
+            for r in 0..3 {
+                m.observe_meter_latency(r, lat(0.05 + 0.01 * r as f64, a));
+            }
+            for r in 3..5 {
+                m.observe_meter_latency(r, lat(0.05 + 0.01 * r as f64, b));
+            }
+            m.observe_meter_latency(5, lat(0.10, 0.01));
+            m.heartbeat();
+        }
+        // Two independent clusters ⇒ PCA retains ~2 components despite
+        // 6 dimensions: the §VI-A cost reduction.
+        let retained = m.retained_components().unwrap();
+        assert!(retained <= 3, "retained {retained} of 6");
+        let w = m.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The idle dimension carries the least weight.
+        let max_other = w[..5].iter().cloned().fold(0.0, f64::max);
+        assert!(w[5] < max_other, "{w:?}");
+    }
+
+    #[test]
+    fn three_dimensions_match_the_fixed_monitor_behaviour() {
+        use crate::monitor::ContentionMonitor;
+        let cfg = MonitorConfig::default();
+        let fixed_curves = [curve(0.05), curve(0.06), curve(0.07)];
+        let mut fixed = ContentionMonitor::new(cfg, fixed_curves.clone());
+        let mut nd = NdContentionMonitor::new(
+            cfg,
+            fixed_curves
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (format!("r{i}"), c.clone()))
+                .collect(),
+        );
+        for i in 0..80 {
+            let u = [
+                (i % 7) as f64 / 7.0 * 0.5,
+                (i % 5) as f64 / 5.0 * 0.5,
+                (i % 3) as f64 / 3.0 * 0.5,
+            ];
+            #[allow(clippy::needless_range_loop)] // r indexes two monitors + u
+            for r in 0..3 {
+                let l = lat(0.05 + 0.01 * r as f64, u[r]);
+                fixed.observe_meter_latency(r, l);
+                nd.observe_meter_latency(r, l);
+            }
+            fixed.heartbeat();
+            nd.heartbeat();
+        }
+        let wf = fixed.weights();
+        let wn = nd.weights();
+        for r in 0..3 {
+            assert!((wf[r] - wn[r]).abs() < 1e-9, "{wf:?} vs {wn:?}");
+        }
+        let pf = fixed.pressures();
+        let pn = nd.pressures();
+        for r in 0..3 {
+            assert!((pf[r] - pn[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_pca_keeps_uniform_weights_at_any_dimension() {
+        let cfg = MonitorConfig {
+            use_pca: false,
+            ..Default::default()
+        };
+        let meters = (0..8).map(|i| (format!("r{i}"), curve(0.05))).collect();
+        let mut m = NdContentionMonitor::new(cfg, meters);
+        for i in 0..50 {
+            m.observe_meter_latency(i % 8, lat(0.05, 0.4));
+            m.heartbeat();
+        }
+        assert_eq!(m.weights(), &[1.0; 8][..]);
+        assert!(m.retained_components().is_none());
+    }
+}

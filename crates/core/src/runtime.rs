@@ -1,0 +1,1095 @@
+// Indexing `0..3` over the fixed [cpu, io, net] resource axes reads
+// better than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+//! The experiment runtime: wires the controller, engine and monitor to
+//! the simulated platforms and runs a full workload.
+//!
+//! One [`Experiment`] describes a scenario — which services run, their
+//! diurnal traces, which [`SystemVariant`] manages them — and
+//! [`Experiment::run`] executes it deterministically for the given seed,
+//! producing per-service latency recordings, resource-usage integrals
+//! and the timelines behind the paper's figures.
+
+use crate::baselines::SystemVariant;
+use crate::controller::{
+    prewarm_count, ControllerConfig, Decision, DeployMode, DeploymentController, ServiceModel,
+};
+use crate::engine::{EngineAction, HybridEngine, RouteTarget};
+use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
+use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve, METER_QPS};
+use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter, UsageSummary};
+use amoeba_platform::{
+    ClusterEvent, Effect, ExecutedOn, IaasConfig, IaasPlatform, LatencyBreakdown, Query, QueryId,
+    ServerlessConfig, ServerlessPlatform, ServiceId,
+};
+use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals};
+use serde::{Deserialize, Serialize};
+
+/// Shadow queries (§III step 1: queries mirrored to the serverless
+/// platform while a service runs on IaaS, to keep the calibration fed)
+/// carry this bit in their id and are excluded from QoS accounting.
+const SHADOW_BIT: u64 = 1 << 63;
+
+/// One service in an experiment.
+pub struct ServiceSetup {
+    /// The microservice.
+    pub spec: MicroserviceSpec,
+    /// Its load trace.
+    pub trace: LoadTrace,
+    /// Background services are pinned to the serverless platform and
+    /// exist to create contention (§VII-A: float, dd and cloud_stor run
+    /// "with a lower peak load as the background service").
+    pub background: bool,
+}
+
+/// A full experiment description.
+pub struct Experiment {
+    /// Serverless platform configuration.
+    pub serverless_cfg: ServerlessConfig,
+    /// IaaS platform configuration.
+    pub iaas_cfg: IaasConfig,
+    /// Controller tuning.
+    pub controller_cfg: ControllerConfig,
+    /// Monitor tuning.
+    pub monitor_cfg: MonitorConfig,
+    /// Which system manages the services.
+    pub variant: SystemVariant,
+    /// The services and their traces.
+    pub services: Vec<ServiceSetup>,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// Time at the start excluded from latency/QoS accounting (VM boot
+    /// and calibration transients).
+    pub warmup: SimDuration,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Controller tick period.
+    pub control_period: SimDuration,
+    /// Usage/timeline sampling period.
+    pub usage_sample_period: SimDuration,
+    /// Run the background contention meters (disable to measure their
+    /// overhead by difference).
+    pub run_meters: bool,
+    /// Multiplier on the Eq. 7 prewarm count (1.0 = the paper's rule;
+    /// the prewarm ablation sweeps this to expose §V-A's tradeoff:
+    /// too few containers → cold-start violations, too many → wasted
+    /// resources).
+    pub prewarm_factor: f64,
+}
+
+impl Experiment {
+    /// A ready-to-run experiment with default platform and component
+    /// configurations.
+    pub fn new(
+        variant: SystemVariant,
+        services: Vec<ServiceSetup>,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        Experiment {
+            serverless_cfg: ServerlessConfig::default(),
+            iaas_cfg: IaasConfig::default(),
+            controller_cfg: ControllerConfig::default(),
+            monitor_cfg: MonitorConfig::default(),
+            variant,
+            services,
+            horizon,
+            warmup: SimDuration::from_secs(20),
+            seed,
+            control_period: SimDuration::from_secs(1),
+            usage_sample_period: SimDuration::from_millis(500),
+            run_meters: true,
+            prewarm_factor: 1.0,
+        }
+    }
+}
+
+/// Mean serverless latency breakdown (warm executions only) — Fig. 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownMeans {
+    /// Samples aggregated.
+    pub count: usize,
+    /// Mean auth/processing overhead, s.
+    pub auth_s: f64,
+    /// Mean code-loading overhead, s.
+    pub code_load_s: f64,
+    /// Mean result-posting overhead, s.
+    pub result_post_s: f64,
+    /// Mean execution time, s.
+    pub exec_s: f64,
+    /// Mean queueing time, s.
+    pub queue_s: f64,
+}
+
+impl BreakdownMeans {
+    fn add(&mut self, b: &LatencyBreakdown) {
+        let n = self.count as f64;
+        let upd = |mean: &mut f64, v: f64| *mean = (*mean * n + v) / (n + 1.0);
+        upd(&mut self.auth_s, b.auth.as_secs_f64());
+        upd(&mut self.code_load_s, b.code_load.as_secs_f64());
+        upd(&mut self.result_post_s, b.result_post.as_secs_f64());
+        upd(&mut self.exec_s, b.exec.as_secs_f64());
+        upd(&mut self.queue_s, b.queue_wait.as_secs_f64());
+        self.count += 1;
+    }
+
+    /// The Fig. 4 overhead share: (auth + code load + post) / total
+    /// (queueing excluded, as in the paper's breakdown experiment).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.auth_s + self.code_load_s + self.result_post_s + self.exec_s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.auth_s + self.code_load_s + self.result_post_s) / total
+    }
+}
+
+/// Per-service results of a run.
+pub struct ServiceResult {
+    /// Service name.
+    pub name: String,
+    /// Was it a background service?
+    pub background: bool,
+    /// QoS target, seconds.
+    pub qos_target_s: f64,
+    /// QoS percentile.
+    pub qos_percentile: f64,
+    /// All end-to-end latencies (post-warmup).
+    pub latency: LatencyRecorder,
+    /// Resource usage integrals.
+    pub usage: UsageSummary,
+    /// Deploy-mode switches: (time, new mode, load at switch) — Fig. 12.
+    pub switch_history: Vec<(SimTime, DeployMode, f64)>,
+    /// Estimated load over time.
+    pub load_timeline: TimeSeries<f64>,
+    /// Allocated cores over time — Fig. 13.
+    pub cores_timeline: TimeSeries<f64>,
+    /// Allocated memory (MB) over time — Fig. 13.
+    pub mem_timeline: TimeSeries<f64>,
+    /// Deploy mode over time (0 = IaaS, 1 = serverless).
+    pub mode_timeline: TimeSeries<f64>,
+    /// Mean serverless warm-execution breakdown — Fig. 4.
+    pub breakdown: BreakdownMeans,
+    /// Queries submitted (post-warmup).
+    pub submitted: usize,
+    /// Queries completed (post-warmup submissions).
+    pub completed: usize,
+    /// Completed queries that executed on the serverless platform.
+    pub serverless_queries: usize,
+    /// Serverless-executed queries over the QoS target — where cold
+    /// starts and pool contention land (Fig. 16's effect lives here).
+    pub serverless_violations: usize,
+    /// Billing-relevant aggregates split by platform (IaaS rent vs
+    /// per-invocation serverless), for the maintainer-cost experiments.
+    pub billable: BillableUsage,
+}
+
+impl ServiceResult {
+    /// Fraction of queries over the QoS target.
+    pub fn violation_ratio(&self) -> f64 {
+        self.latency
+            .violation_ratio(SimDuration::from_secs_f64(self.qos_target_s))
+    }
+
+    /// Violation ratio among serverless-executed queries only.
+    pub fn serverless_violation_ratio(&self) -> f64 {
+        if self.serverless_queries == 0 {
+            return 0.0;
+        }
+        self.serverless_violations as f64 / self.serverless_queries as f64
+    }
+
+    /// The r-ile latency in seconds (r = the spec's QoS percentile).
+    pub fn qos_latency(&mut self) -> Option<f64> {
+        let q = self.qos_percentile;
+        self.latency.quantile(q).map(|d| d.as_secs_f64())
+    }
+
+    /// Does the run meet the paper's QoS definition (r-ile ≤ target)?
+    pub fn qos_met(&mut self) -> bool {
+        match self.qos_latency() {
+            Some(l) => l <= self.qos_target_s,
+            None => true,
+        }
+    }
+}
+
+/// The result of one experiment run.
+pub struct RunResult {
+    /// Which system ran.
+    pub variant: SystemVariant,
+    /// Per-service results, in the order of [`Experiment::services`].
+    pub services: Vec<ServiceResult>,
+    /// Mean CPU fraction of the node consumed by the three contention
+    /// meters (§VII-E overhead accounting).
+    pub meter_cpu_overhead: f64,
+    /// Final Eq. 6 weights.
+    pub final_weights: [f64; 3],
+    /// Mean measured pressures over the run.
+    pub mean_pressures: [f64; 3],
+    /// Total cold starts on the serverless platform.
+    pub cold_starts: u64,
+    /// Final per-service calibration gains (diagnostics).
+    pub final_gains: Vec<f64>,
+    /// The simulated horizon.
+    pub horizon: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Platform(ClusterEvent),
+    Arrival { idx: usize },
+    MeterArrival { meter: usize },
+    ControlTick,
+    Heartbeat,
+    UsageSample,
+}
+
+struct ServiceRt {
+    sid: ServiceId,
+    background: bool,
+    pinned: bool,
+    arrivals: PoissonArrivals,
+    exhausted: bool,
+    recorder: LatencyRecorder,
+    usage: UsageMeter,
+    load_timeline: TimeSeries<f64>,
+    cores_timeline: TimeSeries<f64>,
+    mem_timeline: TimeSeries<f64>,
+    mode_timeline: TimeSeries<f64>,
+    breakdown: BreakdownMeans,
+    submitted: usize,
+    completed: usize,
+    serverless_queries: usize,
+    serverless_violations: usize,
+    billable: BillableUsage,
+    next_query_id: u64,
+}
+
+impl Experiment {
+    /// Execute the experiment.
+    pub fn run(&self) -> RunResult {
+        let mut master_rng = SimRng::seed_from_u64(self.seed);
+        let mut platform_rng = master_rng.fork();
+        let mut iaas_rng = master_rng.fork();
+
+        let mut serverless = ServerlessPlatform::new(self.serverless_cfg);
+        let mut iaas = IaasPlatform::new(self.iaas_cfg);
+        let mut controller = DeploymentController::new(self.controller_cfg);
+
+        let n_max = self
+            .serverless_cfg
+            .tenant_container_cap
+            .min(self.serverless_cfg.memory_container_cap());
+        let caps = [
+            self.serverless_cfg.node.cores,
+            self.serverless_cfg.node.disk_bw_mbps,
+            self.serverless_cfg.node.nic_bw_mbps,
+        ];
+
+        // Register every service on both platforms (ids must align) and
+        // build its controller model from analytic profiling.
+        let mut services: Vec<ServiceRt> = Vec::new();
+        for setup in &self.services {
+            let sid = serverless.register(setup.spec.clone());
+            let iid = iaas.register(setup.spec.clone());
+            assert_eq!(sid, iid, "platform id mismatch");
+            let phases = serverless.service_phases(sid);
+            let overhead = serverless.overhead_seconds(sid);
+            let l0 = serverless.solo_latency_seconds(sid);
+            let rates = serverless.service_rates(sid);
+            let rate_arr = [rates.cpu_cores, rates.io_mbps, rates.net_mbps];
+            let mut loads: Vec<f64> = vec![
+                0.5,
+                setup.spec.peak_qps * 0.25,
+                setup.spec.peak_qps * 0.5,
+                setup.spec.peak_qps * 0.75,
+                setup.spec.peak_qps,
+                setup.spec.peak_qps * 1.25,
+            ];
+            loads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            let pressures = vec![0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9];
+            let surfaces: [LatencySurface; 3] = [0, 1, 2].map(|r| {
+                LatencySurface::analytic(
+                    phases,
+                    overhead,
+                    r,
+                    self.serverless_cfg.slowdown_kappa[r],
+                    n_max,
+                    setup.spec.qos_percentile,
+                    loads.clone(),
+                    pressures.clone(),
+                )
+            });
+            let util_per_qps = [0, 1, 2].map(|r| l0 * rate_arr[r] / caps[r]);
+            controller.register(ServiceModel {
+                spec: setup.spec.clone(),
+                l0_s: l0,
+                surfaces,
+                util_per_qps,
+                n_max,
+            });
+            let arrivals = PoissonArrivals::from_trace(
+                setup.trace.clone(),
+                SimTime::ZERO + self.horizon,
+                master_rng.fork(),
+            );
+            let pinned = setup.background || !self.variant.switches();
+            services.push(ServiceRt {
+                sid,
+                background: setup.background,
+                pinned,
+                arrivals,
+                exhausted: false,
+                recorder: LatencyRecorder::new(),
+                usage: UsageMeter::new(10.0),
+                load_timeline: TimeSeries::new(),
+                cores_timeline: TimeSeries::new(),
+                mem_timeline: TimeSeries::new(),
+                mode_timeline: TimeSeries::new(),
+                breakdown: BreakdownMeans::default(),
+                submitted: 0,
+                completed: 0,
+                serverless_queries: 0,
+                serverless_violations: 0,
+                billable: BillableUsage::default(),
+                next_query_id: 0,
+            });
+        }
+
+        // Register the three contention meters (serverless only — they
+        // never run on IaaS, and their ids come after all services).
+        let meter_specs = [cpu_meter(), io_meter(), net_meter()];
+        let meter_ids: [ServiceId; 3] = [
+            serverless.register(meter_specs[0].clone()),
+            serverless.register(meter_specs[1].clone()),
+            serverless.register(meter_specs[2].clone()),
+        ];
+        let meter_curves: [ProfileCurve; 3] = [0, 1, 2].map(|r| {
+            let m = &meter_specs[r];
+            let phases = [
+                m.demand.cpu_s,
+                m.demand.io_mb / self.serverless_cfg.per_flow_io_mbps,
+                m.demand.net_mb / self.serverless_cfg.per_flow_net_mbps,
+            ];
+            let overhead = self.serverless_cfg.auth_s
+                + self.serverless_cfg.code_load_base_s
+                + self.serverless_cfg.code_load_s_per_mb * m.demand.mem_mb
+                + self.serverless_cfg.result_post_s;
+            ProfileCurve::analytic(
+                phases,
+                r,
+                overhead,
+                self.serverless_cfg.slowdown_kappa[r],
+                self.serverless_cfg.max_utilization,
+                40,
+            )
+        });
+        let mut monitor = ContentionMonitor::new(
+            MonitorConfig {
+                use_pca: self.variant.uses_pca(),
+                ..self.monitor_cfg
+            },
+            meter_curves,
+        );
+
+        // Initial modes: background pinned serverless; foreground starts
+        // on IaaS (Amoeba's safe default, §III) except under OpenWhisk.
+        let initial_fg_mode = if self.variant == SystemVariant::OpenWhisk {
+            DeployMode::Serverless
+        } else {
+            DeployMode::Iaas
+        };
+        let mut engine =
+            HybridEngine::new(services.len(), initial_fg_mode, self.variant.prewarms());
+
+        // Event calendar.
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let t0 = SimTime::ZERO;
+        let horizon_t = t0 + self.horizon;
+
+        // Heartbeat period per Eq. 8 (worst case over foreground specs).
+        let mut hb_s: f64 = 2.0;
+        for setup in &self.services {
+            let t_exec = setup.spec.demand.solo_exec_seconds(
+                self.serverless_cfg.per_flow_io_mbps,
+                self.serverless_cfg.per_flow_net_mbps,
+            );
+            let lb = sample_period_lower_bound(
+                self.serverless_cfg.cold_start_median_s,
+                setup.spec.qos_target_s,
+                t_exec,
+                0.1,
+            );
+            hb_s = hb_s.max(lb * 1.1);
+        }
+        let heartbeat_period = SimDuration::from_secs_f64(hb_s.clamp(2.0, 30.0));
+
+        // Pending effects worklist shared across the run.
+        let mut effects: Vec<Effect> = Vec::new();
+
+        // Boot IaaS groups for services starting there; pin background
+        // to serverless (engine rows exist for them but are never
+        // consulted for switching).
+        for (idx, s) in services.iter().enumerate() {
+            let mode = if s.background {
+                DeployMode::Serverless
+            } else {
+                initial_fg_mode
+            };
+            if s.background {
+                // Override the engine's initial mode for background rows.
+                engine.force_mode(ServiceId(idx as u32), DeployMode::Serverless);
+            }
+            if mode == DeployMode::Iaas {
+                effects.extend(iaas.activate(s.sid, t0));
+            }
+        }
+
+        // First arrivals.
+        for idx in 0..services.len() {
+            if let Some(t) = services[idx].arrivals.next_after(t0) {
+                queue.push(t, Ev::Arrival { idx });
+            } else {
+                services[idx].exhausted = true;
+            }
+        }
+        if self.run_meters {
+            for (m, _) in meter_ids.iter().enumerate() {
+                // Deterministic 1 Hz per meter, phase-shifted so the
+                // three never collide (§VII-E: "scheduled in a round
+                // time trip").
+                queue.push(
+                    t0 + SimDuration::from_millis(100 + 333 * m as u64),
+                    Ev::MeterArrival { meter: m },
+                );
+            }
+        }
+        queue.push(t0 + self.control_period, Ev::ControlTick);
+        queue.push(t0 + heartbeat_period, Ev::Heartbeat);
+        queue.push(t0 + self.usage_sample_period, Ev::UsageSample);
+
+        // Meter usage accounting.
+        let mut meter_core_seconds = 0.0f64;
+        let mut last_usage_sample = t0;
+        let mut pressure_sum = [0.0f64; 3];
+        let mut pressure_samples = 0usize;
+        let mut meter_next_id: u64 = 0;
+
+        // The warmup cutoff: outcomes of queries submitted before it are
+        // not recorded.
+        let warmup_t = t0 + self.warmup;
+
+        // ---- main loop ------------------------------------------------
+        while let Some(fired) = queue.pop() {
+            let now = fired.time;
+            match fired.payload {
+                Ev::Arrival { idx } => {
+                    let sid = services[idx].sid;
+                    controller.record_arrival(idx, now);
+                    let qid = QueryId(services[idx].next_query_id);
+                    services[idx].next_query_id += 1;
+                    if now >= warmup_t {
+                        services[idx].submitted += 1;
+                    }
+                    let query = Query {
+                        id: qid,
+                        service: sid,
+                        submitted: now,
+                    };
+                    let target = if services[idx].background {
+                        RouteTarget::Serverless
+                    } else {
+                        engine.route(sid)
+                    };
+                    match target {
+                        RouteTarget::Serverless => {
+                            // Real traffic ends any drain (the NoP path
+                            // switches with no prewarm ack).
+                            serverless.resume_service(sid);
+                            effects.extend(serverless.submit(query, now, &mut platform_rng));
+                        }
+                        RouteTarget::Iaas => {
+                            effects.extend(iaas.submit(query, now, &mut iaas_rng));
+                        }
+                    }
+                    if !services[idx].exhausted {
+                        if let Some(t) = services[idx].arrivals.next_after(now) {
+                            queue.push(t, Ev::Arrival { idx });
+                        } else {
+                            services[idx].exhausted = true;
+                        }
+                    }
+                }
+                Ev::MeterArrival { meter } => {
+                    let sid = meter_ids[meter];
+                    let query = Query {
+                        id: QueryId(SHADOW_BIT | (meter as u64) << 56 | meter_next_id),
+                        service: sid,
+                        submitted: now,
+                    };
+                    meter_next_id += 1;
+                    effects.extend(serverless.submit(query, now, &mut platform_rng));
+                    let next = now + SimDuration::from_secs_f64(1.0 / METER_QPS);
+                    if next < horizon_t {
+                        queue.push(next, Ev::MeterArrival { meter });
+                    }
+                }
+                Ev::ControlTick => {
+                    let pressures = monitor.pressures();
+                    pressure_sum[0] += pressures[0];
+                    pressure_sum[1] += pressures[1];
+                    pressure_sum[2] += pressures[2];
+                    pressure_samples += 1;
+                    let weights = monitor.weights();
+                    if self.variant.switches() {
+                        // Current serverless co-tenants with their loads.
+                        let others: Vec<(usize, f64)> = (0..services.len())
+                            .filter(|&j| {
+                                services[j].background
+                                    || engine.mode(services[j].sid) == DeployMode::Serverless
+                            })
+                            .map(|j| (j, controller.estimated_load(j, now)))
+                            .collect();
+                        for idx in 0..services.len() {
+                            if services[idx].pinned {
+                                continue;
+                            }
+                            let sid = services[idx].sid;
+                            if engine.in_transition(sid) {
+                                continue;
+                            }
+                            let mode = engine.mode(sid);
+                            let decision = controller.decide(
+                                idx,
+                                mode,
+                                now,
+                                engine.last_switch(sid),
+                                pressures,
+                                weights,
+                                &others,
+                            );
+                            let load = controller.estimated_load(idx, now);
+                            let actions = match decision {
+                                Decision::Stay => Vec::new(),
+                                Decision::SwitchToServerless => {
+                                    let spec = &controller.model(idx).spec;
+                                    let n = prewarm_count(load, spec.qos_target_s);
+                                    let n = ((n as f64 * self.prewarm_factor).ceil() as u32)
+                                        .max(1)
+                                        .min(n_max);
+                                    engine.begin_switch(sid, DeployMode::Serverless, n, load, now)
+                                }
+                                Decision::SwitchToIaas => {
+                                    engine.begin_switch(sid, DeployMode::Iaas, 0, load, now)
+                                }
+                            };
+                            self.apply_actions(
+                                actions,
+                                now,
+                                &mut serverless,
+                                &mut iaas,
+                                &mut platform_rng,
+                                &mut effects,
+                            );
+                        }
+                        // Shadow traffic: one mirrored query per IaaS-mode
+                        // service per tick keeps calibration fed (§III).
+                        if self.variant.uses_pca() {
+                            for idx in 0..services.len() {
+                                let sid = services[idx].sid;
+                                if services[idx].background
+                                    || engine.mode(sid) != DeployMode::Iaas
+                                    || controller.estimated_load(idx, now) <= 0.0
+                                {
+                                    continue;
+                                }
+                                let query = Query {
+                                    id: QueryId(
+                                        SHADOW_BIT | (0xFF << 48) | services[idx].next_query_id,
+                                    ),
+                                    service: sid,
+                                    submitted: now,
+                                };
+                                services[idx].next_query_id += 1;
+                                effects.extend(serverless.submit(query, now, &mut platform_rng));
+                            }
+                        }
+                    }
+                    let next = now + self.control_period;
+                    if next < horizon_t {
+                        queue.push(next, Ev::ControlTick);
+                    }
+                }
+                Ev::Heartbeat => {
+                    monitor.heartbeat();
+                    let next = now + heartbeat_period;
+                    if next < horizon_t {
+                        queue.push(next, Ev::Heartbeat);
+                    }
+                }
+                Ev::UsageSample => {
+                    let dt = now.duration_since(last_usage_sample).as_secs_f64();
+                    last_usage_sample = now;
+                    for (idx, s) in services.iter_mut().enumerate() {
+                        let (iaas_cores, iaas_mem) = iaas.allocation(s.sid);
+                        s.billable.iaas_core_seconds += iaas_cores * dt;
+                        s.billable.iaas_mem_mb_seconds += iaas_mem * dt;
+                        s.billable.serverless_mem_mb_seconds += serverless.busy_count(s.sid) as f64
+                            * self.serverless_cfg.container_memory_mb
+                            * dt;
+                        let containers = serverless.container_count(s.sid) as f64;
+                        let cores =
+                            iaas_cores + containers * self.serverless_cfg.container_core_share;
+                        let mem = iaas_mem + containers * self.serverless_cfg.container_memory_mb;
+                        s.usage.set_allocation(now, cores, mem);
+                        let rates = serverless.service_rates(s.sid);
+                        let busy_sl = serverless.busy_count(s.sid) as f64 * rates.cpu_cores;
+                        s.usage
+                            .set_consumption(now, iaas.busy_cores(s.sid) + busy_sl);
+                        s.cores_timeline.push(now, cores);
+                        s.mem_timeline.push(now, mem);
+                        let mode = if s.background {
+                            DeployMode::Serverless
+                        } else {
+                            engine.mode(s.sid)
+                        };
+                        s.mode_timeline.push(
+                            now,
+                            if mode == DeployMode::Serverless {
+                                1.0
+                            } else {
+                                0.0
+                            },
+                        );
+                        s.load_timeline
+                            .push(now, controller.estimated_load(idx, now));
+                    }
+                    for (m, &mid) in meter_ids.iter().enumerate() {
+                        let rates = serverless.service_rates(mid);
+                        meter_core_seconds +=
+                            serverless.busy_count(mid) as f64 * rates.cpu_cores * dt;
+                        let _ = m;
+                    }
+                    let next = now + self.usage_sample_period;
+                    if next < horizon_t {
+                        queue.push(next, Ev::UsageSample);
+                    }
+                }
+                Ev::Platform(ev) => {
+                    let eff = match ev {
+                        ClusterEvent::ColdStartDone { .. }
+                        | ClusterEvent::ServerlessExecDone { .. }
+                        | ClusterEvent::ContainerExpire { .. } => {
+                            serverless.handle(ev, now, &mut platform_rng)
+                        }
+                        ClusterEvent::VmBootDone { .. } | ClusterEvent::IaasExecDone { .. } => {
+                            iaas.handle(ev, now, &mut iaas_rng)
+                        }
+                    };
+                    effects.extend(eff);
+                }
+            }
+
+            // Drain the effects worklist (acks can trigger actions that
+            // produce further effects).
+            while !effects.is_empty() {
+                let batch = std::mem::take(&mut effects);
+                for e in batch {
+                    match e {
+                        Effect::Schedule { after, event } => {
+                            queue.push(now + after, Ev::Platform(event));
+                        }
+                        Effect::Completed(outcome) => {
+                            self.on_completion(
+                                outcome,
+                                warmup_t,
+                                &meter_ids,
+                                &mut services,
+                                &mut controller,
+                                &mut monitor,
+                            );
+                        }
+                        Effect::PrewarmReady { service } => {
+                            if (service.raw() as usize) < services.len() {
+                                let idx = service.raw() as usize;
+                                let load = controller.estimated_load(idx, now);
+                                let actions =
+                                    engine.on_ready(service, DeployMode::Serverless, load, now);
+                                self.apply_actions(
+                                    actions,
+                                    now,
+                                    &mut serverless,
+                                    &mut iaas,
+                                    &mut platform_rng,
+                                    &mut effects,
+                                );
+                            }
+                        }
+                        Effect::VmGroupReady { service } => {
+                            if (service.raw() as usize) < services.len() {
+                                let idx = service.raw() as usize;
+                                let load = controller.estimated_load(idx, now);
+                                let actions = engine.on_ready(service, DeployMode::Iaas, load, now);
+                                self.apply_actions(
+                                    actions,
+                                    now,
+                                    &mut serverless,
+                                    &mut iaas,
+                                    &mut platform_rng,
+                                    &mut effects,
+                                );
+                            }
+                        }
+                        Effect::IaasDrained { .. } => {}
+                    }
+                }
+            }
+        }
+
+        // ---- wrap up ---------------------------------------------------
+        let final_weights = monitor.weights();
+        let mean_pressures = if pressure_samples > 0 {
+            [
+                pressure_sum[0] / pressure_samples as f64,
+                pressure_sum[1] / pressure_samples as f64,
+                pressure_sum[2] / pressure_samples as f64,
+            ]
+        } else {
+            [0.0; 3]
+        };
+        let node_core_seconds = self.serverless_cfg.node.cores * self.horizon.as_secs_f64();
+        let results: Vec<ServiceResult> = services
+            .into_iter()
+            .enumerate()
+            .map(|(idx, s)| ServiceResult {
+                name: self.services[idx].spec.name.clone(),
+                background: s.background,
+                qos_target_s: self.services[idx].spec.qos_target_s,
+                qos_percentile: self.services[idx].spec.qos_percentile,
+                latency: s.recorder,
+                usage: s.usage.finish(horizon_t),
+                switch_history: engine.history(s.sid).to_vec(),
+                load_timeline: s.load_timeline,
+                cores_timeline: s.cores_timeline,
+                mem_timeline: s.mem_timeline,
+                mode_timeline: s.mode_timeline,
+                breakdown: s.breakdown,
+                submitted: s.submitted,
+                completed: s.completed,
+                serverless_queries: s.serverless_queries,
+                serverless_violations: s.serverless_violations,
+                billable: BillableUsage {
+                    invocations: s.serverless_queries as u64,
+                    ..s.billable
+                },
+            })
+            .collect();
+        let final_gains = (0..results.len()).map(|i| controller.gain(i)).collect();
+        RunResult {
+            variant: self.variant,
+            services: results,
+            meter_cpu_overhead: meter_core_seconds / node_core_seconds,
+            final_weights,
+            mean_pressures,
+            cold_starts: serverless.cold_start_count(),
+            final_gains,
+            horizon: self.horizon,
+        }
+    }
+
+    fn apply_actions(
+        &self,
+        actions: Vec<EngineAction>,
+        now: SimTime,
+        serverless: &mut ServerlessPlatform,
+        iaas: &mut IaasPlatform,
+        platform_rng: &mut SimRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        for a in actions {
+            match a {
+                EngineAction::Prewarm { service, count } => {
+                    effects.extend(serverless.prewarm(service, count, now, platform_rng));
+                }
+                EngineAction::ActivateVms { service } => {
+                    effects.extend(iaas.activate(service, now));
+                }
+                EngineAction::ReleaseContainers { service } => {
+                    serverless.release_service(service);
+                }
+                EngineAction::ReleaseVms { service } => {
+                    effects.extend(iaas.release(service, now));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_completion(
+        &self,
+        outcome: amoeba_platform::QueryOutcome,
+        warmup_t: SimTime,
+        meter_ids: &[ServiceId; 3],
+        services: &mut [ServiceRt],
+        controller: &mut DeploymentController,
+        monitor: &mut ContentionMonitor,
+    ) {
+        let sid = outcome.query.service;
+        // Meter completion: feed the monitor.
+        if let Some(m) = meter_ids.iter().position(|&x| x == sid) {
+            monitor.observe_meter_latency(m, outcome.latency().as_secs_f64());
+            return;
+        }
+        let idx = sid.raw() as usize;
+        if idx >= services.len() {
+            return;
+        }
+        let is_shadow = outcome.query.id.raw() & SHADOW_BIT != 0;
+        // Serverless executions calibrate the controller (real and
+        // shadow alike); the service time excludes queueing and cold
+        // start.
+        if outcome.executed_on == ExecutedOn::Serverless && self.variant.uses_pca() {
+            let b = &outcome.breakdown;
+            let service_time = (b.auth + b.code_load + b.result_post + b.exec).as_secs_f64();
+            let pressures = monitor.pressures();
+            let weights = monitor.weights();
+            let own_load = 0.0; // service time is per-query; no load axis
+            let _ = own_load;
+            controller.observe_service_time(idx, service_time, pressures, weights);
+        }
+        if is_shadow {
+            return;
+        }
+        if outcome.query.submitted < warmup_t {
+            return;
+        }
+        let s = &mut services[idx];
+        s.recorder.record(outcome.latency());
+        s.completed += 1;
+        if outcome.executed_on == ExecutedOn::Serverless {
+            s.serverless_queries += 1;
+            let target = self.services[idx].spec.qos_target_s;
+            if outcome.latency().as_secs_f64() > target {
+                s.serverless_violations += 1;
+            }
+        }
+        if outcome.executed_on == ExecutedOn::Serverless
+            && outcome.breakdown.cold_start == SimDuration::ZERO
+            && outcome.breakdown.queue_wait == SimDuration::ZERO
+        {
+            s.breakdown.add(&outcome.breakdown);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use amoeba_workload::{benchmarks, DiurnalPattern};
+
+    /// The standard scenario: one foreground benchmark plus the paper's
+    /// three background services at low peak (§VII-A), on a compressed
+    /// day.
+    fn scenario(fg: MicroserviceSpec, day_s: f64) -> Vec<ServiceSetup> {
+        let fg_trace = LoadTrace::new(DiurnalPattern::didi(), fg.peak_qps, day_s);
+        let mut setups = vec![ServiceSetup {
+            spec: fg,
+            trace: fg_trace,
+            background: false,
+        }];
+        for (spec, frac) in [
+            (benchmarks::float(), 0.2),
+            (benchmarks::dd(), 0.15),
+            (benchmarks::cloud_stor(), 0.2),
+        ] {
+            let peak = spec.peak_qps * frac;
+            let mut bg = spec;
+            bg.name = format!("bg_{}", bg.name);
+            setups.push(ServiceSetup {
+                trace: LoadTrace::new(DiurnalPattern::didi(), peak, day_s),
+                spec: bg,
+                background: true,
+            });
+        }
+        setups
+    }
+
+    fn run(variant: SystemVariant, day_s: f64, seed: u64) -> RunResult {
+        run_pub(variant, day_s, seed)
+    }
+
+    pub(crate) fn run_pub(variant: SystemVariant, day_s: f64, seed: u64) -> RunResult {
+        let services = scenario(benchmarks::float(), day_s);
+        let horizon = SimDuration::from_secs_f64(day_s);
+        Experiment::new(variant, services, horizon, seed).run()
+    }
+
+    #[test]
+    fn nameko_meets_qos_and_never_switches() {
+        let mut r = run(SystemVariant::Nameko, 240.0, 1);
+        let fg = &mut r.services[0];
+        assert!(fg.completed > 1000, "completed {}", fg.completed);
+        assert!(
+            fg.qos_met(),
+            "p95 {:?} target {}",
+            fg.qos_latency(),
+            fg.qos_target_s
+        );
+        assert!(fg.switch_history.is_empty());
+        // All queries ran on IaaS => no serverless breakdown samples.
+        assert_eq!(fg.breakdown.count, 0);
+    }
+
+    #[test]
+    fn openwhisk_runs_everything_serverless() {
+        let mut r = run(SystemVariant::OpenWhisk, 240.0, 2);
+        let fg = &mut r.services[0];
+        assert!(fg.completed > 1000);
+        assert!(fg.breakdown.count > 0, "serverless executions recorded");
+        assert!(fg.switch_history.is_empty());
+        // OpenWhisk allocates no IaaS cores for the foreground service;
+        // usage must be far below the Nameko run.
+        let mut nameko = run(SystemVariant::Nameko, 240.0, 2);
+        let ratio = fg.usage.cpu_relative_to(&nameko.services[0].usage);
+        assert!(ratio < 0.6, "openwhisk/nameko cpu ratio {ratio}");
+        let _ = &mut nameko;
+    }
+
+    #[test]
+    fn amoeba_switches_and_saves_resources_while_meeting_qos() {
+        let mut amoeba = run(SystemVariant::Amoeba, 360.0, 3);
+        let mut nameko = run(SystemVariant::Nameko, 360.0, 3);
+        let fg = &mut amoeba.services[0];
+        assert!(
+            !fg.switch_history.is_empty(),
+            "Amoeba should switch at least once on a diurnal day"
+        );
+        assert!(
+            fg.qos_met(),
+            "p95 {:?} target {}",
+            fg.qos_latency(),
+            fg.qos_target_s
+        );
+        let nk = &mut nameko.services[0];
+        assert!(nk.qos_met());
+        let cpu_ratio = fg.usage.cpu_relative_to(&nk.usage);
+        let mem_ratio = fg.usage.mem_relative_to(&nk.usage);
+        assert!(cpu_ratio < 0.95, "Amoeba cpu ratio vs Nameko: {cpu_ratio}");
+        assert!(mem_ratio < 0.95, "Amoeba mem ratio vs Nameko: {mem_ratio}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(SystemVariant::Amoeba, 120.0, 7);
+        let b = run(SystemVariant::Amoeba, 120.0, 7);
+        assert_eq!(a.services[0].completed, b.services[0].completed);
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(
+            a.services[0].switch_history.len(),
+            b.services[0].switch_history.len()
+        );
+        let c = run(SystemVariant::Amoeba, 120.0, 8);
+        // Different seed: almost surely different counts.
+        assert_ne!(a.services[0].completed, c.services[0].completed);
+    }
+
+    #[test]
+    fn conservation_of_queries() {
+        let r = run(SystemVariant::Amoeba, 240.0, 11);
+        for s in &r.services {
+            // Everything submitted post-warmup eventually completes (the
+            // loop drains all events past the horizon).
+            assert_eq!(s.submitted, s.completed, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn meter_overhead_is_small() {
+        let r = run(SystemVariant::Amoeba, 240.0, 13);
+        assert!(
+            r.meter_cpu_overhead < 0.02,
+            "meter overhead {} should be ~1% as in §VII-E",
+            r.meter_cpu_overhead
+        );
+        assert!(r.meter_cpu_overhead > 0.0, "meters did run");
+    }
+
+    #[test]
+    fn weights_depart_from_uniform_with_pca() {
+        let r = run(SystemVariant::Amoeba, 240.0, 17);
+        let w = r.final_weights;
+        assert!(
+            (w.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "PCA weights normalised: {w:?}"
+        );
+        let nom = run(SystemVariant::AmoebaNoM, 240.0, 17);
+        assert_eq!(nom.final_weights, [1.0; 3], "NoM keeps uniform weights");
+    }
+
+    #[test]
+    fn nop_violates_qos_via_cold_starts() {
+        // The NoP ablation routes queries to serverless with no prewarm;
+        // right after each switch a batch of queries eats 1-3 s cold
+        // starts, which a 0.2 s QoS target cannot absorb.
+        let mut nop = run(SystemVariant::AmoebaNoP, 360.0, 19);
+        let mut amoeba = run(SystemVariant::Amoeba, 360.0, 19);
+        let v_nop = nop.services[0].violation_ratio();
+        let v_amoeba = amoeba.services[0].violation_ratio();
+        let sw = nop.services[0].switch_history.len();
+        if sw > 0 {
+            assert!(
+                v_nop > v_amoeba,
+                "NoP ({v_nop}) must violate more than Amoeba ({v_amoeba})"
+            );
+        }
+        let _ = (&mut nop, &mut amoeba);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::tests::*;
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn dump_amoeba_run() {
+        let mut r = run_pub(SystemVariant::Amoeba, 360.0, 3);
+        let nameko = run_pub(SystemVariant::Nameko, 360.0, 3);
+        let fg = &mut r.services[0];
+        println!("switches: {:?}", fg.switch_history);
+        println!(
+            "weights: {:?}, pressures: {:?}",
+            r.final_weights, r.mean_pressures
+        );
+        println!("violations: {}", fg.violation_ratio());
+        println!("p95: {:?} target {}", fg.qos_latency(), fg.qos_target_s);
+        println!("cold starts: {}", r.cold_starts);
+        for (t, m) in fg.mode_timeline.samples().iter().step_by(20) {
+            let c = fg.cores_timeline.at(*t).copied().unwrap_or(0.0);
+            let mem = fg.mem_timeline.at(*t).copied().unwrap_or(0.0);
+            let l = fg.load_timeline.at(*t).copied().unwrap_or(0.0);
+            println!(
+                "t={:>8} mode={} cores={:>6.1} mem={:>8.0} load={:>6.1}",
+                format!("{t}"),
+                m,
+                c,
+                mem,
+                l
+            );
+        }
+        println!(
+            "amoeba core-s {} mem-s {}",
+            fg.usage.core_seconds, fg.usage.mem_mb_seconds
+        );
+        let nk = &nameko.services[0];
+        println!(
+            "nameko core-s {} mem-s {}",
+            nk.usage.core_seconds, nk.usage.mem_mb_seconds
+        );
+    }
+}

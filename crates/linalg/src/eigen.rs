@@ -1,0 +1,253 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Covariance matrices are symmetric positive semi-definite and tiny here
+//! (3×3 for the paper's three resource dimensions, a few more in the
+//! "production environment" extension of §VI-A), so Jacobi — simple,
+//! unconditionally stable, quadratically convergent — is the right tool.
+
+use crate::matrix::Matrix;
+
+/// The result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`,
+/// with eigenvalues sorted descending and eigenvectors as the *columns*
+/// of `vectors` in matching order.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, column `k` pairs with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up. Jacobi converges
+/// quadratically; 100 sweeps is far beyond anything a well-posed matrix
+/// needs and turns a (theoretically impossible) hang into a clean error.
+const MAX_SWEEPS: usize = 100;
+
+/// Decompose a symmetric matrix. Returns `None` when the input is not
+/// square, not symmetric (beyond fp tolerance), contains non-finite
+/// entries, or failed to converge.
+pub fn symmetric_eigen(a: &Matrix) -> Option<EigenDecomposition> {
+    let n = a.rows();
+    if n != a.cols() {
+        return None;
+    }
+    let mut scale: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let v = a[(i, j)];
+            if !v.is_finite() {
+                return None;
+            }
+            scale = scale.max(v.abs());
+        }
+    }
+    let sym_tol = 1e-8 * scale.max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > sym_tol {
+                return None;
+            }
+        }
+    }
+    if n == 0 {
+        return Some(EigenDecomposition {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let conv_tol = 1e-12 * scale.max(1.0);
+
+    for _ in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= conv_tol {
+            return Some(sorted(m, v));
+        }
+        // One cyclic sweep: rotate away every off-diagonal element once.
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= conv_tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, θ) on both sides of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if m.max_off_diagonal() <= conv_tol {
+        Some(sorted(m, v))
+    } else {
+        None
+    }
+}
+
+fn sorted(m: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m[(b, b)].partial_cmp(&m[(a, a)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (newcol, &oldcol) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, newcol)] = v[(row, oldcol)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for (i, &l) in e.values.iter().enumerate() {
+            d[(i, i)] = l;
+        }
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(3, 3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(3, 3, &[5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(
+            4,
+            4,
+            &[
+                1.0, 0.2, 0.0, 0.1, //
+                0.2, 7.0, 0.3, 0.0, //
+                0.0, 0.3, 4.0, 0.2, //
+                0.1, 0.0, 0.2, 2.0,
+            ],
+        );
+        let e = symmetric_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(3, 3, &[2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        let trace = 6.0;
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric_and_nonfinite() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_none());
+        let asym = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 1.0]);
+        assert!(symmetric_eigen(&asym).is_none());
+        let nan = Matrix::from_rows(2, 2, &[1.0, f64::NAN, f64::NAN, 1.0]);
+        assert!(symmetric_eigen(&nan).is_none());
+    }
+
+    #[test]
+    fn zero_matrix_ok() {
+        let e = symmetric_eigen(&Matrix::zeros(3, 3)).unwrap();
+        assert_eq!(e.values, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn psd_covariance_like_matrix_has_nonnegative_eigenvalues() {
+        // Gram matrix of random-ish vectors is PSD by construction.
+        let b = Matrix::from_rows(
+            4,
+            3,
+            &[1.0, 0.5, 0.2, 0.3, 1.2, 0.1, 0.7, 0.4, 0.9, 0.2, 0.8, 0.6],
+        );
+        let g = b.transpose().matmul(&b);
+        let e = symmetric_eigen(&g).unwrap();
+        for &l in &e.values {
+            assert!(l > -1e-9, "eigenvalue {l} negative");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn random_symmetric_decomposes(seed in 0u64..500) {
+            // Build a deterministic pseudo-random symmetric 3x3 from the seed.
+            let mut vals = [0.0f64; 6];
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for v in &mut vals {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                *v = ((s % 2000) as f64 - 1000.0) / 100.0;
+            }
+            let a = Matrix::from_rows(3, 3, &[
+                vals[0], vals[1], vals[2],
+                vals[1], vals[3], vals[4],
+                vals[2], vals[4], vals[5],
+            ]);
+            let e = symmetric_eigen(&a).expect("must converge");
+            prop_assert!(reconstruct(&e).approx_eq(&a, 1e-7));
+            let vtv = e.vectors.transpose().matmul(&e.vectors);
+            prop_assert!(vtv.approx_eq(&Matrix::identity(3), 1e-8));
+        }
+    }
+
+    use proptest::prelude::*;
+}

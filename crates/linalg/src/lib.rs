@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Minimal dense linear algebra for the Amoeba reproduction.
+//!
+//! The multi-resource contention monitor (paper §VI-A) calibrates the
+//! deployment controller's weights with **PCA** over heartbeat samples.
+//! PCA needs exactly: column statistics, a covariance matrix, and a
+//! symmetric eigendecomposition. All three are implemented here from
+//! scratch (cyclic Jacobi rotations) so the workspace carries no external
+//! linear-algebra dependency.
+
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod stats;
+
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use matrix::Matrix;
+pub use pca::{Pca, PcaModel};
+pub use stats::{column_means, column_std_devs, covariance_matrix, standardize};

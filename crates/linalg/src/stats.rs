@@ -1,0 +1,170 @@
+//! Column statistics over sample matrices (rows = observations,
+//! columns = variables), feeding the PCA in [`crate::pca`].
+
+use crate::matrix::Matrix;
+
+/// Per-column means.
+pub fn column_means(data: &Matrix) -> Vec<f64> {
+    let n = data.rows();
+    if n == 0 {
+        return vec![0.0; data.cols()];
+    }
+    let mut means = vec![0.0; data.cols()];
+    for i in 0..n {
+        for (j, m) in means.iter_mut().enumerate() {
+            *m += data[(i, j)];
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+/// Per-column sample standard deviations (Bessel-corrected). Columns with
+/// fewer than two observations report 0.
+pub fn column_std_devs(data: &Matrix) -> Vec<f64> {
+    let n = data.rows();
+    let means = column_means(data);
+    if n < 2 {
+        return vec![0.0; data.cols()];
+    }
+    let mut vars = vec![0.0; data.cols()];
+    for i in 0..n {
+        for (j, v) in vars.iter_mut().enumerate() {
+            let d = data[(i, j)] - means[j];
+            *v += d * d;
+        }
+    }
+    vars.iter().map(|v| (v / (n as f64 - 1.0)).sqrt()).collect()
+}
+
+/// Sample covariance matrix (Bessel-corrected). Requires at least two
+/// rows; with fewer the covariance is undefined and this returns zeros.
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let p = data.cols();
+    let mut cov = Matrix::zeros(p, p);
+    if n < 2 {
+        return cov;
+    }
+    let means = column_means(data);
+    for i in 0..n {
+        for a in 0..p {
+            let da = data[(i, a)] - means[a];
+            for b in a..p {
+                let db = data[(i, b)] - means[b];
+                cov[(a, b)] += da * db;
+            }
+        }
+    }
+    let denom = n as f64 - 1.0;
+    for a in 0..p {
+        for b in a..p {
+            let v = cov[(a, b)] / denom;
+            cov[(a, b)] = v;
+            cov[(b, a)] = v;
+        }
+    }
+    cov
+}
+
+/// Z-score standardisation: subtract the column mean, divide by the column
+/// standard deviation. Constant columns (std = 0) are centred only —
+/// dividing by zero would poison the covariance with NaN, and a constant
+/// pressure column genuinely carries no variance for PCA to explain.
+pub fn standardize(data: &Matrix) -> Matrix {
+    let means = column_means(data);
+    let stds = column_std_devs(data);
+    let mut out = Matrix::zeros(data.rows(), data.cols());
+    for i in 0..data.rows() {
+        for j in 0..data.cols() {
+            let centred = data[(i, j)] - means[j];
+            out[(i, j)] = if stds[j] > 0.0 {
+                centred / stds[j]
+            } else {
+                centred
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(4, 2, &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
+    }
+
+    #[test]
+    fn means_are_columnwise() {
+        assert_eq!(column_means(&sample()), vec![2.5, 25.0]);
+    }
+
+    #[test]
+    fn std_devs_bessel_corrected() {
+        let s = column_std_devs(&sample());
+        // var of {1,2,3,4} with n-1 = 5/3
+        assert!((s[0] - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s[1] - 10.0 * (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let cov = covariance_matrix(&sample());
+        // col1 = 10 * col0 => cov(0,1) = 10 * var(0); correlation 1.
+        let var0 = cov[(0, 0)];
+        assert!((cov[(0, 1)] - 10.0 * var0).abs() < 1e-9);
+        assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-12, "symmetric");
+    }
+
+    #[test]
+    fn covariance_diagonal_is_variance() {
+        let cov = covariance_matrix(&sample());
+        let s = column_std_devs(&sample());
+        assert!((cov[(0, 0)] - s[0] * s[0]).abs() < 1e-9);
+        assert!((cov[(1, 1)] - s[1] * s[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_columns_have_near_zero_covariance() {
+        // Orthogonal-ish pattern: second column uncorrelated with first.
+        let m = Matrix::from_rows(4, 2, &[1.0, 1.0, 2.0, -1.0, 3.0, -1.0, 4.0, 1.0]);
+        let cov = covariance_matrix(&m);
+        assert!(cov[(0, 1)].abs() < 1e-9, "cov = {}", cov[(0, 1)]);
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_std() {
+        let z = standardize(&sample());
+        let means = column_means(&z);
+        let stds = column_std_devs(&z);
+        for m in means {
+            assert!(m.abs() < 1e-12);
+        }
+        for s in stds {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_handles_constant_column() {
+        let m = Matrix::from_rows(3, 2, &[5.0, 1.0, 5.0, 2.0, 5.0, 3.0]);
+        let z = standardize(&m);
+        for i in 0..3 {
+            assert_eq!(z[(i, 0)], 0.0);
+            assert!(z[(i, 0)].is_finite());
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(column_means(&empty), vec![0.0; 3]);
+        assert_eq!(column_std_devs(&empty), vec![0.0; 3]);
+        let one_row = Matrix::from_rows(1, 2, &[1.0, 2.0]);
+        assert_eq!(covariance_matrix(&one_row), Matrix::zeros(2, 2));
+    }
+}

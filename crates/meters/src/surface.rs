@@ -1,0 +1,312 @@
+//! Latency surfaces (Fig. 9).
+//!
+//! §IV-B: "for each microservice, we co-locate it with each of the
+//! contention meters on the serverless platform, adjust the loads of the
+//! microservice and the pressure of the contention meter, and built it
+//! three latency surfaces that shows how the performance of each
+//! microservice degrades as pressure increases in two dimensions."
+//!
+//! A surface is a rectangular grid over (service load in QPS, resource
+//! pressure in utilisation) holding the p95 latency in seconds, with
+//! bilinear interpolation between grid points. Surfaces are built either
+//! empirically (profiling runs on the simulated platform — see
+//! `amoeba-core::profiler`) or analytically from the M/M/N + slowdown
+//! closed forms, which is also the ground truth the empirical path is
+//! tested against.
+
+use amoeba_queueing::MmnModel;
+use serde::{Deserialize, Serialize};
+
+/// A latency surface: `p95(load, pressure)` for one service × resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySurface {
+    /// Load axis (queries/second), strictly increasing.
+    loads: Vec<f64>,
+    /// Pressure axis (utilisation), strictly increasing.
+    pressures: Vec<f64>,
+    /// `values[i][j]` = p95 latency at `loads[i]`, `pressures[j]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl LatencySurface {
+    /// Build from a measured grid. Panics on dimension mismatch or
+    /// non-increasing axes.
+    pub fn from_grid(loads: Vec<f64>, pressures: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
+        assert!(loads.len() >= 2 && pressures.len() >= 2, "grid too small");
+        assert!(
+            loads.windows(2).all(|w| w[1] > w[0]),
+            "loads not increasing"
+        );
+        assert!(
+            pressures.windows(2).all(|w| w[1] > w[0]),
+            "pressures not increasing"
+        );
+        assert_eq!(values.len(), loads.len(), "row count");
+        for row in &values {
+            assert_eq!(row.len(), pressures.len(), "column count");
+            assert!(row.iter().all(|v| v.is_finite() && *v > 0.0), "bad latency");
+        }
+        LatencySurface {
+            loads,
+            pressures,
+            values,
+        }
+    }
+
+    /// The analytic surface for a service with uncontended phase times
+    /// `phases = [cpu, io, net]` (s), per-query overhead (s), contention
+    /// curvature `kappa` on the swept `resource`, container ceiling
+    /// `n_cap`, and QoS percentile `r`.
+    ///
+    /// For each grid point the service time is stretched by the swept
+    /// resource's slowdown, the container count is what the platform's
+    /// autoscaling would settle at for that load, and the p95 latency
+    /// comes from the M/M/N waiting-time quantile. Points where the load
+    /// exceeds the stable capacity saturate at a large-but-finite
+    /// latency so the surface stays monotone and interpolable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analytic(
+        phases: [f64; 3],
+        overhead_s: f64,
+        resource: usize,
+        kappa: f64,
+        n_cap: u32,
+        r: f64,
+        loads: Vec<f64>,
+        pressures: Vec<f64>,
+    ) -> Self {
+        assert!(resource < 3);
+        let base_service_s = overhead_s + phases.iter().sum::<f64>();
+        let mut values = Vec::with_capacity(loads.len());
+        for &load in &loads {
+            // Containers the pool converges to at this load. Sized from
+            // the *uncontended* service time, mirroring Eq. 7's prewarm
+            // count which depends on the load only — pressure then shows
+            // up purely as longer latency, keeping the surface monotone.
+            let needed = (load * base_service_s).ceil() as u32 + 2;
+            let n = needed.min(n_cap).max(1);
+            let mut row: Vec<f64> = Vec::with_capacity(pressures.len());
+            for &u in &pressures {
+                let slow = 1.0 + kappa * u * u / (1.0 - u);
+                let mut service_s = overhead_s;
+                for (k, &ph) in phases.iter().enumerate() {
+                    service_s += if k == resource { ph * slow } else { ph };
+                }
+                let mu = 1.0 / service_s;
+                let model = MmnModel::new(n, mu).expect("valid model");
+                let mut lat = match model.wait_quantile(load, r) {
+                    Some(w) => w + service_s,
+                    // Unstable: saturate high but finite.
+                    None => service_s * 50.0,
+                };
+                // The stable-side quantile diverges toward the stability
+                // boundary while the saturated sentinel is finite; clamp
+                // to a running maximum so the row stays monotone across
+                // the crossing.
+                if let Some(&prev) = row.last() {
+                    lat = lat.max(prev);
+                }
+                row.push(lat);
+            }
+            values.push(row);
+        }
+        LatencySurface::from_grid(loads, pressures, values)
+    }
+
+    /// Predicted p95 latency at `(load, pressure)`, bilinearly
+    /// interpolated and clamped to the grid's bounding box.
+    pub fn predict(&self, load: f64, pressure: f64) -> f64 {
+        let (i, fi) = locate(&self.loads, load);
+        let (j, fj) = locate(&self.pressures, pressure);
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        let top = v00 * (1.0 - fj) + v01 * fj;
+        let bot = v10 * (1.0 - fj) + v11 * fj;
+        top * (1.0 - fi) + bot * fi
+    }
+
+    /// Grid axes (load, pressure).
+    pub fn axes(&self) -> (&[f64], &[f64]) {
+        (&self.loads, &self.pressures)
+    }
+
+    /// The raw grid values.
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+}
+
+/// Find the cell index and in-cell fraction for `x` on `axis`, clamped.
+fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+    let last = axis.len() - 1;
+    if x <= axis[0] {
+        return (0, 0.0);
+    }
+    if x >= axis[last] {
+        return (last - 1, 1.0);
+    }
+    for i in 0..last {
+        if x <= axis[i + 1] {
+            let f = (x - axis[i]) / (axis[i + 1] - axis[i]);
+            return (i, f);
+        }
+    }
+    (last - 1, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> LatencySurface {
+        LatencySurface::from_grid(
+            vec![0.0, 10.0, 20.0],
+            vec![0.0, 0.5, 0.9],
+            vec![
+                vec![0.10, 0.15, 0.40],
+                vec![0.12, 0.20, 0.60],
+                vec![0.20, 0.35, 1.20],
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let s = grid();
+        assert_eq!(s.predict(0.0, 0.0), 0.10);
+        assert_eq!(s.predict(10.0, 0.5), 0.20);
+        assert_eq!(s.predict(20.0, 0.9), 1.20);
+    }
+
+    #[test]
+    fn bilinear_between_points() {
+        let s = grid();
+        // Midpoint of the first cell: mean of its four corners.
+        let mid = s.predict(5.0, 0.25);
+        let want = (0.10 + 0.15 + 0.12 + 0.20) / 4.0;
+        assert!((mid - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_grid() {
+        let s = grid();
+        assert_eq!(s.predict(-5.0, -1.0), 0.10);
+        assert_eq!(s.predict(100.0, 5.0), 1.20);
+        assert_eq!(s.predict(100.0, 0.0), 0.20);
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        let r = std::panic::catch_unwind(|| {
+            LatencySurface::from_grid(vec![0.0], vec![0.0, 1.0], vec![vec![1.0, 1.0]])
+        });
+        assert!(r.is_err(), "too few load points");
+        let r = std::panic::catch_unwind(|| {
+            LatencySurface::from_grid(
+                vec![0.0, 1.0],
+                vec![0.0, 1.0],
+                vec![vec![1.0, f64::NAN], vec![1.0, 1.0]],
+            )
+        });
+        assert!(r.is_err(), "NaN latency");
+    }
+
+    #[test]
+    fn analytic_surface_monotone_in_both_axes() {
+        let s = LatencySurface::analytic(
+            [0.08, 0.0, 0.0],
+            0.02,
+            0,
+            1.2,
+            60,
+            0.95,
+            vec![1.0, 5.0, 10.0, 20.0, 40.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9],
+        );
+        let (loads, pressures) = s.axes();
+        for i in 0..loads.len() {
+            for j in 1..pressures.len() {
+                assert!(
+                    s.values()[i][j] >= s.values()[i][j - 1] - 1e-9,
+                    "not monotone in pressure at ({i},{j})"
+                );
+            }
+        }
+        // At fixed high pressure, latency grows with load.
+        let j = pressures.len() - 1;
+        for i in 1..loads.len() {
+            assert!(s.values()[i][j] >= s.values()[i - 1][j] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytic_surface_idle_point_is_service_time() {
+        let s = LatencySurface::analytic(
+            [0.08, 0.0, 0.0],
+            0.02,
+            0,
+            1.2,
+            60,
+            0.95,
+            vec![0.5, 10.0],
+            vec![0.0, 0.5],
+        );
+        // At minimal load and zero pressure: p95 ≈ service time (0.1s).
+        let v = s.predict(0.5, 0.0);
+        assert!((v - 0.10).abs() < 0.01, "idle latency {v}");
+    }
+
+    #[test]
+    fn analytic_surface_sensitive_only_to_its_resource() {
+        // An IO-bound service swept on the CPU axis barely moves.
+        let io_heavy = LatencySurface::analytic(
+            [0.002, 0.24, 0.0],
+            0.02,
+            0, // sweep CPU
+            1.2,
+            60,
+            0.95,
+            vec![1.0, 10.0],
+            vec![0.0, 0.9],
+        );
+        let base = io_heavy.predict(1.0, 0.0);
+        let pressed = io_heavy.predict(1.0, 0.9);
+        assert!(
+            (pressed - base) / base < 0.1,
+            "IO-bound service moved {base} -> {pressed} under CPU pressure"
+        );
+        // The same service swept on its own (IO) axis moves a lot —
+        // exactly the paper's point about per-resource sensitivity.
+        let on_io = LatencySurface::analytic(
+            [0.002, 0.24, 0.0],
+            0.02,
+            1, // sweep IO
+            1.8,
+            60,
+            0.95,
+            vec![1.0, 10.0],
+            vec![0.0, 0.9],
+        );
+        let pressed_io = on_io.predict(1.0, 0.9);
+        let base_io = on_io.predict(1.0, 0.0);
+        assert!(pressed_io > base_io * 2.0, "{base_io} -> {pressed_io}");
+    }
+
+    #[test]
+    fn saturated_region_is_finite() {
+        let s = LatencySurface::analytic(
+            [0.1, 0.0, 0.0],
+            0.0,
+            0,
+            1.0,
+            4, // tiny container cap: load 100 is far beyond capacity
+            0.95,
+            vec![1.0, 100.0],
+            vec![0.0, 0.5],
+        );
+        let v = s.predict(100.0, 0.5);
+        assert!(v.is_finite() && v > 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Fig. 10 of the paper plots "the cumulative distribution of the
+//! benchmarks' latencies *normalized to their QoS targets*" for Amoeba,
+//! Nameko and OpenWhisk; this module turns a recorder's samples into that
+//! exact series.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an empirical CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// The value (e.g. latency / QoS target).
+    pub x: f64,
+    /// Cumulative fraction of samples ≤ `x`.
+    pub p: f64,
+}
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    points: Vec<CdfPoint>,
+}
+
+impl Cdf {
+    /// Build from already-sorted samples (ascending). Duplicate values are
+    /// merged into a single step. Panics in debug builds if unsorted.
+    pub fn from_sorted_seconds(sorted: &[f64]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let n = sorted.len();
+        let mut points: Vec<CdfPoint> = Vec::new();
+        for (i, &x) in sorted.iter().enumerate() {
+            let p = (i + 1) as f64 / n as f64;
+            match points.last_mut() {
+                Some(last) if last.x == x => last.p = p,
+                _ => points.push(CdfPoint { x, p }),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// Build from unsorted samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf::from_sorted_seconds(&s)
+    }
+
+    /// Build from samples, dividing each by `scale` first — the
+    /// "normalized to QoS target" transform of Fig. 10.
+    pub fn normalized(samples: &[f64], scale: f64) -> Self {
+        assert!(scale > 0.0, "normalisation scale must be positive");
+        let scaled: Vec<f64> = samples.iter().map(|&x| x / scale).collect();
+        Cdf::from_samples(&scaled)
+    }
+
+    /// The step points.
+    pub fn points(&self) -> &[CdfPoint] {
+        &self.points
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|p| p.x.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => self.points[i].p,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].p,
+        }
+    }
+
+    /// Smallest `x` with `P(X ≤ x) ≥ q`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.p >= q).map(|p| p.x)
+    }
+
+    /// Downsample to at most `n` points for plotting, always keeping the
+    /// first and last step.
+    pub fn downsample(&self, n: usize) -> Vec<CdfPoint> {
+        if self.points.len() <= n || n < 2 {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        let last = self.points.len() - 1;
+        for k in 0..n {
+            let idx = k * last / (n - 1);
+            out.push(self.points[idx]);
+        }
+        out.dedup_by(|a, b| a.x == b.x);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_cdf_steps() {
+        let c = Cdf::from_samples(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.0), 0.75);
+        assert_eq!(c.eval(2.5), 0.75);
+        assert_eq!(c.eval(3.0), 1.0);
+        assert_eq!(c.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_merge_into_one_step() {
+        let c = Cdf::from_samples(&[1.0, 1.0, 1.0]);
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.points()[0], CdfPoint { x: 1.0, p: 1.0 });
+    }
+
+    #[test]
+    fn normalized_divides_by_scale() {
+        let c = Cdf::normalized(&[0.5, 1.0, 2.0], 1.0);
+        let cn = Cdf::normalized(&[0.5, 1.0, 2.0], 2.0);
+        assert_eq!(c.quantile(1.0), Some(2.0));
+        assert_eq!(cn.quantile(1.0), Some(1.0));
+        // Fraction under the (normalised) QoS target of 1.0:
+        assert_eq!(cn.eval(1.0), 1.0);
+        assert!((c.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn normalized_rejects_zero_scale() {
+        Cdf::normalized(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn quantile_finds_first_crossing() {
+        let c = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(0.75), Some(3.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        assert_eq!(c.quantile(0.01), Some(1.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::from_samples(&[]);
+        assert!(c.points().is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+
+    #[test]
+    fn downsample_keeps_ends() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let c = Cdf::from_samples(&samples);
+        let d = c.downsample(10);
+        assert!(d.len() <= 10);
+        assert_eq!(d.first().unwrap().x, 1.0);
+        assert_eq!(d.last().unwrap().x, 1000.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn cdf_is_monotone(samples in proptest::collection::vec(0.0f64..100.0, 1..200)) {
+            let c = Cdf::from_samples(&samples);
+            let pts = c.points();
+            for w in pts.windows(2) {
+                prop_assert!(w[0].x < w[1].x);
+                prop_assert!(w[0].p < w[1].p);
+            }
+            prop_assert!((pts.last().unwrap().p - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn eval_and_quantile_are_consistent(samples in proptest::collection::vec(0.0f64..100.0, 1..100), q in 0.01f64..1.0) {
+            let c = Cdf::from_samples(&samples);
+            let x = c.quantile(q).unwrap();
+            prop_assert!(c.eval(x) >= q);
+        }
+    }
+
+    use proptest::prelude::*;
+}

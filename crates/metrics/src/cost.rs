@@ -1,0 +1,226 @@
+//! Cloud billing model.
+//!
+//! The paper's motivation is economic: "maintainers pay for each
+//! function invocation instead of the whole infrastructure" (§I, citing
+//! the Berkeley view). This module prices a run's resource usage under
+//! both billing schemes so experiments can report the maintainer-side
+//! cost next to the vendor-side resource integrals:
+//!
+//! * **IaaS billing** — rented core-hours and GB-hours, busy or not;
+//! * **serverless billing** — per-invocation fee plus GB-seconds of
+//!   container time, the Lambda-style formula.
+
+use crate::usage::UsageSummary;
+use serde::{Deserialize, Serialize};
+
+/// Price card, in abstract currency units.
+///
+/// # Examples
+///
+/// ```
+/// use amoeba_metrics::{BillableUsage, CostModel};
+///
+/// let model = CostModel::default();
+/// let day = 86_400.0;
+/// // A 4-core VM rented for a day vs the same work as 2 qps of 100 ms
+/// // serverless invocations: the idle VM loses.
+/// let iaas = BillableUsage {
+///     iaas_core_seconds: 4.0 * day,
+///     iaas_mem_mb_seconds: 8.0 * 1024.0 * day,
+///     ..Default::default()
+/// };
+/// let serverless = BillableUsage {
+///     invocations: (2.0 * day) as u64,
+///     serverless_mem_mb_seconds: 2.0 * day * 0.1 * 256.0,
+///     ..Default::default()
+/// };
+/// assert!(model.cost(&serverless) < model.cost(&iaas));
+/// ```
+///
+/// Defaults are modelled on
+/// public-cloud list prices (c5-class VM ≈ $0.0425/core-hour, Lambda ≈
+/// $0.20 per million invocations + $0.0000166667 per GB-second) — the
+/// absolute unit is irrelevant, the IaaS:serverless *ratio* is what the
+/// experiments exercise.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one rented core for one hour.
+    pub per_core_hour: f64,
+    /// Price of one rented GB of VM memory for one hour.
+    pub per_gb_hour: f64,
+    /// Price of one function invocation.
+    pub per_invocation: f64,
+    /// Price of one GB-second of serverless container time.
+    pub per_gb_second: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_core_hour: 0.0425,
+            per_gb_hour: 0.0057,
+            per_invocation: 0.2e-6,
+            per_gb_second: 0.0000166667,
+        }
+    }
+}
+
+/// A run's billing-relevant aggregates, split by platform. The usage
+/// integrals in [`UsageSummary`] mix both platforms (that is what the
+/// vendor's hardware sees); billing needs the split, which the runtime
+/// tracks separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BillableUsage {
+    /// IaaS core-seconds rented.
+    pub iaas_core_seconds: f64,
+    /// IaaS memory MB-seconds rented.
+    pub iaas_mem_mb_seconds: f64,
+    /// Serverless invocations executed.
+    pub invocations: u64,
+    /// Serverless container MB-seconds (busy time × container memory).
+    pub serverless_mem_mb_seconds: f64,
+}
+
+impl CostModel {
+    /// Total cost of a run's billable usage.
+    pub fn cost(&self, u: &BillableUsage) -> f64 {
+        self.iaas_cost(u) + self.serverless_cost(u)
+    }
+
+    /// The IaaS component.
+    pub fn iaas_cost(&self, u: &BillableUsage) -> f64 {
+        u.iaas_core_seconds / 3600.0 * self.per_core_hour
+            + u.iaas_mem_mb_seconds / 1024.0 / 3600.0 * self.per_gb_hour
+    }
+
+    /// The serverless component.
+    pub fn serverless_cost(&self, u: &BillableUsage) -> f64 {
+        u.invocations as f64 * self.per_invocation
+            + u.serverless_mem_mb_seconds / 1024.0 * self.per_gb_second
+    }
+
+    /// Price an always-on IaaS deployment directly from a usage summary
+    /// (everything allocated is rented).
+    pub fn cost_if_all_iaas(&self, u: &UsageSummary) -> f64 {
+        self.iaas_cost(&BillableUsage {
+            iaas_core_seconds: u.core_seconds,
+            iaas_mem_mb_seconds: u.mem_mb_seconds,
+            ..Default::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iaas_cost_scales_linearly() {
+        let m = CostModel::default();
+        let u = BillableUsage {
+            iaas_core_seconds: 3600.0 * 10.0,            // 10 core-hours
+            iaas_mem_mb_seconds: 1024.0 * 3600.0 * 20.0, // 20 GB-hours
+            ..Default::default()
+        };
+        let want = 10.0 * m.per_core_hour + 20.0 * m.per_gb_hour;
+        assert!((m.cost(&u) - want).abs() < 1e-12);
+        let double = BillableUsage {
+            iaas_core_seconds: u.iaas_core_seconds * 2.0,
+            iaas_mem_mb_seconds: u.iaas_mem_mb_seconds * 2.0,
+            ..Default::default()
+        };
+        assert!((m.cost(&double) - 2.0 * want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serverless_cost_counts_invocations_and_gb_seconds() {
+        let m = CostModel::default();
+        let u = BillableUsage {
+            invocations: 1_000_000,
+            serverless_mem_mb_seconds: 1024.0 * 100_000.0, // 100k GB-s
+            ..Default::default()
+        };
+        let want = 0.2 + 100_000.0 * m.per_gb_second;
+        assert!((m.cost(&u) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_usage_is_free() {
+        assert_eq!(CostModel::default().cost(&BillableUsage::default()), 0.0);
+    }
+
+    #[test]
+    fn low_utilisation_favors_serverless() {
+        // The paper's economics: a service busy 5 % of the time on a
+        // 4-core VM vs paying per invocation.
+        let m = CostModel::default();
+        let day = 86_400.0;
+        let iaas = BillableUsage {
+            iaas_core_seconds: 4.0 * day,
+            iaas_mem_mb_seconds: 8.0 * 1024.0 * day,
+            ..Default::default()
+        };
+        // Same work serverless: 2 qps × 100 ms × 256 MB.
+        let invocations = (2.0 * day) as u64;
+        let serverless = BillableUsage {
+            invocations,
+            serverless_mem_mb_seconds: invocations as f64 * 0.1 * 256.0,
+            ..Default::default()
+        };
+        assert!(
+            m.cost(&serverless) < m.cost(&iaas) / 5.0,
+            "serverless {} vs iaas {}",
+            m.cost(&serverless),
+            m.cost(&iaas)
+        );
+    }
+
+    #[test]
+    fn high_utilisation_favors_iaas() {
+        let m = CostModel::default();
+        let day = 86_400.0;
+        let iaas = BillableUsage {
+            iaas_core_seconds: 4.0 * day,
+            iaas_mem_mb_seconds: 8.0 * 1024.0 * day,
+            ..Default::default()
+        };
+        // Pushing enough sustained traffic through serverless (150 qps
+        // of 100 ms / 256 MB invocations) that the per-GB-second bill
+        // crosses the flat VM rent — the list-price crossover sits well
+        // above the point where the VM's cores are merely busy.
+        let invocations = (150.0 * day) as u64;
+        let serverless = BillableUsage {
+            invocations,
+            serverless_mem_mb_seconds: invocations as f64 * 0.1 * 256.0,
+            ..Default::default()
+        };
+        assert!(
+            m.cost(&iaas) < m.cost(&serverless),
+            "iaas {} vs serverless {}",
+            m.cost(&iaas),
+            m.cost(&serverless)
+        );
+    }
+
+    #[test]
+    fn cost_if_all_iaas_matches_manual_split() {
+        let m = CostModel::default();
+        let summary = UsageSummary {
+            core_seconds: 1000.0,
+            mem_mb_seconds: 2048.0 * 500.0,
+            core_seconds_consumed: 100.0,
+            peak_cores: 4.0,
+            peak_mem_mb: 2048.0,
+            avg_utilization: 0.1,
+            min_utilization: 0.0,
+            max_utilization: 0.3,
+        };
+        let direct = m.cost_if_all_iaas(&summary);
+        let manual = m.cost(&BillableUsage {
+            iaas_core_seconds: 1000.0,
+            iaas_mem_mb_seconds: 2048.0 * 500.0,
+            ..Default::default()
+        });
+        assert!((direct - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Log-bucketed streaming histogram.
+//!
+//! Constant-memory alternative to [`crate::latency::LatencyRecorder`] for
+//! long-horizon runs: values are binned geometrically so relative
+//! quantile error is bounded by the bucket growth factor (~1% by default)
+//! regardless of sample count.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric histogram over positive `f64` values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Smallest representable value; everything below lands in bucket 0.
+    min_value: f64,
+    /// Geometric growth factor between bucket boundaries (> 1).
+    growth: f64,
+    /// ln(growth), cached.
+    ln_growth: f64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// A histogram covering `[min_value, min_value * growth^buckets]` with
+    /// the given relative precision. Panics on invalid parameters.
+    pub fn new(min_value: f64, growth: f64, bucket_count: usize) -> Self {
+        assert!(min_value > 0.0 && growth > 1.0 && bucket_count > 0);
+        LogHistogram {
+            min_value,
+            growth,
+            ln_growth: growth.ln(),
+            buckets: vec![0; bucket_count],
+            count: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// Default configuration for latencies in seconds: 1 µs to >1000 s at
+    /// ~2% relative precision.
+    pub fn for_latency_seconds() -> Self {
+        // 1e-6 * 1.02^n >= 1e3  =>  n ≈ ln(1e9)/ln(1.02) ≈ 1047.
+        LogHistogram::new(1e-6, 1.02, 1100)
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.min_value {
+            return 0;
+        }
+        let idx = ((value / self.min_value).ln() / self.ln_growth).floor() as usize;
+        idx.min(self.buckets.len() - 1)
+    }
+
+    /// Lower boundary of bucket `i`.
+    fn bucket_floor(&self, i: usize) -> f64 {
+        self.min_value * self.growth.powi(i as i32)
+    }
+
+    /// Record a value. Non-finite and non-positive values are counted in
+    /// the lowest bucket (they only ever arise from degenerate inputs and
+    /// must not poison the tail).
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let idx = self.bucket_index(v);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max_seen)
+        }
+    }
+
+    /// Approximate `q`-quantile: the *upper* boundary of the bucket
+    /// containing the target rank, so the estimate errs on the
+    /// conservative (larger) side — the safe direction for a QoS check.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q));
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Upper boundary, clipped to the observed max.
+                return Some(
+                    self.bucket_floor(i + 1)
+                        .min(self.max_seen.max(self.min_value)),
+                );
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Reset to empty, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.max_seen = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let h = LogHistogram::for_latency_seconds();
+        assert!(h.quantile(0.95).is_none());
+        assert!(h.mean().is_none());
+        assert!(h.max().is_none());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn mean_and_max_exact() {
+        let mut h = LogHistogram::for_latency_seconds();
+        for v in [0.010, 0.020, 0.030] {
+            h.record(v);
+        }
+        assert!((h.mean().unwrap() - 0.020).abs() < 1e-12);
+        assert_eq!(h.max().unwrap(), 0.030);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_within_relative_precision() {
+        let mut h = LogHistogram::for_latency_seconds();
+        // 1000 samples: 1ms .. 1000ms.
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 0.950).abs() / 0.950 < 0.03, "p95 {p95}");
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((p50 - 0.500).abs() / 0.500 < 0.03, "p50 {p50}");
+    }
+
+    #[test]
+    fn quantile_is_conservative() {
+        // The estimate must never be below the true nearest-rank value.
+        let mut h = LogHistogram::for_latency_seconds();
+        let mut vals: Vec<f64> = (1..=500).map(|i| 0.002 * i as f64).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.5, 0.9, 0.95, 0.99] {
+            let exact = vals[((q * 500.0_f64).ceil() as usize).clamp(1, 500) - 1];
+            let est = h.quantile(q).unwrap();
+            assert!(est >= exact * 0.999, "q={q}: est {est} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn degenerate_values_go_to_lowest_bucket() {
+        let mut h = LogHistogram::for_latency_seconds();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 3);
+        // Quantile of all-degenerate data collapses to the minimum bucket.
+        assert!(h.quantile(0.95).unwrap() <= 2e-6);
+    }
+
+    #[test]
+    fn values_beyond_range_clamp_to_last_bucket() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // covers 1..16
+        h.record(1e12);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).unwrap() <= 1e12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LogHistogram::for_latency_seconds();
+        h.record(0.5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn quantile_relative_error_bounded(vals in proptest::collection::vec(1e-4f64..100.0, 10..300), q in 0.1f64..0.99) {
+            let mut h = LogHistogram::for_latency_seconds();
+            for &v in &vals {
+                h.record(v);
+            }
+            let mut sorted = vals.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let exact = sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+            let est = h.quantile(q).unwrap();
+            // Conservative and within one bucket (2%) plus clipping slack.
+            prop_assert!(est >= exact * 0.999, "est {est} exact {exact}");
+            prop_assert!(est <= exact * 1.05 + 1e-6, "est {est} exact {exact}");
+        }
+    }
+
+    use proptest::prelude::*;
+}

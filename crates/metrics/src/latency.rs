@@ -1,0 +1,278 @@
+//! Exact latency recording and percentile extraction.
+//!
+//! The QoS of a benchmark is "the 95%-ile latency" (paper §VII-A), and the
+//! experiment runs are short enough (minutes of simulated time, ≤ a few
+//! million queries) that storing every sample and sorting on demand is both
+//! exact and fast. The streaming [`crate::histogram::LogHistogram`] exists
+//! for the long-horizon ablations where exact storage is wasteful.
+
+use amoeba_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Collects individual query latencies.
+///
+/// # Examples
+///
+/// ```
+/// use amoeba_metrics::LatencyRecorder;
+/// use amoeba_sim::SimDuration;
+///
+/// let mut r = LatencyRecorder::new();
+/// for ms in [80, 95, 110, 300] {
+///     r.record(SimDuration::from_millis(ms));
+/// }
+/// // The paper's QoS metric: the 95th-percentile latency.
+/// assert_eq!(r.quantile(0.95).unwrap().as_millis(), 300);
+/// assert_eq!(r.violation_ratio(SimDuration::from_millis(200)), 0.25);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+/// Summary statistics extracted from a recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median (p50), seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds — the paper's QoS metric.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// Maximum, seconds.
+    pub max_s: f64,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one query latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_us.push(latency.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact `q`-quantile (`0 ≤ q ≤ 1`) by the nearest-rank method, which
+    /// is what "the 95%-ile latency of the benchmark" means operationally:
+    /// the smallest sample such that ≥ q of all samples are ≤ it.
+    /// `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q));
+        self.ensure_sorted();
+        let n = self.samples_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(SimDuration::from_micros(self.samples_us[rank - 1]))
+    }
+
+    /// Mean latency. `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_us.iter().map(|&x| x as u128).sum();
+        Some(SimDuration::from_micros(
+            (sum / self.samples_us.len() as u128) as u64,
+        ))
+    }
+
+    /// Largest sample. `None` when empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples_us
+            .iter()
+            .max()
+            .map(|&x| SimDuration::from_micros(x))
+    }
+
+    /// Fraction of samples strictly above `threshold` — the QoS-violation
+    /// ratio of Fig. 16.
+    pub fn violation_ratio(&self, threshold: SimDuration) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let over = self
+            .samples_us
+            .iter()
+            .filter(|&&x| x > threshold.as_micros())
+            .count();
+        over as f64 / self.samples_us.len() as f64
+    }
+
+    /// Full summary. `None` when empty.
+    pub fn stats(&mut self) -> Option<LatencyStats> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mean_s = self.mean().unwrap().as_secs_f64();
+        Some(LatencyStats {
+            count: self.count(),
+            mean_s,
+            p50_s: self.quantile(0.50).unwrap().as_secs_f64(),
+            p95_s: self.quantile(0.95).unwrap().as_secs_f64(),
+            p99_s: self.quantile(0.99).unwrap().as_secs_f64(),
+            max_s: self.max().unwrap().as_secs_f64(),
+        })
+    }
+
+    /// The raw samples in sorted order, as seconds — input to
+    /// [`crate::cdf::Cdf::from_sorted_seconds`].
+    pub fn sorted_seconds(&mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        self.samples_us.iter().map(|&us| us as f64 / 1e6).collect()
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals_ms: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &v in vals_ms {
+            r.record(SimDuration::from_millis(v));
+        }
+        r
+    }
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.quantile(0.95).is_none());
+        assert!(r.mean().is_none());
+        assert!(r.max().is_none());
+        assert!(r.stats().is_none());
+        assert_eq!(r.violation_ratio(SimDuration::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut r = rec(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(r.quantile(0.5).unwrap().as_millis(), 50);
+        assert_eq!(r.quantile(0.95).unwrap().as_millis(), 100);
+        assert_eq!(r.quantile(0.9).unwrap().as_millis(), 90);
+        assert_eq!(r.quantile(0.0).unwrap().as_millis(), 10);
+        assert_eq!(r.quantile(1.0).unwrap().as_millis(), 100);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut r = rec(&[42]);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(r.quantile(q).unwrap().as_millis(), 42);
+        }
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let r = rec(&[10, 20, 30]);
+        assert_eq!(r.mean().unwrap().as_millis(), 20);
+        assert_eq!(r.max().unwrap().as_millis(), 30);
+    }
+
+    #[test]
+    fn violation_ratio_counts_strictly_above() {
+        let r = rec(&[10, 20, 30, 40]);
+        assert_eq!(r.violation_ratio(SimDuration::from_millis(20)), 0.5);
+        assert_eq!(r.violation_ratio(SimDuration::from_millis(40)), 0.0);
+        assert_eq!(r.violation_ratio(SimDuration::from_millis(5)), 1.0);
+    }
+
+    #[test]
+    fn recording_after_quantile_stays_correct() {
+        let mut r = rec(&[30, 10]);
+        assert_eq!(r.quantile(1.0).unwrap().as_millis(), 30);
+        r.record(SimDuration::from_millis(50));
+        assert_eq!(r.quantile(1.0).unwrap().as_millis(), 50);
+        assert_eq!(r.count(), 3);
+    }
+
+    #[test]
+    fn stats_all_fields_consistent() {
+        let mut r = rec(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let s = r.stats().unwrap();
+        assert_eq!(s.count, 10);
+        assert!((s.mean_s - 0.0055).abs() < 1e-9);
+        assert!((s.p95_s - 0.010).abs() < 1e-9);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = rec(&[10, 20]);
+        let b = rec(&[30]);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max().unwrap().as_millis(), 30);
+    }
+
+    #[test]
+    fn sorted_seconds_ascending() {
+        let mut r = rec(&[30, 10, 20]);
+        let s = r.sorted_seconds();
+        assert_eq!(s, vec![0.010, 0.020, 0.030]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn quantile_matches_sorted_index(mut vals in proptest::collection::vec(0u64..10_000, 1..200), q in 0.0f64..=1.0) {
+            let mut r = LatencyRecorder::new();
+            for &v in &vals {
+                r.record(SimDuration::from_micros(v));
+            }
+            vals.sort_unstable();
+            let n = vals.len();
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            prop_assert_eq!(r.quantile(q).unwrap().as_micros(), vals[rank - 1]);
+        }
+
+        #[test]
+        fn quantile_is_monotone_in_q(vals in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut r = LatencyRecorder::new();
+            for &v in &vals {
+                r.record(SimDuration::from_micros(v));
+            }
+            let mut prev = 0;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let x = r.quantile(q).unwrap().as_micros();
+                prop_assert!(x >= prev);
+                prev = x;
+            }
+        }
+    }
+
+    use proptest::prelude::*;
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Measurement infrastructure for the Amoeba experiments.
+//!
+//! The paper's evaluation reports four kinds of artefacts, and each has a
+//! direct counterpart here:
+//!
+//! * tail latencies and QoS-normalised CDFs (Fig. 10, Fig. 16) —
+//!   [`LatencyRecorder`], [`cdf`];
+//! * resource usage normalised to the IaaS baseline (Fig. 11, Fig. 14) —
+//!   [`UsageMeter`], which integrates core-seconds and MB-seconds over
+//!   simulated time;
+//! * utilisation statistics (Fig. 2) — the min/avg/max windows of
+//!   [`UsageSummary`];
+//! * timelines of load, deploy mode and usage (Fig. 12, Fig. 13) —
+//!   [`TimeSeries`].
+
+pub mod cdf;
+pub mod cost;
+pub mod histogram;
+pub mod latency;
+pub mod timeseries;
+pub mod usage;
+
+pub use cdf::{Cdf, CdfPoint};
+pub use cost::{BillableUsage, CostModel};
+pub use histogram::LogHistogram;
+pub use latency::{LatencyRecorder, LatencyStats};
+pub use timeseries::TimeSeries;
+pub use usage::{UsageMeter, UsageSummary};

@@ -1,0 +1,213 @@
+//! Timestamped series for the timeline figures (Fig. 12 deploy-mode
+//! switches, Fig. 13 resource-usage variation).
+
+use amoeba_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A time-ordered sequence of `(SimTime, T)` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries<T> {
+    samples: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for TimeSeries<T> {
+    fn default() -> Self {
+        TimeSeries {
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl<T> TimeSeries<T> {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Timestamps must be non-decreasing (simulation
+    /// time only moves forward); violations panic in debug builds.
+    pub fn push(&mut self, at: SimTime, value: T) {
+        debug_assert!(
+            self.samples.last().is_none_or(|(t, _)| *t <= at),
+            "time series sample out of order"
+        );
+        self.samples.push((at, value));
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[(SimTime, T)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The last sample at or before `at` (step-function semantics).
+    pub fn at(&self, at: SimTime) -> Option<&T> {
+        match self.samples.binary_search_by(|(t, _)| t.cmp(&at)) {
+            Ok(i) => Some(&self.samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(&self.samples[i - 1].1),
+        }
+    }
+
+    /// Iterate over samples within `[from, to)`.
+    pub fn range(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &(SimTime, T)> {
+        self.samples
+            .iter()
+            .filter(move |(t, _)| *t >= from && *t < to)
+    }
+}
+
+impl TimeSeries<f64> {
+    /// Integrate the series as a right-continuous step function over
+    /// `[from, to)`: each sample's value holds until the next sample.
+    pub fn integrate_step(&self, from: SimTime, to: SimTime) -> f64 {
+        if self.samples.is_empty() || to <= from {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cur_t = from;
+        let mut cur_v = match self.at(from) {
+            Some(&v) => v,
+            None => 0.0,
+        };
+        for &(t, v) in &self.samples {
+            if t <= from {
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            acc += cur_v * t.duration_since(cur_t).as_secs_f64();
+            cur_t = t;
+            cur_v = v;
+        }
+        acc += cur_v * to.duration_since(cur_t).as_secs_f64();
+        acc
+    }
+
+    /// Mean value over `[from, to)` under step semantics.
+    pub fn mean_step(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.duration_since(from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.integrate_step(from, to) / span
+    }
+
+    /// Downsample onto a fixed grid (step semantics), for plotting long
+    /// timelines with bounded output size.
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero());
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push((t, self.at(t).copied().unwrap_or(0.0)));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), "a");
+        ts.push(t(5), "b");
+        assert_eq!(ts.at(t(0)), None);
+        assert_eq!(ts.at(t(1)), Some(&"a"));
+        assert_eq!(ts.at(t(3)), Some(&"a"));
+        assert_eq!(ts.at(t(5)), Some(&"b"));
+        assert_eq!(ts.at(t(100)), Some(&"b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics_in_debug() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(5), 1.0);
+        ts.push(t(4), 2.0);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(t(i), i);
+        }
+        let got: Vec<u64> = ts.range(t(2), t(5)).map(|&(_, v)| v).collect();
+        assert_eq!(got, [2, 3, 4]);
+    }
+
+    #[test]
+    fn integrate_step_constant() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 2.0);
+        assert!((ts.integrate_step(t(0), t(10)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_step_with_changes() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 1.0);
+        ts.push(t(4), 3.0);
+        ts.push(t(8), 0.0);
+        // 4s at 1 + 4s at 3 + 2s at 0.
+        assert!((ts.integrate_step(t(0), t(10)) - 16.0).abs() < 1e-9);
+        // Partial window starting mid-segment.
+        assert!((ts.integrate_step(t(2), t(6)) - (2.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_before_first_sample_counts_zero() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(5), 2.0);
+        // [0,5) contributes nothing, [5,10) contributes 10.
+        assert!((ts.integrate_step(t(0), t(10)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_step() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 4.0);
+        ts.push(t(5), 0.0);
+        assert!((ts.mean_step(t(0), t(10)) - 2.0).abs() < 1e-9);
+        assert_eq!(ts.mean_step(t(5), t(5)), 0.0);
+    }
+
+    #[test]
+    fn empty_series_integrates_to_zero() {
+        let ts: TimeSeries<f64> = TimeSeries::new();
+        assert_eq!(ts.integrate_step(t(0), t(10)), 0.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 1.0);
+        ts.push(t(3), 2.0);
+        let grid = ts.resample(t(0), t(6), SimDuration::from_secs(2));
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0], (t(0), 1.0));
+        assert_eq!(grid[1], (t(2), 1.0));
+        assert_eq!(grid[2], (t(4), 2.0));
+    }
+}

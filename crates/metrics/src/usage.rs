@@ -1,0 +1,269 @@
+//! Resource-usage accounting.
+//!
+//! The headline numbers of the paper — "reduces up to 72.9% of CPU usage
+//! and up to 84.9% of memory usage" (Fig. 11) — are integrals of
+//! *allocated* resources over time, normalised to the pure-IaaS baseline.
+//! [`UsageMeter`] integrates a step function of allocations (cores, MB)
+//! against the simulation clock and also tracks the *consumed* share so
+//! Fig. 2's utilisation statistics fall out of the same instrument.
+
+use amoeba_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Integrates allocated and consumed resource over simulated time.
+///
+/// "Allocated" is what the maintainer pays for (VM cores held, container
+/// memory reserved); "consumed" is what the queries actually used.
+/// Utilisation = consumed / allocated.
+#[derive(Debug, Clone)]
+pub struct UsageMeter {
+    last_change: SimTime,
+    alloc_cores: f64,
+    alloc_mem_mb: f64,
+    consumed_core_rate: f64,
+    // Integrals.
+    core_seconds_alloc: f64,
+    mem_mb_seconds_alloc: f64,
+    core_seconds_consumed: f64,
+    // Peak trackers.
+    peak_cores: f64,
+    peak_mem_mb: f64,
+    // Windowed utilisation samples for min/avg/max (Fig. 2).
+    util_samples: Vec<f64>,
+    window_start: SimTime,
+    window_core_alloc: f64,
+    window_core_consumed: f64,
+    window_len_s: f64,
+}
+
+/// Final summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageSummary {
+    /// Allocated core-seconds over the run.
+    pub core_seconds: f64,
+    /// Allocated MB-seconds over the run.
+    pub mem_mb_seconds: f64,
+    /// Consumed core-seconds over the run.
+    pub core_seconds_consumed: f64,
+    /// Peak concurrent cores allocated.
+    pub peak_cores: f64,
+    /// Peak concurrent memory allocated, MB.
+    pub peak_mem_mb: f64,
+    /// Mean CPU utilisation (consumed / allocated) over windows where
+    /// anything was allocated.
+    pub avg_utilization: f64,
+    /// Lowest windowed utilisation.
+    pub min_utilization: f64,
+    /// Highest windowed utilisation.
+    pub max_utilization: f64,
+}
+
+impl UsageMeter {
+    /// A meter starting at `t = 0` with nothing allocated. `window_len_s`
+    /// is the utilisation sampling window (Fig. 2 uses coarse windows over
+    /// a diurnal run).
+    pub fn new(window_len_s: f64) -> Self {
+        assert!(window_len_s > 0.0);
+        UsageMeter {
+            last_change: SimTime::ZERO,
+            alloc_cores: 0.0,
+            alloc_mem_mb: 0.0,
+            consumed_core_rate: 0.0,
+            core_seconds_alloc: 0.0,
+            mem_mb_seconds_alloc: 0.0,
+            core_seconds_consumed: 0.0,
+            peak_cores: 0.0,
+            peak_mem_mb: 0.0,
+            util_samples: Vec::new(),
+            window_start: SimTime::ZERO,
+            window_core_alloc: 0.0,
+            window_core_consumed: 0.0,
+            window_len_s,
+        }
+    }
+
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_change).as_secs_f64();
+        if dt > 0.0 {
+            self.core_seconds_alloc += self.alloc_cores * dt;
+            self.mem_mb_seconds_alloc += self.alloc_mem_mb * dt;
+            self.core_seconds_consumed += self.consumed_core_rate * dt;
+            self.window_core_alloc += self.alloc_cores * dt;
+            self.window_core_consumed += self.consumed_core_rate * dt;
+            self.last_change = now;
+        }
+        // Close windows that ended at or before `now`.
+        while now.duration_since(self.window_start).as_secs_f64() >= self.window_len_s {
+            if self.window_core_alloc > 0.0 {
+                self.util_samples
+                    .push((self.window_core_consumed / self.window_core_alloc).min(1.0));
+            }
+            self.window_start += amoeba_sim::SimDuration::from_secs_f64(self.window_len_s);
+            self.window_core_alloc = 0.0;
+            self.window_core_consumed = 0.0;
+        }
+    }
+
+    /// Record that the allocation changed at `now`.
+    pub fn set_allocation(&mut self, now: SimTime, cores: f64, mem_mb: f64) {
+        debug_assert!(cores >= 0.0 && mem_mb >= 0.0);
+        self.integrate_to(now);
+        self.alloc_cores = cores;
+        self.alloc_mem_mb = mem_mb;
+        self.peak_cores = self.peak_cores.max(cores);
+        self.peak_mem_mb = self.peak_mem_mb.max(mem_mb);
+    }
+
+    /// Record that the instantaneous CPU consumption rate changed at
+    /// `now` (cores actively burning).
+    pub fn set_consumption(&mut self, now: SimTime, cores_busy: f64) {
+        debug_assert!(cores_busy >= 0.0);
+        self.integrate_to(now);
+        self.consumed_core_rate = cores_busy;
+    }
+
+    /// Close the books at the end of the run and summarise.
+    pub fn finish(mut self, now: SimTime) -> UsageSummary {
+        self.integrate_to(now);
+        // Flush the trailing partial window.
+        if self.window_core_alloc > 0.0 {
+            self.util_samples
+                .push((self.window_core_consumed / self.window_core_alloc).min(1.0));
+        }
+        let (min_u, max_u, avg_u) = if self.util_samples.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let min = self.util_samples.iter().cloned().fold(f64::MAX, f64::min);
+            let max = self.util_samples.iter().cloned().fold(0.0, f64::max);
+            let avg = self.util_samples.iter().sum::<f64>() / self.util_samples.len() as f64;
+            (min, max, avg)
+        };
+        UsageSummary {
+            core_seconds: self.core_seconds_alloc,
+            mem_mb_seconds: self.mem_mb_seconds_alloc,
+            core_seconds_consumed: self.core_seconds_consumed,
+            peak_cores: self.peak_cores,
+            peak_mem_mb: self.peak_mem_mb,
+            avg_utilization: avg_u,
+            min_utilization: min_u,
+            max_utilization: max_u,
+        }
+    }
+}
+
+impl UsageSummary {
+    /// This run's CPU usage as a fraction of `baseline`'s — the Fig. 11
+    /// normalisation ("resource usage of a benchmark is normalized to its
+    /// resource usage with the long term IaaS-based deployment").
+    pub fn cpu_relative_to(&self, baseline: &UsageSummary) -> f64 {
+        if baseline.core_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.core_seconds / baseline.core_seconds
+    }
+
+    /// Memory counterpart of [`Self::cpu_relative_to`].
+    pub fn mem_relative_to(&self, baseline: &UsageSummary) -> f64 {
+        if baseline.mem_mb_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.mem_mb_seconds / baseline.mem_mb_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn integrates_step_allocation() {
+        let mut m = UsageMeter::new(10.0);
+        m.set_allocation(t(0), 4.0, 1024.0);
+        m.set_allocation(t(10), 2.0, 512.0);
+        let s = m.finish(t(20));
+        assert!((s.core_seconds - (4.0 * 10.0 + 2.0 * 10.0)).abs() < 1e-9);
+        assert!((s.mem_mb_seconds - (1024.0 * 10.0 + 512.0 * 10.0)).abs() < 1e-9);
+        assert_eq!(s.peak_cores, 4.0);
+        assert_eq!(s.peak_mem_mb, 1024.0);
+    }
+
+    #[test]
+    fn consumption_tracks_utilization() {
+        let mut m = UsageMeter::new(5.0);
+        m.set_allocation(t(0), 4.0, 0.0);
+        m.set_consumption(t(0), 1.0); // 25% busy
+        let s = m.finish(t(10));
+        assert!((s.core_seconds_consumed - 10.0).abs() < 1e-9);
+        assert!((s.avg_utilization - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_utilization_min_max() {
+        let mut m = UsageMeter::new(10.0);
+        m.set_allocation(t(0), 2.0, 0.0);
+        m.set_consumption(t(0), 2.0); // window 1: 100%
+        m.set_consumption(t(10), 0.2); // window 2: 10%
+        let s = m.finish(t(20));
+        assert!((s.max_utilization - 1.0).abs() < 1e-9);
+        assert!((s.min_utilization - 0.1).abs() < 1e-9);
+        assert!((s.avg_utilization - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_allocation_windows_are_skipped() {
+        let mut m = UsageMeter::new(5.0);
+        // Nothing allocated for 10s, then busy.
+        m.set_allocation(t(10), 1.0, 0.0);
+        m.set_consumption(t(10), 1.0);
+        let s = m.finish(t(20));
+        // Only the allocated windows count toward utilisation stats.
+        assert!((s.avg_utilization - 1.0).abs() < 1e-9);
+        assert!((s.min_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let mut base = UsageMeter::new(10.0);
+        base.set_allocation(t(0), 10.0, 1000.0);
+        let base = base.finish(t(100));
+        let mut amoeba = UsageMeter::new(10.0);
+        amoeba.set_allocation(t(0), 10.0, 1000.0);
+        amoeba.set_allocation(t(30), 1.0, 100.0); // switched to serverless
+        let am = amoeba.finish(t(100));
+        let cpu_ratio = am.cpu_relative_to(&base);
+        assert!((cpu_ratio - (10.0 * 30.0 + 1.0 * 70.0) / 1000.0).abs() < 1e-9);
+        assert!(am.mem_relative_to(&base) < 1.0);
+    }
+
+    #[test]
+    fn empty_meter_summary_is_zeroes() {
+        let s = UsageMeter::new(1.0).finish(t(10));
+        assert_eq!(s.core_seconds, 0.0);
+        assert_eq!(s.avg_utilization, 0.0);
+        assert_eq!(s.cpu_relative_to(&s), 0.0);
+    }
+
+    #[test]
+    fn repeated_allocation_at_same_instant() {
+        let mut m = UsageMeter::new(10.0);
+        m.set_allocation(t(0), 4.0, 0.0);
+        m.set_allocation(t(0), 8.0, 0.0); // overrides before time passes
+        let s = m.finish(t(10));
+        assert!((s.core_seconds - 80.0).abs() < 1e-9);
+        assert_eq!(s.peak_cores, 8.0);
+    }
+
+    #[test]
+    fn sub_second_precision() {
+        let mut m = UsageMeter::new(1.0);
+        m.set_allocation(SimTime::ZERO, 1.0, 0.0);
+        let end = SimTime::ZERO + SimDuration::from_millis(1500);
+        let s = m.finish(end);
+        assert!((s.core_seconds - 1.5).abs() < 1e-9);
+    }
+}

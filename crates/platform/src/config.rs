@@ -1,0 +1,194 @@
+//! Cluster configuration, defaulting to the paper's Table II testbed.
+
+use amoeba_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Physical node configuration (Table II).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// CPU cores per node (Table II: 40).
+    pub cores: f64,
+    /// DRAM, MB (Table II: 256 GB).
+    pub dram_mb: f64,
+    /// Aggregate disk bandwidth, MB/s (NVMe SSD).
+    pub disk_bw_mbps: f64,
+    /// Network bandwidth, MB/s (Table II: 25,000 Mb/s NIC = 3125 MB/s).
+    pub nic_bw_mbps: f64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            cores: 40.0,
+            dram_mb: 256.0 * 1024.0,
+            disk_bw_mbps: 3000.0,
+            nic_bw_mbps: 3125.0,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Render the configuration as the rows of Table II (plus the
+    /// simulation-specific substitutions) for experiment headers.
+    pub fn table_ii(&self) -> String {
+        format!(
+            "Node   | cores: {}, DRAM: {:.0} GB, disk: {:.0} MB/s, NIC: {:.0} Mb/s\n\
+             Note   | simulated counterpart of Table II (Xeon 8163, 40 cores, 256 GB, NVMe, 25 Gb/s)",
+            self.cores,
+            self.dram_mb / 1024.0,
+            self.disk_bw_mbps,
+            self.nic_bw_mbps * 8.0,
+        )
+    }
+}
+
+/// Serverless platform configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServerlessConfig {
+    /// The node hosting the shared pool.
+    pub node: NodeConfig,
+    /// Memory budget of the container pool, MB. Limits concurrent
+    /// containers (§IV-A's `M₀`).
+    pub pool_memory_mb: f64,
+    /// Memory per container, MB (Table II: 256).
+    pub container_memory_mb: f64,
+    /// CPU share a container holds while it exists (OpenWhisk allocates
+    /// CPU proportionally to memory); used for usage accounting.
+    pub container_core_share: f64,
+    /// Vendor cap on containers per tenant (§IV-A's `1/δ`).
+    pub tenant_container_cap: u32,
+    /// Idle keep-alive before a warm container is reclaimed.
+    pub keep_alive: SimDuration,
+    /// Median cold-start time, seconds (§V-A: "one to three seconds").
+    pub cold_start_median_s: f64,
+    /// Lognormal sigma of the cold-start time.
+    pub cold_start_sigma: f64,
+    /// Authentication/processing overhead per query, seconds.
+    pub auth_s: f64,
+    /// Base code-loading overhead, seconds.
+    pub code_load_base_s: f64,
+    /// Additional code-loading time per MB of function footprint, s/MB.
+    pub code_load_s_per_mb: f64,
+    /// Result-posting overhead, seconds.
+    pub result_post_s: f64,
+    /// Per-flow disk streaming rate when uncontended, MB/s.
+    pub per_flow_io_mbps: f64,
+    /// Per-flow network streaming rate when uncontended, MB/s.
+    pub per_flow_net_mbps: f64,
+    /// Contention curvature per resource [cpu, io, net]: slowdown =
+    /// 1 + κ·u²/(1−u).
+    pub slowdown_kappa: [f64; 3],
+    /// Utilisation ceiling used when evaluating the slowdown (guards the
+    /// 1/(1−u) pole).
+    pub max_utilization: f64,
+    /// Lognormal sigma of execution-time jitter.
+    pub exec_jitter_sigma: f64,
+}
+
+impl Default for ServerlessConfig {
+    fn default() -> Self {
+        ServerlessConfig {
+            node: NodeConfig::default(),
+            pool_memory_mb: 48.0 * 1024.0,
+            container_memory_mb: 256.0,
+            container_core_share: 0.5,
+            tenant_container_cap: 16,
+            keep_alive: SimDuration::from_secs(60),
+            cold_start_median_s: 1.5,
+            cold_start_sigma: 0.25,
+            auth_s: 0.004,
+            code_load_base_s: 0.006,
+            code_load_s_per_mb: 0.00015,
+            result_post_s: 0.006,
+            per_flow_io_mbps: 500.0,
+            per_flow_net_mbps: 250.0,
+            slowdown_kappa: [1.2, 1.8, 1.5],
+            max_utilization: 0.98,
+            exec_jitter_sigma: 0.05,
+        }
+    }
+}
+
+impl ServerlessConfig {
+    /// Maximum concurrent containers the pool memory allows (`M₀/M₁`).
+    pub fn memory_container_cap(&self) -> u32 {
+        (self.pool_memory_mb / self.container_memory_mb).floor() as u32
+    }
+}
+
+/// IaaS platform configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IaasConfig {
+    /// Cores per VM instance.
+    pub cores_per_vm: u32,
+    /// Memory per VM instance, MB.
+    pub vm_memory_mb: f64,
+    /// VM boot time, seconds (charged when a group is activated).
+    pub boot_time_s: f64,
+    /// Per-query service overhead on IaaS (RPC framework, routing),
+    /// seconds — small but nonzero (Nameko is not free either).
+    pub overhead_s: f64,
+    /// Per-flow disk streaming rate, MB/s.
+    pub per_flow_io_mbps: f64,
+    /// Per-flow network streaming rate, MB/s.
+    pub per_flow_net_mbps: f64,
+    /// Lognormal sigma of execution-time jitter.
+    pub exec_jitter_sigma: f64,
+    /// Safety margin multiplier applied when sizing a group for peak
+    /// load ("just-enough" still needs headroom for jitter).
+    pub sizing_headroom: f64,
+}
+
+impl Default for IaasConfig {
+    fn default() -> Self {
+        IaasConfig {
+            cores_per_vm: 4,
+            vm_memory_mb: 8.0 * 1024.0,
+            boot_time_s: 5.0,
+            overhead_s: 0.002,
+            per_flow_io_mbps: 500.0,
+            per_flow_net_mbps: 250.0,
+            exec_jitter_sigma: 0.05,
+            sizing_headroom: 1.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let n = NodeConfig::default();
+        assert_eq!(n.cores, 40.0);
+        assert_eq!(n.dram_mb, 256.0 * 1024.0);
+        // 25,000 Mb/s NIC.
+        assert!((n.nic_bw_mbps * 8.0 - 25_000.0).abs() < 1.0);
+        let s = ServerlessConfig::default();
+        assert_eq!(s.container_memory_mb, 256.0);
+    }
+
+    #[test]
+    fn memory_container_cap() {
+        let s = ServerlessConfig {
+            pool_memory_mb: 1024.0,
+            container_memory_mb: 256.0,
+            ..Default::default()
+        };
+        assert_eq!(s.memory_container_cap(), 4);
+    }
+
+    #[test]
+    fn cold_start_in_paper_range() {
+        let s = ServerlessConfig::default();
+        assert!((1.0..=3.0).contains(&s.cold_start_median_s));
+    }
+
+    #[test]
+    fn table_ii_render_mentions_key_fields() {
+        let txt = NodeConfig::default().table_ii();
+        assert!(txt.contains("cores: 40"));
+        assert!(txt.contains("25000 Mb/s"));
+    }
+}

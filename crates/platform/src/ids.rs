@@ -1,0 +1,64 @@
+//! Typed identifiers for the simulated cluster.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw id value.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A registered microservice.
+    ServiceId(u32)
+);
+id_type!(
+    /// One user query.
+    QueryId(u64)
+);
+id_type!(
+    /// One serverless container.
+    ContainerId(u64)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_raw_access() {
+        let s = ServiceId(3);
+        let q = QueryId(7);
+        assert_eq!(s.raw(), 3);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(format!("{s}"), "ServiceId#3");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ContainerId(1));
+        set.insert(ContainerId(1));
+        set.insert(ContainerId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ContainerId(1) < ContainerId(2));
+    }
+}

@@ -1,0 +1,276 @@
+//! Shared-resource contention model.
+//!
+//! Fig. 5 of the paper identifies the shared resources containers
+//! contend for: ① cores, ② memory space, ③ IO bandwidth, ④ network
+//! bandwidth. Memory acts as a ceiling on concurrent containers and is
+//! handled by the pool; the three *rate* resources are tracked here.
+//!
+//! Every running invocation registers the average rates it drives on
+//! each resource (cores busy, MB/s of disk, MB/s of network). The pool
+//! converts aggregate utilisation `u_r` into a **slowdown factor**
+//!
+//! ```text
+//! slowdown_r(u) = 1 + κ_r · u² / (1 − u)
+//! ```
+//!
+//! — convex, 1 at idle, diverging toward the saturation pole like the
+//! response-time inflation of an M/M/1 server. The paper does not give a
+//! closed form (it measures the real platform); any monotone convex
+//! response yields the qualitative latency surfaces of Fig. 9 that the
+//! controller consumes, and the bench suite includes an ablation over
+//! alternative shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate demand rates on the three metered resources.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadVector {
+    /// Cores busy (sum of per-invocation CPU shares).
+    pub cpu_cores: f64,
+    /// Disk traffic, MB/s.
+    pub io_mbps: f64,
+    /// Network traffic, MB/s.
+    pub net_mbps: f64,
+}
+
+impl LoadVector {
+    /// The zero vector.
+    pub const ZERO: LoadVector = LoadVector {
+        cpu_cores: 0.0,
+        io_mbps: 0.0,
+        net_mbps: 0.0,
+    };
+
+    fn add(&mut self, other: &LoadVector) {
+        self.cpu_cores += other.cpu_cores;
+        self.io_mbps += other.io_mbps;
+        self.net_mbps += other.net_mbps;
+    }
+
+    fn sub(&mut self, other: &LoadVector) {
+        // Floating-point removal can drift a hair below zero; clamp so
+        // utilisation never goes negative.
+        self.cpu_cores = (self.cpu_cores - other.cpu_cores).max(0.0);
+        self.io_mbps = (self.io_mbps - other.io_mbps).max(0.0);
+        self.net_mbps = (self.net_mbps - other.net_mbps).max(0.0);
+    }
+}
+
+/// Tracks aggregate load against capacity and produces per-resource
+/// slowdown factors.
+#[derive(Debug, Clone)]
+pub struct SharedResources {
+    capacity: LoadVector,
+    current: LoadVector,
+    kappa: [f64; 3],
+    max_utilization: f64,
+}
+
+impl SharedResources {
+    /// A resource pool with the given capacities, contention curvatures
+    /// `κ = [cpu, io, net]`, and utilisation ceiling.
+    pub fn new(capacity: LoadVector, kappa: [f64; 3], max_utilization: f64) -> Self {
+        assert!(capacity.cpu_cores > 0.0 && capacity.io_mbps > 0.0 && capacity.net_mbps > 0.0);
+        assert!((0.0..1.0).contains(&max_utilization) && max_utilization > 0.0);
+        SharedResources {
+            capacity,
+            current: LoadVector::ZERO,
+            kappa,
+            max_utilization,
+        }
+    }
+
+    /// Register the average rates of a newly started invocation.
+    pub fn acquire(&mut self, load: &LoadVector) {
+        self.current.add(load);
+    }
+
+    /// Remove the rates of a finished invocation.
+    pub fn release(&mut self, load: &LoadVector) {
+        self.current.sub(load);
+    }
+
+    /// Current utilisation of [cpu, io, net], each clipped to the
+    /// configured ceiling (demand can exceed capacity transiently; the
+    /// excess shows up as a larger slowdown, not as u > 1).
+    pub fn utilization(&self) -> [f64; 3] {
+        [
+            (self.current.cpu_cores / self.capacity.cpu_cores).min(self.max_utilization),
+            (self.current.io_mbps / self.capacity.io_mbps).min(self.max_utilization),
+            (self.current.net_mbps / self.capacity.net_mbps).min(self.max_utilization),
+        ]
+    }
+
+    /// *Unclipped* utilisation, for observability and tests.
+    pub fn raw_utilization(&self) -> [f64; 3] {
+        [
+            self.current.cpu_cores / self.capacity.cpu_cores,
+            self.current.io_mbps / self.capacity.io_mbps,
+            self.current.net_mbps / self.capacity.net_mbps,
+        ]
+    }
+
+    /// Slowdown factors for [cpu, io, net] at the current utilisation.
+    pub fn slowdowns(&self) -> [f64; 3] {
+        let u = self.utilization();
+        [
+            slowdown(u[0], self.kappa[0]),
+            slowdown(u[1], self.kappa[1]),
+            slowdown(u[2], self.kappa[2]),
+        ]
+    }
+
+    /// The current aggregate load (for usage accounting).
+    pub fn current_load(&self) -> LoadVector {
+        self.current
+    }
+}
+
+/// The contention response: `1 + κ·u²/(1−u)`.
+pub fn slowdown(u: f64, kappa: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&u), "utilisation {u} out of range");
+    1.0 + kappa * u * u / (1.0 - u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SharedResources {
+        SharedResources::new(
+            LoadVector {
+                cpu_cores: 40.0,
+                io_mbps: 3000.0,
+                net_mbps: 3125.0,
+            },
+            [1.0, 1.0, 1.0],
+            0.98,
+        )
+    }
+
+    #[test]
+    fn idle_pool_has_unit_slowdowns() {
+        let p = pool();
+        assert_eq!(p.utilization(), [0.0; 3]);
+        assert_eq!(p.slowdowns(), [1.0; 3]);
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut p = pool();
+        let load = LoadVector {
+            cpu_cores: 10.0,
+            io_mbps: 600.0,
+            net_mbps: 0.0,
+        };
+        p.acquire(&load);
+        let u = p.utilization();
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        assert!((u[1] - 0.20).abs() < 1e-12);
+        assert_eq!(u[2], 0.0);
+        p.release(&load);
+        assert_eq!(p.utilization(), [0.0; 3]);
+    }
+
+    #[test]
+    fn release_never_goes_negative() {
+        let mut p = pool();
+        p.acquire(&LoadVector {
+            cpu_cores: 1.0,
+            io_mbps: 0.0,
+            net_mbps: 0.0,
+        });
+        p.release(&LoadVector {
+            cpu_cores: 2.0,
+            io_mbps: 5.0,
+            net_mbps: 5.0,
+        });
+        let u = p.utilization();
+        assert!(u.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn slowdown_function_shape() {
+        assert_eq!(slowdown(0.0, 1.0), 1.0);
+        // Monotone increasing, convex.
+        let mut prev = 1.0;
+        let mut prev_delta = 0.0;
+        for i in 1..95 {
+            let u = i as f64 / 100.0;
+            let s = slowdown(u, 1.0);
+            let delta = s - prev;
+            assert!(s > prev, "not monotone at u={u}");
+            assert!(delta >= prev_delta - 1e-12, "not convex at u={u}");
+            prev = s;
+            prev_delta = delta;
+        }
+        // Large near the pole.
+        assert!(slowdown(0.98, 1.0) > 40.0);
+    }
+
+    #[test]
+    fn kappa_scales_contention() {
+        assert!(slowdown(0.5, 2.0) > slowdown(0.5, 1.0));
+        assert_eq!(slowdown(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn utilization_clips_at_ceiling() {
+        let mut p = pool();
+        p.acquire(&LoadVector {
+            cpu_cores: 100.0, // over capacity
+            io_mbps: 0.0,
+            net_mbps: 0.0,
+        });
+        assert_eq!(p.utilization()[0], 0.98);
+        assert!(p.raw_utilization()[0] > 2.0);
+        // Slowdown finite.
+        assert!(p.slowdowns()[0].is_finite());
+    }
+
+    #[test]
+    fn independent_resources_do_not_interact_in_pool() {
+        // (The *correlation* between resources is an emergent property of
+        // workloads, not hard-wired — the pool itself keeps them
+        // orthogonal.)
+        let mut p = pool();
+        p.acquire(&LoadVector {
+            cpu_cores: 0.0,
+            io_mbps: 1500.0,
+            net_mbps: 0.0,
+        });
+        let s = p.slowdowns();
+        assert_eq!(s[0], 1.0);
+        assert!(s[1] > 1.0);
+        assert_eq!(s[2], 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn acquire_release_is_exact_inverse(
+            loads in proptest::collection::vec((0.0f64..5.0, 0.0f64..100.0, 0.0f64..100.0), 1..50)
+        ) {
+            let mut p = pool();
+            let vecs: Vec<LoadVector> = loads.iter().map(|&(c, i, n)| LoadVector {
+                cpu_cores: c, io_mbps: i, net_mbps: n,
+            }).collect();
+            for v in &vecs {
+                p.acquire(v);
+            }
+            for v in vecs.iter().rev() {
+                p.release(v);
+            }
+            let u = p.raw_utilization();
+            for x in u {
+                prop_assert!(x.abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn slowdown_at_least_one(u in 0.0f64..0.98, k in 0.0f64..5.0) {
+            prop_assert!(slowdown(u, k) >= 1.0);
+        }
+    }
+
+    use proptest::prelude::*;
+}

@@ -1,0 +1,1172 @@
+//! The shared serverless platform: FIFO queue, container pool, cold
+//! starts, keep-alive, prewarming and multi-resource contention.
+
+use crate::cluster::{ClusterEvent, Effect};
+use crate::config::ServerlessConfig;
+use crate::ids::{ContainerId, ServiceId};
+use crate::query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
+use crate::resources::{LoadVector, SharedResources};
+use amoeba_sim::{Distributions, SimDuration, SimRng, SimTime};
+use amoeba_workload::MicroserviceSpec;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Pre-derived execution profile of a registered service.
+#[derive(Debug, Clone)]
+struct ServiceProfile {
+    spec: MicroserviceSpec,
+    /// Uncontended phase durations [cpu, io, net], seconds.
+    phases: [f64; 3],
+    /// Average resource rates while executing (cpu cores, MB/s disk,
+    /// MB/s net) — the invocation's contribution to pool contention.
+    rates: LoadVector,
+    /// Code-loading overhead for this function, seconds.
+    code_load_s: f64,
+}
+
+#[derive(Debug, Clone)]
+enum ContainerState {
+    /// Cold-starting since `since`; optionally a query is riding the cold
+    /// start (it pays the cold-start latency). `None` = prewarm.
+    Warming {
+        since: SimTime,
+        query: Option<(Query, SimTime)>,
+    },
+    /// Warm and idle since `since`, in idle-`epoch` (guards stale expire
+    /// timers).
+    Idle { epoch: u64 },
+    /// Executing one query (one in-flight execution per container, §V-A).
+    Busy {
+        query: Query,
+        assigned: SimTime,
+        cold_start: SimDuration,
+        load: LoadVector,
+        exec_s: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Container {
+    service: ServiceId,
+    state: ContainerState,
+    epoch: u64,
+}
+
+/// The serverless computing platform.
+pub struct ServerlessPlatform {
+    cfg: ServerlessConfig,
+    services: Vec<ServiceProfile>,
+    containers: BTreeMap<ContainerId, Container>,
+    /// Idle warm containers per service, oldest first.
+    idle: Vec<VecDeque<ContainerId>>,
+    /// The global FIFO queue of Fig. 7.
+    queue: VecDeque<Query>,
+    resources: SharedResources,
+    /// Outstanding prewarm counts per service.
+    prewarm_pending: Vec<u32>,
+    /// Services released by the engine: their busy containers terminate
+    /// on completion instead of going idle.
+    draining: Vec<bool>,
+    next_container: u64,
+    /// Completion counters for observability.
+    completed: u64,
+    cold_starts: u64,
+}
+
+impl ServerlessPlatform {
+    /// A platform with the given configuration and no services.
+    pub fn new(cfg: ServerlessConfig) -> Self {
+        let resources = SharedResources::new(
+            LoadVector {
+                cpu_cores: cfg.node.cores,
+                io_mbps: cfg.node.disk_bw_mbps,
+                net_mbps: cfg.node.nic_bw_mbps,
+            },
+            cfg.slowdown_kappa,
+            cfg.max_utilization,
+        );
+        ServerlessPlatform {
+            cfg,
+            services: Vec::new(),
+            containers: BTreeMap::new(),
+            idle: Vec::new(),
+            queue: VecDeque::new(),
+            resources,
+            prewarm_pending: Vec::new(),
+            draining: Vec::new(),
+            next_container: 0,
+            completed: 0,
+            cold_starts: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerlessConfig {
+        &self.cfg
+    }
+
+    /// Register a microservice's function. Called once per service at
+    /// submission time (§III: the maintainer provides the executable
+    /// function).
+    pub fn register(&mut self, spec: MicroserviceSpec) -> ServiceId {
+        assert!(spec.is_valid(), "invalid spec for {}", spec.name);
+        let d = &spec.demand;
+        let phases = [
+            d.cpu_s,
+            d.io_mb / self.cfg.per_flow_io_mbps,
+            d.net_mb / self.cfg.per_flow_net_mbps,
+        ];
+        // Rates averaged over the uncontended execution; floor the base
+        // duration so a near-empty demand vector cannot divide by zero.
+        let base: f64 = phases.iter().sum::<f64>().max(1e-3);
+        let rates = LoadVector {
+            cpu_cores: d.cpu_s / base,
+            io_mbps: d.io_mb / base,
+            net_mbps: d.net_mb / base,
+        };
+        let code_load_s = self.cfg.code_load_base_s + self.cfg.code_load_s_per_mb * d.mem_mb;
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(ServiceProfile {
+            spec,
+            phases,
+            rates,
+            code_load_s,
+        });
+        self.idle.push(VecDeque::new());
+        self.prewarm_pending.push(0);
+        self.draining.push(false);
+        id
+    }
+
+    /// The registered spec.
+    pub fn spec(&self, service: ServiceId) -> &MicroserviceSpec {
+        &self.services[service.raw() as usize].spec
+    }
+
+    /// Uncontended execution time of one query (the `L₀` exec component).
+    pub fn solo_exec_seconds(&self, service: ServiceId) -> f64 {
+        self.services[service.raw() as usize].phases.iter().sum()
+    }
+
+    /// Average resource rates one in-flight invocation of `service`
+    /// drives (cores, MB/s disk, MB/s net) — what the controller uses to
+    /// estimate the service's own contribution to pool pressure and the
+    /// impact a switch would have on co-located tenants (§III: a switch
+    /// must not cause QoS violation of current applications).
+    pub fn service_rates(&self, service: ServiceId) -> LoadVector {
+        self.services[service.raw() as usize].rates
+    }
+
+    /// Uncontended phase durations [cpu, io, net] of one query, seconds.
+    pub fn service_phases(&self, service: ServiceId) -> [f64; 3] {
+        self.services[service.raw() as usize].phases
+    }
+
+    /// Total per-query platform overhead (auth + code load + post) — the
+    /// `α` of Eq. 6.
+    pub fn overhead_seconds(&self, service: ServiceId) -> f64 {
+        let p = &self.services[service.raw() as usize];
+        self.cfg.auth_s + p.code_load_s + self.cfg.result_post_s
+    }
+
+    /// Uncontended end-to-end latency of one query (`L₀` including
+    /// overheads), which is what a solo profiling run observes.
+    pub fn solo_latency_seconds(&self, service: ServiceId) -> f64 {
+        self.solo_exec_seconds(service) + self.overhead_seconds(service)
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Number of containers currently held by `service` (any state).
+    pub fn container_count(&self, service: ServiceId) -> u32 {
+        self.containers
+            .values()
+            .filter(|c| c.service == service)
+            .count() as u32
+    }
+
+    /// Number of busy containers of `service`.
+    pub fn busy_count(&self, service: ServiceId) -> u32 {
+        self.containers
+            .values()
+            .filter(|c| c.service == service && matches!(c.state, ContainerState::Busy { .. }))
+            .count() as u32
+    }
+
+    /// Total containers in the pool.
+    pub fn total_containers(&self) -> u32 {
+        self.containers.len() as u32
+    }
+
+    /// Memory currently held by containers, MB.
+    pub fn memory_in_use_mb(&self) -> f64 {
+        self.containers.len() as f64 * self.cfg.container_memory_mb
+    }
+
+    /// Queued (not yet assigned) queries.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pool utilisation on [cpu, io, net].
+    pub fn utilization(&self) -> [f64; 3] {
+        self.resources.utilization()
+    }
+
+    /// Current slowdown factors on [cpu, io, net].
+    pub fn slowdowns(&self) -> [f64; 3] {
+        self.resources.slowdowns()
+    }
+
+    /// Aggregate load on the pool (for usage accounting).
+    pub fn current_load(&self) -> LoadVector {
+        self.resources.current_load()
+    }
+
+    /// Completed-query counter.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Cold starts incurred so far.
+    pub fn cold_start_count(&self) -> u64 {
+        self.cold_starts
+    }
+
+    fn can_create_container(&self, service: ServiceId) -> bool {
+        let tenant_ok = self.container_count(service) < self.cfg.tenant_container_cap;
+        let memory_ok = (self.containers.len() as u32) < self.cfg.memory_container_cap();
+        tenant_ok && memory_ok
+    }
+
+    /// Evict the oldest idle container of any *other* service to free one
+    /// memory slot. Returns true if something was evicted.
+    fn evict_one_idle(&mut self, except: ServiceId) -> bool {
+        // Deterministic order: scan services by id, oldest idle first.
+        for (sid, idle) in self.idle.iter_mut().enumerate() {
+            if sid as u32 == except.raw() {
+                continue;
+            }
+            if let Some(cid) = idle.pop_front() {
+                self.containers.remove(&cid);
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Query path
+    // ------------------------------------------------------------------
+
+    /// Submit a query to the platform.
+    pub fn submit(&mut self, query: Query, now: SimTime, rng: &mut SimRng) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if !self.try_place(query, now, rng, &mut effects) {
+            self.queue.push_back(query);
+        }
+        effects
+    }
+
+    /// Try to start `query` right now (warm hit or cold start). Returns
+    /// false if it must queue.
+    fn try_place(
+        &mut self,
+        query: Query,
+        now: SimTime,
+        rng: &mut SimRng,
+        effects: &mut Vec<Effect>,
+    ) -> bool {
+        // Warm hit. LIFO reuse: always take the most recently idled
+        // container so a low-rate tenant keeps exactly one container hot
+        // and the excess ages out through keep-alive (FIFO rotation
+        // would refresh the whole pool forever).
+        if let Some(cid) = self.idle[query.service.raw() as usize].pop_back() {
+            self.start_execution(cid, query, now, SimDuration::ZERO, rng, effects);
+            return true;
+        }
+        // Cold start, evicting an idle container of another tenant if the
+        // pool is memory-full.
+        if !self.can_create_container(query.service)
+            && self.container_count(query.service) < self.cfg.tenant_container_cap
+        {
+            self.evict_one_idle(query.service);
+        }
+        if self.can_create_container(query.service) {
+            let cid = self.create_container(query.service, now, Some((query, now)), rng, effects);
+            debug_assert!(self.containers.contains_key(&cid));
+            return true;
+        }
+        false
+    }
+
+    fn create_container(
+        &mut self,
+        service: ServiceId,
+        now: SimTime,
+        query: Option<(Query, SimTime)>,
+        rng: &mut SimRng,
+        effects: &mut Vec<Effect>,
+    ) -> ContainerId {
+        let cid = ContainerId(self.next_container);
+        self.next_container += 1;
+        self.containers.insert(
+            cid,
+            Container {
+                service,
+                state: ContainerState::Warming { since: now, query },
+                epoch: 0,
+            },
+        );
+        self.cold_starts += 1;
+        // Lognormal cold start around the configured median (§V-A: one to
+        // three seconds).
+        let mu = self.cfg.cold_start_median_s.ln();
+        let cold_s = rng.lognormal(mu, self.cfg.cold_start_sigma);
+        effects.push(Effect::Schedule {
+            after: SimDuration::from_secs_f64(cold_s),
+            event: ClusterEvent::ColdStartDone { container: cid },
+        });
+        cid
+    }
+
+    fn start_execution(
+        &mut self,
+        cid: ContainerId,
+        query: Query,
+        now: SimTime,
+        cold_start: SimDuration,
+        rng: &mut SimRng,
+        effects: &mut Vec<Effect>,
+    ) {
+        let service = self.containers[&cid].service;
+        debug_assert_eq!(service, query.service, "container/service mismatch");
+        let profile = &self.services[service.raw() as usize];
+        let rates = profile.rates;
+        let phases = profile.phases;
+
+        // The new invocation contributes to the contention it suffers,
+        // but at *work-conserving* rates: it moves the same totals
+        // (cpu-seconds, MB) over its contention-stretched execution, so
+        // its average rate is the uncontended rate divided by the
+        // stretch. The stretch depends on the slowdown which depends on
+        // the rates — resolve with one fixed-point step: estimate the
+        // stretch from the environment's slowdowns, account ourselves at
+        // that rate, then sample the slowdowns we actually experience.
+        let base_exec: f64 = phases.iter().sum::<f64>().max(1e-9);
+        let s_env = self.resources.slowdowns();
+        let stretch_est = ((phases[0] * s_env[0] + phases[1] * s_env[1] + phases[2] * s_env[2])
+            / base_exec)
+            .max(1.0);
+        let held_est = LoadVector {
+            cpu_cores: rates.cpu_cores / stretch_est,
+            io_mbps: rates.io_mbps / stretch_est,
+            net_mbps: rates.net_mbps / stretch_est,
+        };
+        self.resources.acquire(&held_est);
+        let s = self.resources.slowdowns();
+        let jitter = rng.lognormal(0.0, self.cfg.exec_jitter_sigma);
+        let exec_s = (phases[0] * s[0] + phases[1] * s[1] + phases[2] * s[2]) * jitter;
+        let busy_s = self.cfg.auth_s
+            + self.services[service.raw() as usize].code_load_s
+            + exec_s
+            + self.cfg.result_post_s;
+        // Final accounting at the realised stretch.
+        self.resources.release(&held_est);
+        let stretch = (exec_s / base_exec).max(1e-3);
+        let held = LoadVector {
+            cpu_cores: rates.cpu_cores / stretch,
+            io_mbps: rates.io_mbps / stretch,
+            net_mbps: rates.net_mbps / stretch,
+        };
+        self.resources.acquire(&held);
+
+        let c = self.containers.get_mut(&cid).unwrap();
+        c.epoch += 1;
+        c.state = ContainerState::Busy {
+            query,
+            assigned: now,
+            cold_start,
+            load: held,
+            exec_s,
+        };
+        effects.push(Effect::Schedule {
+            after: SimDuration::from_secs_f64(busy_s),
+            event: ClusterEvent::ServerlessExecDone { container: cid },
+        });
+    }
+
+    /// Handle a fired event. Unknown/stale events are ignored (they can
+    /// outlive their container by design — see `ContainerExpire`).
+    pub fn handle(&mut self, event: ClusterEvent, now: SimTime, rng: &mut SimRng) -> Vec<Effect> {
+        match event {
+            ClusterEvent::ColdStartDone { container } => {
+                self.on_cold_start_done(container, now, rng)
+            }
+            ClusterEvent::ServerlessExecDone { container } => {
+                self.on_exec_done(container, now, rng)
+            }
+            ClusterEvent::ContainerExpire { container, epoch } => {
+                self.on_expire(container, epoch, now, rng)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_cold_start_done(
+        &mut self,
+        cid: ContainerId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let Some(c) = self.containers.get(&cid) else {
+            return effects;
+        };
+        let service = c.service;
+        match c.state.clone() {
+            ContainerState::Warming {
+                since,
+                query: Some((q, _assigned)),
+            } => {
+                let cold = now.duration_since(since);
+                self.start_execution(cid, q, now, cold, rng, &mut effects);
+            }
+            ContainerState::Warming {
+                since: _,
+                query: None,
+            } => {
+                // Prewarmed container comes up idle.
+                self.make_idle(cid, now, &mut effects);
+                let pending = &mut self.prewarm_pending[service.raw() as usize];
+                if *pending > 0 {
+                    *pending -= 1;
+                    if *pending == 0 {
+                        effects.push(Effect::PrewarmReady { service });
+                    }
+                }
+                self.dispatch_queue(now, rng, &mut effects);
+            }
+            _ => {}
+        }
+        effects
+    }
+
+    fn on_exec_done(&mut self, cid: ContainerId, now: SimTime, rng: &mut SimRng) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let Some(c) = self.containers.get(&cid) else {
+            return effects;
+        };
+        if let ContainerState::Busy {
+            query,
+            assigned,
+            cold_start,
+            load,
+            exec_s,
+        } = c.state.clone()
+        {
+            self.resources.release(&load);
+            self.completed += 1;
+            let profile = &self.services[query.service.raw() as usize];
+            let queue_wait = assigned
+                .duration_since(query.submitted)
+                .saturating_sub(cold_start);
+            let breakdown = LatencyBreakdown {
+                queue_wait,
+                cold_start,
+                auth: SimDuration::from_secs_f64(self.cfg.auth_s),
+                code_load: SimDuration::from_secs_f64(profile.code_load_s),
+                result_post: SimDuration::from_secs_f64(self.cfg.result_post_s),
+                exec: SimDuration::from_secs_f64(exec_s),
+            };
+            effects.push(Effect::Completed(QueryOutcome {
+                query,
+                completed: now,
+                executed_on: ExecutedOn::Serverless,
+                breakdown,
+            }));
+            let sid = query.service.raw() as usize;
+            if self.draining[sid] && !self.idle[sid].is_empty() {
+                // The engine switched this service away; its containers
+                // terminate as they drain instead of idling for a full
+                // keep-alive (S_sd, §V-B). One warm container is kept so
+                // the low-rate shadow/calibration traffic (§III step 1)
+                // does not cold-start every probe.
+                self.containers.remove(&cid);
+            } else {
+                self.make_idle(cid, now, &mut effects);
+            }
+            self.dispatch_queue(now, rng, &mut effects);
+        }
+        effects
+    }
+
+    fn make_idle(&mut self, cid: ContainerId, _now: SimTime, effects: &mut Vec<Effect>) {
+        let c = self.containers.get_mut(&cid).unwrap();
+        c.epoch += 1;
+        let epoch = c.epoch;
+        let service = c.service;
+        c.state = ContainerState::Idle { epoch };
+        self.idle[service.raw() as usize].push_back(cid);
+        effects.push(Effect::Schedule {
+            after: self.cfg.keep_alive,
+            event: ClusterEvent::ContainerExpire {
+                container: cid,
+                epoch,
+            },
+        });
+    }
+
+    fn on_expire(
+        &mut self,
+        cid: ContainerId,
+        epoch: u64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let Some(c) = self.containers.get(&cid) else {
+            return effects;
+        };
+        if matches!(c.state, ContainerState::Idle { epoch: e } if e == epoch) {
+            let service = c.service;
+            self.containers.remove(&cid);
+            self.idle[service.raw() as usize].retain(|&x| x != cid);
+            // The freed memory slot may unblock queued queries of a
+            // capped tenant.
+            self.dispatch_queue(now, rng, &mut effects);
+        }
+        effects
+    }
+
+    /// Try to place queued queries. Warm hits bypass head-of-line
+    /// blocking (OpenWhisk schedules per action); cold-start placement
+    /// respects FIFO order.
+    fn dispatch_queue(&mut self, now: SimTime, rng: &mut SimRng, effects: &mut Vec<Effect>) {
+        loop {
+            let mut placed_idx: Option<usize> = None;
+            for (i, q) in self.queue.iter().enumerate() {
+                let has_warm = !self.idle[q.service.raw() as usize].is_empty();
+                if has_warm {
+                    placed_idx = Some(i);
+                    break;
+                }
+                // Only the head may trigger a cold start (FIFO for new
+                // capacity).
+                if i == 0 && self.can_create_container(q.service) {
+                    placed_idx = Some(0);
+                    break;
+                }
+            }
+            let Some(i) = placed_idx else { break };
+            let q = self.queue.remove(i).unwrap();
+            let ok = self.try_place(q, now, rng, effects);
+            debug_assert!(ok, "placement decided above must succeed");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prewarm & release (the hybrid engine's levers)
+    // ------------------------------------------------------------------
+
+    /// Ensure `count` warm (idle or warming) containers exist for
+    /// `service`, creating the shortfall. Emits [`Effect::PrewarmReady`]
+    /// once all requested containers are warm — immediately if already
+    /// satisfied. (Eq. 7 decides `count`; the engine calls this before a
+    /// switch to serverless, §V-B.)
+    pub fn prewarm(
+        &mut self,
+        service: ServiceId,
+        count: u32,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Effect> {
+        self.draining[service.raw() as usize] = false;
+        let mut effects = Vec::new();
+        let sid = service.raw() as usize;
+        let existing = self
+            .containers
+            .values()
+            .filter(|c| c.service == service && !matches!(c.state, ContainerState::Busy { .. }))
+            .count() as u32;
+        let mut shortfall = count.saturating_sub(existing);
+        if shortfall == 0 {
+            effects.push(Effect::PrewarmReady { service });
+            return effects;
+        }
+        let mut created = 0;
+        while shortfall > 0 {
+            if !self.can_create_container(service)
+                && self.container_count(service) < self.cfg.tenant_container_cap
+                && !self.evict_one_idle(service)
+            {
+                break;
+            }
+            if !self.can_create_container(service) {
+                break;
+            }
+            self.create_container(service, now, None, rng, &mut effects);
+            created += 1;
+            shortfall -= 1;
+        }
+        if created == 0 {
+            // Could not create anything (caps). Report ready with what
+            // exists rather than deadlocking the switch.
+            effects.push(Effect::PrewarmReady { service });
+        } else {
+            self.prewarm_pending[sid] += created;
+        }
+        effects
+    }
+
+    /// Clear a service's draining state: its containers idle normally
+    /// again. The engine calls this when real traffic is routed back to
+    /// the serverless platform (the NoP ablation flips the router with
+    /// no prewarm, which is the other path that ends a drain).
+    pub fn resume_service(&mut self, service: ServiceId) {
+        self.draining[service.raw() as usize] = false;
+    }
+
+    /// Drop all idle containers of `service` immediately (the shutdown
+    /// signal `S_sd` after a switch away from serverless). Busy
+    /// containers finish their in-flight queries and then expire
+    /// normally.
+    pub fn release_service(&mut self, service: ServiceId) {
+        let idle = std::mem::take(&mut self.idle[service.raw() as usize]);
+        for cid in idle {
+            self.containers.remove(&cid);
+        }
+        self.prewarm_pending[service.raw() as usize] = 0;
+        self.draining[service.raw() as usize] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::QueryId;
+    use amoeba_workload::benchmarks;
+
+    fn setup() -> (ServerlessPlatform, SimRng) {
+        let cfg = ServerlessConfig::default();
+        (ServerlessPlatform::new(cfg), SimRng::seed_from_u64(42))
+    }
+
+    fn q(id: u64, service: ServiceId, at: SimTime) -> Query {
+        Query {
+            id: QueryId(id),
+            service,
+            submitted: at,
+        }
+    }
+
+    /// Drive the platform's own effects to completion, returning
+    /// outcomes. A miniature event loop for unit tests. Processes
+    /// keep-alive expiry, so containers are gone afterwards; use
+    /// [`run_effects_keep_warm`] to keep them.
+    fn run_effects(
+        platform: &mut ServerlessPlatform,
+        rng: &mut SimRng,
+        initial: Vec<Effect>,
+        start: SimTime,
+    ) -> Vec<QueryOutcome> {
+        run_effects_inner(platform, rng, initial, start, true)
+    }
+
+    /// Like [`run_effects`] but drops `ContainerExpire` events, leaving
+    /// warm containers alive for follow-up submissions.
+    fn run_effects_keep_warm(
+        platform: &mut ServerlessPlatform,
+        rng: &mut SimRng,
+        initial: Vec<Effect>,
+        start: SimTime,
+    ) -> Vec<QueryOutcome> {
+        run_effects_inner(platform, rng, initial, start, false)
+    }
+
+    fn run_effects_inner(
+        platform: &mut ServerlessPlatform,
+        rng: &mut SimRng,
+        initial: Vec<Effect>,
+        start: SimTime,
+        process_expiry: bool,
+    ) -> Vec<QueryOutcome> {
+        let mut queue = amoeba_sim::EventQueue::new();
+        let mut outcomes = Vec::new();
+        let absorb = |effects: Vec<Effect>,
+                      now: SimTime,
+                      queue: &mut amoeba_sim::EventQueue<ClusterEvent>,
+                      outcomes: &mut Vec<QueryOutcome>| {
+            for e in effects {
+                match e {
+                    Effect::Schedule { after, event } => {
+                        queue.push(now + after, event);
+                    }
+                    Effect::Completed(o) => outcomes.push(o),
+                    _ => {}
+                }
+            }
+        };
+        absorb(initial, start, &mut queue, &mut outcomes);
+        while let Some(ev) = queue.pop() {
+            if !process_expiry && matches!(ev.payload, ClusterEvent::ContainerExpire { .. }) {
+                continue;
+            }
+            let effects = platform.handle(ev.payload, ev.time, rng);
+            absorb(effects, ev.time, &mut queue, &mut outcomes);
+        }
+        outcomes
+    }
+
+    #[test]
+    fn register_precomputes_profile() {
+        let (mut p, _) = setup();
+        let sid = p.register(benchmarks::dd());
+        // dd: cpu 0.05 + io 60/500 + net 0.5/250 = 0.05 + 0.12 + 0.002.
+        assert!((p.solo_exec_seconds(sid) - 0.172).abs() < 1e-9);
+        assert!(p.overhead_seconds(sid) > 0.0);
+        assert!(p.solo_latency_seconds(sid) > p.solo_exec_seconds(sid));
+    }
+
+    #[test]
+    fn first_query_cold_starts_then_completes() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let effects = p.submit(q(1, sid, t0), t0, &mut rng);
+        assert_eq!(p.cold_start_count(), 1);
+        let outcomes = run_effects(&mut p, &mut rng, effects, t0);
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert!(o.breakdown.cold_start > SimDuration::from_millis(500));
+        assert_eq!(o.breakdown.queue_wait, SimDuration::ZERO);
+        assert!(
+            o.latency() > SimDuration::from_secs(1),
+            "cold start dominates"
+        );
+        assert_eq!(p.completed_count(), 1);
+    }
+
+    #[test]
+    fn second_query_reuses_warm_container() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let eff = p.submit(q(1, sid, t0), t0, &mut rng);
+        let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+        let done_at = outcomes[0].completed;
+        // Submit while warm.
+        let t1 = done_at + SimDuration::from_secs(1);
+        let eff = p.submit(q(2, sid, t1), t1, &mut rng);
+        assert_eq!(p.cold_start_count(), 1, "no second cold start");
+        let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, t1);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].breakdown.cold_start, SimDuration::ZERO);
+        // Warm latency ~ solo latency.
+        let lat = outcomes[0].latency().as_secs_f64();
+        let solo = p.solo_latency_seconds(sid);
+        assert!((lat - solo).abs() / solo < 0.3, "lat {lat} vs solo {solo}");
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_new_cold_start() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let eff = p.submit(q(1, sid, t0), t0, &mut rng);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        // run_effects drains everything, including the expire event, so
+        // the container is gone now.
+        assert_eq!(p.total_containers(), 0);
+        let t1 = outcomes[0].completed + SimDuration::from_secs(120);
+        let eff = p.submit(q(2, sid, t1), t1, &mut rng);
+        assert_eq!(p.cold_start_count(), 2);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t1);
+        assert!(outcomes[0].breakdown.cold_start > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_latency() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::matmul());
+        let t0 = SimTime::from_secs(2);
+        let eff = p.submit(q(1, sid, t0), t0, &mut rng);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        let o = &outcomes[0];
+        let total = o.breakdown.total().as_secs_f64();
+        let lat = o.latency().as_secs_f64();
+        assert!(
+            (total - lat).abs() < 2e-6,
+            "breakdown {total} vs latency {lat}"
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_in_fig4_range_for_warm_queries() {
+        let (mut p, mut rng) = setup();
+        // Fig. 4: overheads are 10-45% of end-to-end latency (no queueing
+        // or cold start in that experiment).
+        for spec in benchmarks::standard_benchmarks() {
+            let sid = p.register(spec);
+            let t0 = SimTime::from_secs(1);
+            let eff = p.submit(q(sid.raw() as u64 * 100 + 1, sid, t0), t0, &mut rng);
+            let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+            let warm_at = outcomes[0].completed + SimDuration::from_secs(1);
+            let eff = p.submit(
+                q(sid.raw() as u64 * 100 + 2, sid, warm_at),
+                warm_at,
+                &mut rng,
+            );
+            let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, warm_at);
+            let f = outcomes[0].breakdown.overhead_fraction();
+            let name = &p.spec(sid).name;
+            assert!(
+                (0.05..=0.50).contains(&f),
+                "{name}: overhead fraction {f} outside Fig. 4 band"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_stretches_execution() {
+        let cfg = ServerlessConfig {
+            exec_jitter_sigma: 0.0,   // isolate the contention effect
+            tenant_container_cap: 40, // let one tenant hold 30 containers
+            ..Default::default()
+        };
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(1);
+        let sid = p.register(benchmarks::dd());
+        // Warm up 30 containers, then hit them all at once: aggregate IO
+        // demand far exceeds the disk bandwidth.
+        let t0 = SimTime::ZERO;
+        let eff = p.prewarm(sid, 30, t0, &mut rng);
+        run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+        assert_eq!(p.total_containers(), 30);
+        let t1 = SimTime::from_secs(100);
+        let mut all_eff = Vec::new();
+        for i in 0..30 {
+            all_eff.extend(p.submit(q(i, sid, t1), t1, &mut rng));
+        }
+        // All should run concurrently (warm hits).
+        assert_eq!(p.busy_count(sid), 30);
+        let u = p.utilization();
+        // Work-conserving rates: later invocations hold lower average
+        // rates because they run stretched, so utilisation settles below
+        // the naive 30×rate/capacity — but the disk is still clearly the
+        // contended resource.
+        assert!(u[1] > 0.7, "io utilisation {u:?}");
+        assert!(u[1] > 10.0 * u[0], "io dominates: {u:?}");
+        let outcomes = run_effects(&mut p, &mut rng, all_eff, t1);
+        assert_eq!(outcomes.len(), 30);
+        let solo = p.solo_latency_seconds(sid);
+        let mean = outcomes
+            .iter()
+            .map(|o| o.latency().as_secs_f64())
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            mean > solo * 1.5,
+            "contention should stretch latency: mean {mean} vs solo {solo}"
+        );
+    }
+
+    #[test]
+    fn memory_cap_queues_queries() {
+        let mut cfg = ServerlessConfig::default();
+        cfg.pool_memory_mb = 2.0 * cfg.container_memory_mb; // 2 containers max
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(2);
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let mut eff = Vec::new();
+        for i in 0..5 {
+            eff.extend(p.submit(q(i, sid, t0), t0, &mut rng));
+        }
+        assert_eq!(p.total_containers(), 2);
+        assert_eq!(p.queue_len(), 3);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        assert_eq!(outcomes.len(), 5, "queued queries eventually served");
+        // Queued ones must report queue_wait.
+        let waited = outcomes
+            .iter()
+            .filter(|o| o.breakdown.queue_wait > SimDuration::ZERO)
+            .count();
+        assert!(waited >= 3, "waited {waited}");
+    }
+
+    #[test]
+    fn tenant_cap_respected() {
+        let cfg = ServerlessConfig {
+            tenant_container_cap: 3,
+            ..Default::default()
+        };
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(3);
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        for i in 0..10 {
+            p.submit(q(i, sid, t0), t0, &mut rng);
+        }
+        assert_eq!(p.container_count(sid), 3);
+        assert_eq!(p.queue_len(), 7);
+    }
+
+    #[test]
+    fn prewarm_creates_idle_containers_and_acks() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let eff = p.prewarm(sid, 5, t0, &mut rng);
+        // The ack arrives via effects after warming; run them.
+        let mut saw_ready = false;
+        let mut queue = amoeba_sim::EventQueue::new();
+        for e in eff {
+            match e {
+                Effect::Schedule { after, event } => {
+                    queue.push(t0 + after, event);
+                }
+                Effect::PrewarmReady { service } => {
+                    assert_eq!(service, sid);
+                    saw_ready = true;
+                }
+                _ => {}
+            }
+        }
+        while let Some(ev) = queue.pop() {
+            // Stop before keep-alive expiry wipes them out again.
+            if matches!(ev.payload, ClusterEvent::ContainerExpire { .. }) {
+                continue;
+            }
+            for e in p.handle(ev.payload, ev.time, &mut rng) {
+                match e {
+                    Effect::Schedule { after, event } => {
+                        queue.push(ev.time + after, event);
+                    }
+                    Effect::PrewarmReady { service } => {
+                        assert_eq!(service, sid);
+                        saw_ready = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_ready);
+        assert_eq!(p.container_count(sid), 5);
+        assert_eq!(p.busy_count(sid), 0);
+    }
+
+    #[test]
+    fn prewarm_already_satisfied_acks_immediately() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let eff = p.prewarm(sid, 3, t0, &mut rng);
+        run_effects(&mut p, &mut rng, eff.clone(), t0);
+        // Warm again while still warm — but run_effects drained expiry,
+        // so re-create and check the immediate-ack path with count 0.
+        let eff = p.prewarm(sid, 0, SimTime::from_secs(1), &mut rng);
+        assert!(matches!(eff[0], Effect::PrewarmReady { .. }));
+    }
+
+    #[test]
+    fn prewarmed_queries_skip_cold_start() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let eff = p.prewarm(sid, 4, t0, &mut rng);
+        // Warm them up (drop expire events to keep them alive).
+        let mut queue = amoeba_sim::EventQueue::new();
+        let (sched, _) = Effect::partition(eff);
+        for (after, event) in sched {
+            queue.push(t0 + after, event);
+        }
+        let mut ready_at = t0;
+        while let Some(ev) = queue.pop() {
+            if matches!(ev.payload, ClusterEvent::ContainerExpire { .. }) {
+                continue;
+            }
+            ready_at = ev.time;
+            let (sched, _) = Effect::partition(p.handle(ev.payload, ev.time, &mut rng));
+            for (after, event) in sched {
+                queue.push(ev.time + after, event);
+            }
+        }
+        let t1 = ready_at + SimDuration::from_secs(1);
+        let eff = p.submit(q(9, sid, t1), t1, &mut rng);
+        let before = p.cold_start_count();
+        let outcomes = run_effects(&mut p, &mut rng, eff, t1);
+        assert_eq!(p.cold_start_count(), before);
+        assert_eq!(outcomes[0].breakdown.cold_start, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn release_service_drops_idle_containers() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let other = p.register(benchmarks::dd());
+        let t0 = SimTime::ZERO;
+        let eff = p.prewarm(sid, 3, t0, &mut rng);
+        // Warm them (skip expires).
+        let mut queue = amoeba_sim::EventQueue::new();
+        let (sched, _) = Effect::partition(eff);
+        for (after, event) in sched {
+            queue.push(t0 + after, event);
+        }
+        while let Some(ev) = queue.pop() {
+            if matches!(ev.payload, ClusterEvent::ContainerExpire { .. }) {
+                continue;
+            }
+            let (sched, _) = Effect::partition(p.handle(ev.payload, ev.time, &mut rng));
+            for (after, event) in sched {
+                queue.push(ev.time + after, event);
+            }
+        }
+        assert_eq!(p.container_count(sid), 3);
+        p.release_service(sid);
+        assert_eq!(p.container_count(sid), 0);
+        assert_eq!(p.container_count(other), 0);
+    }
+
+    #[test]
+    fn query_conservation_under_load() {
+        // Every submitted query completes exactly once.
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let mut eff = Vec::new();
+        let n = 200;
+        for i in 0..n {
+            let t = t0 + SimDuration::from_millis(i * 10);
+            eff.extend(p.submit(q(i, sid, t), t, &mut rng));
+        }
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        assert_eq!(outcomes.len(), n as usize);
+        let mut ids: Vec<u64> = outcomes.iter().map(|o| o.query.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n as usize, "each query completed exactly once");
+        assert_eq!(p.queue_len(), 0);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed: u64| {
+            let cfg = ServerlessConfig::default();
+            let mut p = ServerlessPlatform::new(cfg);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sid = p.register(benchmarks::cloud_stor());
+            let mut eff = Vec::new();
+            for i in 0..50 {
+                let t = SimTime::from_millis(i * 37);
+                eff.extend(p.submit(q(i, sid, t), t, &mut rng));
+            }
+            run_effects(&mut p, &mut rng, eff, SimTime::ZERO)
+                .iter()
+                .map(|o| (o.query.id, o.latency().as_micros()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn warm_hit_bypasses_head_of_line_blocking() {
+        // Service A fills the pool to the memory cap; B's queries queue.
+        // When one of B's own containers frees, B's queued query must run
+        // on it even though A's queries sit at the head of the FIFO
+        // (OpenWhisk schedules per action — no global HoL blocking).
+        let mut cfg = ServerlessConfig::default();
+        cfg.pool_memory_mb = 4.0 * cfg.container_memory_mb; // 4 containers
+        cfg.tenant_container_cap = 4;
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(9);
+        let a = p.register(benchmarks::linpack()); // long queries
+        let b = p.register(benchmarks::float()); // short queries
+        let t0 = SimTime::ZERO;
+        let mut eff = Vec::new();
+        // 3 containers for A, 1 for B.
+        for i in 0..3 {
+            eff.extend(p.submit(q(i, a, t0), t0, &mut rng));
+        }
+        eff.extend(p.submit(q(100, b, t0), t0, &mut rng));
+        // Now the pool is full; queue up more of both, A first.
+        for i in 3..8 {
+            eff.extend(p.submit(q(i, a, t0), t0, &mut rng));
+        }
+        eff.extend(p.submit(q(101, b, t0), t0, &mut rng));
+        assert_eq!(p.queue_len(), 6);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        assert_eq!(outcomes.len(), 10, "everything completes");
+        // B's second query must finish long before A's queued ones: it
+        // reuses B's container as soon as the first B query (~0.12s)
+        // finishes, instead of waiting behind ~0.45s linpack runs.
+        let b2_done = outcomes
+            .iter()
+            .find(|o| o.query.id == QueryId(101))
+            .unwrap()
+            .completed;
+        let a_queued_done = outcomes
+            .iter()
+            .find(|o| o.query.id == QueryId(3))
+            .unwrap()
+            .completed;
+        assert!(
+            b2_done < a_queued_done,
+            "B bypassed: {b2_done} vs A {a_queued_done}"
+        );
+    }
+
+    #[test]
+    fn memory_full_pool_evicts_idle_tenant_for_new_cold_start() {
+        let mut cfg = ServerlessConfig::default();
+        cfg.pool_memory_mb = 2.0 * cfg.container_memory_mb; // 2 containers
+        cfg.tenant_container_cap = 2;
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(11);
+        let a = p.register(benchmarks::float());
+        let b = p.register(benchmarks::matmul());
+        // A runs two queries, ends up with two idle warm containers.
+        let t0 = SimTime::ZERO;
+        let mut eff = Vec::new();
+        for i in 0..2 {
+            eff.extend(p.submit(q(i, a, t0), t0, &mut rng));
+        }
+        run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+        assert_eq!(p.container_count(a), 2);
+        assert_eq!(p.total_containers(), 2);
+        // B arrives: pool is memory-full, but A has idle containers —
+        // one must be evicted to make room for B's cold start.
+        let t1 = SimTime::from_secs(5);
+        let eff = p.submit(q(100, b, t1), t1, &mut rng);
+        assert_eq!(p.container_count(a), 1, "one of A's idles evicted");
+        assert_eq!(p.container_count(b), 1);
+        let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, t1);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].breakdown.cold_start > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_containers_are_never_evicted() {
+        let mut cfg = ServerlessConfig::default();
+        cfg.pool_memory_mb = 1.0 * cfg.container_memory_mb; // 1 container
+        cfg.tenant_container_cap = 1;
+        let mut p = ServerlessPlatform::new(cfg);
+        let mut rng = SimRng::seed_from_u64(13);
+        let a = p.register(benchmarks::linpack());
+        let b = p.register(benchmarks::float());
+        let t0 = SimTime::ZERO;
+        let mut eff = p.submit(q(1, a, t0), t0, &mut rng);
+        // A's query occupies the only slot (cold-starting, then busy);
+        // B must queue, not evict the occupied container.
+        eff.extend(p.submit(q(100, b, t0), t0, &mut rng));
+        assert_eq!(p.container_count(a), 1);
+        assert_eq!(p.container_count(b), 0);
+        assert_eq!(p.queue_len(), 1);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t0);
+        assert_eq!(outcomes.len(), 2, "both complete, A uninterrupted");
+        let a_out = outcomes.iter().find(|o| o.query.service == a).unwrap();
+        assert_eq!(a_out.breakdown.queue_wait, SimDuration::ZERO);
+    }
+}

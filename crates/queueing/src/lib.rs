@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! M/M/N queueing theory — the deployment controller's discriminant
+//! function (paper §IV-A).
+//!
+//! The serverless platform is modelled as one FIFO queue in front of `n`
+//! containers, each processing `μ` queries/second (Fig. 7). Under Poisson
+//! arrivals at rate `λ` with `ρ = λ/(nμ) < 1` the stationary waiting-time
+//! distribution is Eq. 4:
+//!
+//! ```text
+//! F_W(t) = 1 − (π_n / (1 − ρ)) · exp(−nμ(1−ρ)·t)
+//! ```
+//!
+//! `π_n / (1 − ρ)` is exactly the Erlang-C probability of waiting, which
+//! this crate computes with the overflow-free Erlang-B recurrence instead
+//! of raw factorials. Eq. 5 inverts the CDF into the *maximum admissible
+//! arrival rate* `λ(μ)` for a QoS target `T_D` at percentile `r`:
+//!
+//! ```text
+//! λ(μ) = nμ + ln[(1−r)(1−ρ)/π_n] / (T_D − 1/μ)
+//! ```
+//!
+//! As printed the right-hand side still contains `ρ` and `π_n`, i.e. the
+//! equation is implicit in `λ`; [`MmnModel::discriminant_lambda`] resolves
+//! it by fixed-point iteration (the paper's reading) and
+//! [`MmnModel::max_admissible_lambda`] by exact bisection on the monotone
+//! QoS predicate. The two agree within tolerance — a property test pins
+//! that.
+
+pub mod mmn;
+pub mod roots;
+
+pub use mmn::{ContainerLimits, MmnModel, QosCheck};
+pub use roots::bisect;

@@ -1,0 +1,56 @@
+//! Scalar root/threshold finding used to invert the queueing formulas.
+
+/// Bisection on a monotone predicate: returns the largest `x` in
+/// `[lo, hi]` for which `pred(x)` holds, to within `tol`, or `None` when
+/// `pred(lo)` already fails. `pred` must be monotone non-increasing in
+/// truth value (true … true, false … false) over the interval.
+pub fn bisect<F: FnMut(f64) -> bool>(
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    mut pred: F,
+) -> Option<f64> {
+    debug_assert!(lo <= hi && tol > 0.0);
+    if !pred(lo) {
+        return None;
+    }
+    if pred(hi) {
+        return Some(hi);
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold_of_step_predicate() {
+        let x = bisect(0.0, 10.0, 1e-9, |x| x <= 3.25).unwrap();
+        assert!((x - 3.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn returns_hi_when_predicate_always_holds() {
+        assert_eq!(bisect(0.0, 5.0, 1e-9, |_| true), Some(5.0));
+    }
+
+    #[test]
+    fn returns_none_when_predicate_never_holds() {
+        assert_eq!(bisect(0.0, 5.0, 1e-9, |_| false), None);
+    }
+
+    #[test]
+    fn tolerance_bounds_error() {
+        let x = bisect(0.0, 1.0, 1e-3, |x| x <= 0.123_456).unwrap();
+        assert!((x - 0.123_456).abs() <= 1e-3);
+    }
+}

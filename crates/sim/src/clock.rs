@@ -1,0 +1,89 @@
+//! The simulation clock: a monotone wrapper around [`SimTime`] that the
+//! driver loop advances as events pop.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Monotone virtual clock.
+///
+/// Advancing backwards is a logic error in the driver loop and panics in
+/// debug builds; in release it clamps (the saturating arithmetic in
+/// [`SimTime`] makes that safe).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock at `t = 0`.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance to `t`. `t` must not be in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Advance by a span.
+    pub fn advance_by(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Elapsed time since an earlier instant.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        self.now.duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(5));
+        c.advance_by(SimDuration::from_secs(2));
+        assert_eq!(c.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let mut c = Clock::new();
+        let start = c.now();
+        c.advance_by(SimDuration::from_millis(1500));
+        assert_eq!(c.since(start), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    #[cfg(debug_assertions)]
+    fn backwards_advance_panics_in_debug() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_secs(5));
+        c.advance_to(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn advancing_to_same_instant_is_ok() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_secs(1));
+        c.advance_to(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Arrival processes.
+//!
+//! The M/M/N analysis of §IV-A assumes "queries arriving interval obeys
+//! the exponential distribution of λ". A fixed-rate [`PoissonArrivals`]
+//! realises exactly that; with a [`LoadTrace`] attached the process
+//! becomes non-homogeneous (time-varying λ) and is sampled by Lewis &
+//! Shedler thinning against the trace's rate upper bound.
+
+use crate::trace::LoadTrace;
+use amoeba_sim::{Distributions, SimDuration, SimRng, SimTime};
+
+/// A source of query arrival instants.
+pub trait ArrivalProcess {
+    /// The first arrival strictly after `now`, or `None` once the process
+    /// is exhausted (past its horizon).
+    fn next_after(&mut self, now: SimTime) -> Option<SimTime>;
+}
+
+/// Poisson arrivals — homogeneous at a constant rate, or modulated by a
+/// diurnal [`LoadTrace`].
+pub struct PoissonArrivals {
+    rng: SimRng,
+    rate: RateSource,
+    horizon: SimTime,
+}
+
+enum RateSource {
+    Constant(f64),
+    Trace(LoadTrace),
+}
+
+impl PoissonArrivals {
+    /// Homogeneous Poisson process at `qps` until `horizon`.
+    pub fn constant(qps: f64, horizon: SimTime, rng: SimRng) -> Self {
+        assert!(qps > 0.0);
+        PoissonArrivals {
+            rng,
+            rate: RateSource::Constant(qps),
+            horizon,
+        }
+    }
+
+    /// Non-homogeneous Poisson process following `trace` until `horizon`.
+    pub fn from_trace(trace: LoadTrace, horizon: SimTime, rng: SimRng) -> Self {
+        PoissonArrivals {
+            rng,
+            rate: RateSource::Trace(trace),
+            horizon,
+        }
+    }
+
+    /// Collect every arrival in `[0, horizon)`; convenience for tests and
+    /// closed-loop experiment drivers.
+    pub fn collect_all(mut self) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        while let Some(t) = self.next_after(now) {
+            out.push(t);
+            now = t;
+        }
+        out
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_after(&mut self, now: SimTime) -> Option<SimTime> {
+        let mut t = now;
+        match &self.rate {
+            RateSource::Constant(qps) => {
+                let dt = self.rng.exponential(*qps);
+                t += SimDuration::from_secs_f64(dt);
+                if t >= self.horizon || t == now {
+                    None
+                } else {
+                    Some(t)
+                }
+            }
+            RateSource::Trace(trace) => {
+                // Lewis-Shedler thinning against the global bound.
+                let bound = trace.rate_upper_bound();
+                if bound <= 0.0 {
+                    return None;
+                }
+                loop {
+                    let dt = self.rng.exponential(bound);
+                    let next = t + SimDuration::from_secs_f64(dt);
+                    if next >= self.horizon {
+                        return None;
+                    }
+                    // Guard against a zero-length microsecond-rounded step
+                    // producing a duplicate timestamp forever.
+                    t = if next == t {
+                        t + SimDuration::from_micros(1)
+                    } else {
+                        next
+                    };
+                    if t >= self.horizon {
+                        return None;
+                    }
+                    let accept_p = trace.rate_at(t) / bound;
+                    if self.rng.uniform() < accept_p {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DiurnalPattern;
+
+    #[test]
+    fn constant_rate_mean_interval() {
+        let rng = SimRng::seed_from_u64(7);
+        let horizon = SimTime::from_secs(2000);
+        let arrivals = PoissonArrivals::constant(10.0, horizon, rng).collect_all();
+        // ~20000 arrivals expected.
+        let n = arrivals.len() as f64;
+        assert!((n - 20_000.0).abs() < 600.0, "n = {n}");
+        // Strictly increasing.
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let horizon = SimTime::from_secs(100);
+        let a = PoissonArrivals::constant(5.0, horizon, SimRng::seed_from_u64(3)).collect_all();
+        let b = PoissonArrivals::constant(5.0, horizon, SimRng::seed_from_u64(3)).collect_all();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponential_interarrival_cv_near_one() {
+        // Coefficient of variation of exponential inter-arrivals is 1.
+        let horizon = SimTime::from_secs(5000);
+        let arrivals =
+            PoissonArrivals::constant(20.0, horizon, SimRng::seed_from_u64(11)).collect_all();
+        let gaps: Vec<f64> = arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn trace_modulated_process_follows_shape() {
+        // Flat 06h trough vs peak: arrival counts should track the rates.
+        let trace = LoadTrace::new(DiurnalPattern::didi(), 50.0, 2400.0);
+        let horizon = SimTime::from_secs(2400);
+        let arrivals =
+            PoissonArrivals::from_trace(trace.clone(), horizon, SimRng::seed_from_u64(5))
+                .collect_all();
+        // Count arrivals near the trough (02:00-04:00 of the compressed
+        // day = 200s-400s) vs near the evening peak (17:30-19:30 =
+        // 1750s-1950s).
+        let count = |lo: u64, hi: u64| {
+            arrivals
+                .iter()
+                .filter(|t| (SimTime::from_secs(lo)..SimTime::from_secs(hi)).contains(t))
+                .count() as f64
+        };
+        let trough = count(200, 400);
+        let peak = count(1750, 1950);
+        let ratio = trough / peak;
+        assert!(
+            (0.15..0.45).contains(&ratio),
+            "trough/peak arrival ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let horizon = SimTime::from_secs(10);
+        let arrivals =
+            PoissonArrivals::constant(100.0, horizon, SimRng::seed_from_u64(13)).collect_all();
+        assert!(arrivals.iter().all(|&t| t < horizon));
+        assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn thinning_matches_expected_total_count() {
+        let trace = LoadTrace::new(DiurnalPattern::flat(0.5), 40.0, 1000.0);
+        let horizon = SimTime::from_secs(1000);
+        let arrivals =
+            PoissonArrivals::from_trace(trace, horizon, SimRng::seed_from_u64(17)).collect_all();
+        // Effective rate 20 qps over 1000 s => ~20000.
+        let n = arrivals.len() as f64;
+        assert!((n - 20_000.0).abs() < 600.0, "n = {n}");
+    }
+
+    #[test]
+    fn burst_increases_local_density() {
+        use crate::trace::Burst;
+        let trace = LoadTrace::new(DiurnalPattern::flat(0.2), 100.0, 1000.0).with_burst(Burst {
+            start: SimTime::from_secs(500),
+            duration_s: 50.0,
+            magnitude: 1.0,
+        });
+        let horizon = SimTime::from_secs(1000);
+        let arrivals =
+            PoissonArrivals::from_trace(trace, horizon, SimRng::seed_from_u64(23)).collect_all();
+        let base: usize = arrivals
+            .iter()
+            .filter(|t| (SimTime::from_secs(400)..SimTime::from_secs(450)).contains(t))
+            .count();
+        let burst: usize = arrivals
+            .iter()
+            .filter(|t| (SimTime::from_secs(500)..SimTime::from_secs(550)).contains(t))
+            .count();
+        assert!(
+            burst as f64 > base as f64 * 3.0,
+            "burst {burst} vs base {base}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-query resource demand vectors and sensitivity classes.
+
+use serde::{Deserialize, Serialize};
+
+/// The shared resources of the serverless platform the paper's Fig. 5
+/// enumerates: ① cores, ② memory space, ③ IO bandwidth, ④ network
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU cores (and the paper's combined "CPU_Memory" meter dimension).
+    Cpu,
+    /// Memory space — limits how many containers can run concurrently.
+    Memory,
+    /// Disk IO bandwidth.
+    Io,
+    /// Network bandwidth.
+    Network,
+}
+
+impl ResourceKind {
+    /// The three *bandwidth-like* dimensions the contention meters
+    /// measure (memory is a capacity, not a rate, and is handled by the
+    /// container ceiling `n_max` instead — §IV-A).
+    pub const METERED: [ResourceKind; 3] =
+        [ResourceKind::Cpu, ResourceKind::Io, ResourceKind::Network];
+
+    /// Short label used in tables and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "CPU",
+            ResourceKind::Memory => "Memory",
+            ResourceKind::Io => "Disk I/O",
+            ResourceKind::Network => "Network",
+        }
+    }
+}
+
+/// Qualitative sensitivity of a benchmark to contention on one resource —
+/// the cells of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// "-" in Table III: the resource is barely touched.
+    None,
+    /// Low pressure/sensitivity.
+    Low,
+    /// Medium pressure/sensitivity.
+    Medium,
+    /// High pressure/sensitivity.
+    High,
+}
+
+impl Sensitivity {
+    /// Table III rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sensitivity::None => "-",
+            Sensitivity::Low => "low",
+            Sensitivity::Medium => "medium",
+            Sensitivity::High => "high",
+        }
+    }
+}
+
+/// What one query of a microservice consumes. The platform turns this
+/// into a service time: the CPU phase runs at one core, the IO phase
+/// streams at the per-flow disk rate, the network phase at the per-flow
+/// NIC rate — each phase stretched by the current contention slowdown on
+/// its resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandVector {
+    /// CPU work, core-seconds.
+    pub cpu_s: f64,
+    /// Resident memory while the query runs, MB.
+    pub mem_mb: f64,
+    /// Disk traffic, MB.
+    pub io_mb: f64,
+    /// Network traffic, MB.
+    pub net_mb: f64,
+}
+
+impl DemandVector {
+    /// A demand vector with nothing in it.
+    pub const ZERO: DemandVector = DemandVector {
+        cpu_s: 0.0,
+        mem_mb: 0.0,
+        io_mb: 0.0,
+        net_mb: 0.0,
+    };
+
+    /// Validity check: all components finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        [self.cpu_s, self.mem_mb, self.io_mb, self.net_mb]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Solo-run execution time in seconds given per-flow streaming rates
+    /// (MB/s) for disk and network — the `L₀` of Eq. 6 before platform
+    /// overheads.
+    pub fn solo_exec_seconds(&self, io_rate_mbps: f64, net_rate_mbps: f64) -> f64 {
+        debug_assert!(io_rate_mbps > 0.0 && net_rate_mbps > 0.0);
+        self.cpu_s + self.io_mb / io_rate_mbps + self.net_mb / net_rate_mbps
+    }
+
+    /// The share of solo execution time spent on each metered resource —
+    /// the paper's "sensitivities of the microservice on multiple shared
+    /// resources" (§II-D), used to weight per-resource slowdowns.
+    pub fn phase_shares(&self, io_rate_mbps: f64, net_rate_mbps: f64) -> [f64; 3] {
+        let cpu = self.cpu_s;
+        let io = self.io_mb / io_rate_mbps;
+        let net = self.net_mb / net_rate_mbps;
+        let total = cpu + io + net;
+        if total <= 0.0 {
+            return [0.0; 3];
+        }
+        [cpu / total, io / total, net / total]
+    }
+
+    /// Classify the demand on one resource into a Table III sensitivity
+    /// bucket, relative to the given per-flow rates.
+    pub fn sensitivity(
+        &self,
+        kind: ResourceKind,
+        io_rate_mbps: f64,
+        net_rate_mbps: f64,
+    ) -> Sensitivity {
+        let share = match kind {
+            ResourceKind::Cpu => self.phase_shares(io_rate_mbps, net_rate_mbps)[0],
+            ResourceKind::Io => self.phase_shares(io_rate_mbps, net_rate_mbps)[1],
+            ResourceKind::Network => self.phase_shares(io_rate_mbps, net_rate_mbps)[2],
+            ResourceKind::Memory => {
+                // Memory sensitivity keys off footprint, not time share.
+                return if self.mem_mb >= 160.0 {
+                    Sensitivity::High
+                } else if self.mem_mb >= 96.0 {
+                    Sensitivity::Medium
+                } else if self.mem_mb > 0.0 {
+                    Sensitivity::Low
+                } else {
+                    Sensitivity::None
+                };
+            }
+        };
+        if share >= 0.5 {
+            Sensitivity::High
+        } else if share >= 0.2 {
+            Sensitivity::Medium
+        } else if share >= 0.02 {
+            Sensitivity::Low
+        } else {
+            Sensitivity::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IO_RATE: f64 = 500.0;
+    const NET_RATE: f64 = 250.0;
+
+    #[test]
+    fn zero_vector_is_valid_and_empty() {
+        assert!(DemandVector::ZERO.is_valid());
+        assert_eq!(DemandVector::ZERO.solo_exec_seconds(IO_RATE, NET_RATE), 0.0);
+        assert_eq!(DemandVector::ZERO.phase_shares(IO_RATE, NET_RATE), [0.0; 3]);
+    }
+
+    #[test]
+    fn invalid_vectors_detected() {
+        let mut d = DemandVector::ZERO;
+        d.cpu_s = -1.0;
+        assert!(!d.is_valid());
+        d.cpu_s = f64::NAN;
+        assert!(!d.is_valid());
+    }
+
+    #[test]
+    fn solo_exec_adds_phases() {
+        let d = DemandVector {
+            cpu_s: 0.1,
+            mem_mb: 128.0,
+            io_mb: 50.0,
+            net_mb: 25.0,
+        };
+        let want = 0.1 + 50.0 / IO_RATE + 25.0 / NET_RATE;
+        assert!((d.solo_exec_seconds(IO_RATE, NET_RATE) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_shares_sum_to_one() {
+        let d = DemandVector {
+            cpu_s: 0.2,
+            mem_mb: 0.0,
+            io_mb: 100.0,
+            net_mb: 50.0,
+        };
+        let s = d.phase_shares(IO_RATE, NET_RATE);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn cpu_bound_vector_classifies_high_cpu() {
+        let d = DemandVector {
+            cpu_s: 0.5,
+            mem_mb: 180.0,
+            io_mb: 0.0,
+            net_mb: 0.0,
+        };
+        assert_eq!(
+            d.sensitivity(ResourceKind::Cpu, IO_RATE, NET_RATE),
+            Sensitivity::High
+        );
+        assert_eq!(
+            d.sensitivity(ResourceKind::Io, IO_RATE, NET_RATE),
+            Sensitivity::None
+        );
+        assert_eq!(
+            d.sensitivity(ResourceKind::Memory, IO_RATE, NET_RATE),
+            Sensitivity::High
+        );
+    }
+
+    #[test]
+    fn io_bound_vector_classifies_high_io() {
+        let d = DemandVector {
+            cpu_s: 0.05,
+            mem_mb: 96.0,
+            io_mb: 100.0, // 0.2s at 500MB/s
+            net_mb: 0.0,
+        };
+        assert_eq!(
+            d.sensitivity(ResourceKind::Io, IO_RATE, NET_RATE),
+            Sensitivity::High
+        );
+        assert_eq!(
+            d.sensitivity(ResourceKind::Memory, IO_RATE, NET_RATE),
+            Sensitivity::Medium
+        );
+    }
+
+    #[test]
+    fn resource_labels() {
+        assert_eq!(ResourceKind::Cpu.label(), "CPU");
+        assert_eq!(ResourceKind::Io.label(), "Disk I/O");
+        assert_eq!(Sensitivity::None.label(), "-");
+        assert_eq!(Sensitivity::High.label(), "high");
+    }
+
+    #[test]
+    fn sensitivity_is_ordered() {
+        assert!(Sensitivity::None < Sensitivity::Low);
+        assert!(Sensitivity::Low < Sensitivity::Medium);
+        assert!(Sensitivity::Medium < Sensitivity::High);
+    }
+}

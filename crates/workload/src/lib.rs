@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! Workload models for the Amoeba reproduction.
+//!
+//! The paper evaluates on five FunctionBench microservices (Table III)
+//! driven by a diurnal load trace from Didi (§VII-A). FunctionBench's
+//! actual Python functions and the Didi trace are not available here, so
+//! this crate models each microservice as a **demand vector** — how many
+//! CPU-seconds, MB of memory, MB of disk IO and MB of network transfer one
+//! query consumes — calibrated to Table III's sensitivity classes, and
+//! models the trace as a two-peak diurnal pattern whose low phase is
+//! 25–30 % of the peak (§I: "the low load is less than 30 % of the peak
+//! load"). §II-A notes "the actual fluctuate pattern does not affect the
+//! analysis", so the shape, not the exact trace, is what matters.
+
+pub mod arrivals;
+pub mod benchmarks;
+pub mod demand;
+pub mod trace;
+
+pub use arrivals::{ArrivalProcess, PoissonArrivals};
+pub use benchmarks::{benchmark_by_name, standard_benchmarks, MicroserviceSpec};
+pub use demand::{DemandVector, ResourceKind, Sensitivity};
+pub use trace::{DiurnalPattern, LoadTrace};

@@ -1,0 +1,85 @@
+//! Quickstart: run Amoeba on one microservice with a diurnal load and
+//! compare it against always-on IaaS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use amoeba::core::{Experiment, ServiceSetup, SystemVariant};
+use amoeba::sim::SimDuration;
+use amoeba::workload::{benchmarks, DiurnalPattern, LoadTrace};
+
+fn main() {
+    // A microservice: the `float` kernel from FunctionBench (Table III),
+    // peaking at 120 queries/second with a 200 ms p95 QoS target.
+    let spec = benchmarks::float();
+    println!(
+        "service: {} (QoS: p{} <= {} s, peak {} qps)",
+        spec.name,
+        (spec.qos_percentile * 100.0) as u32,
+        spec.qos_target_s,
+        spec.peak_qps
+    );
+
+    // A Didi-shaped diurnal day compressed into 8 simulated minutes:
+    // overnight trough at ~25 % of peak, rush peaks in the morning and
+    // evening.
+    let day_s = 480.0;
+    let services = vec![ServiceSetup {
+        trace: LoadTrace::new(DiurnalPattern::didi(), spec.peak_qps, day_s),
+        spec,
+        background: false,
+    }];
+
+    // Run the same workload twice: under Amoeba (adaptive switching) and
+    // under Nameko (the paper's pure-IaaS baseline).
+    let horizon = SimDuration::from_secs_f64(day_s);
+    let services_nameko = vec![ServiceSetup {
+        trace: services[0].trace.clone(),
+        spec: services[0].spec.clone(),
+        background: false,
+    }];
+    let mut amoeba = Experiment::new(SystemVariant::Amoeba, services, horizon, 42).run();
+    let mut nameko = Experiment::new(SystemVariant::Nameko, services_nameko, horizon, 42).run();
+
+    let fg = &mut amoeba.services[0];
+    println!("\n-- Amoeba --");
+    println!("queries completed: {}", fg.completed);
+    let p95 = fg.qos_latency().unwrap_or(0.0);
+    let met = fg.qos_met();
+    println!(
+        "p95 latency: {:.3} s (target {} s) — QoS {}",
+        p95,
+        fg.qos_target_s,
+        if met { "MET" } else { "VIOLATED" }
+    );
+    println!("deploy-mode switches:");
+    for (t, mode, load) in &fg.switch_history {
+        println!(
+            "  t = {:>6.1}s -> {:?} (load {:.1} qps)",
+            t.as_secs_f64(),
+            mode,
+            load
+        );
+    }
+
+    let nk = &mut nameko.services[0];
+    println!("\n-- Nameko (pure IaaS) --");
+    let p95 = nk.qos_latency().unwrap_or(0.0);
+    let met = nk.qos_met();
+    println!(
+        "p95 latency: {:.3} s — QoS {}",
+        p95,
+        if met { "MET" } else { "VIOLATED" }
+    );
+
+    let cpu = amoeba.services[0]
+        .usage
+        .cpu_relative_to(&nameko.services[0].usage);
+    let mem = amoeba.services[0]
+        .usage
+        .mem_relative_to(&nameko.services[0].usage);
+    println!("\n-- resource usage, Amoeba / Nameko --");
+    println!("CPU:    {:.3}  ({:.1}% saved)", cpu, (1.0 - cpu) * 100.0);
+    println!("memory: {:.3}  ({:.1}% saved)", mem, (1.0 - mem) * 100.0);
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! Facade crate for the Amoeba reproduction workspace.
+//!
+//! Re-exports every sub-crate under one name so examples and downstream
+//! users can `use amoeba::...` without tracking the workspace layout.
+
+pub use amoeba_bench as bench;
+pub use amoeba_core as core;
+pub use amoeba_linalg as linalg;
+pub use amoeba_meters as meters;
+pub use amoeba_metrics as metrics;
+pub use amoeba_platform as platform;
+pub use amoeba_queueing as queueing;
+pub use amoeba_sim as sim;
+pub use amoeba_workload as workload;

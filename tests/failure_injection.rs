@@ -1,0 +1,214 @@
+//! Failure-injection tests: degrade parts of the system and check the
+//! rest holds its invariants (conservation, no panics, graceful QoS
+//! behaviour).
+
+use amoeba::core::{Experiment, ServiceSetup, SystemVariant};
+use amoeba::platform::ServerlessConfig;
+use amoeba::sim::{SimDuration, SimTime};
+use amoeba::workload::{benchmarks, trace::Burst, DiurnalPattern, LoadTrace};
+
+fn scenario(day_s: f64) -> Vec<ServiceSetup> {
+    let fg = benchmarks::float();
+    let mut setups = vec![ServiceSetup {
+        trace: LoadTrace::new(DiurnalPattern::didi(), fg.peak_qps, day_s),
+        spec: fg,
+        background: false,
+    }];
+    for (name, frac) in [("dd", 0.15), ("cloud_stor", 0.2)] {
+        let mut spec = benchmarks::benchmark_by_name(name).unwrap();
+        spec.peak_qps *= frac;
+        spec.name = format!("bg_{name}");
+        setups.push(ServiceSetup {
+            trace: LoadTrace::new(DiurnalPattern::didi(), spec.peak_qps, day_s),
+            spec,
+            background: true,
+        });
+    }
+    setups
+}
+
+#[test]
+fn meter_outage_does_not_break_the_run() {
+    // With the contention meters disabled the monitor reads zero
+    // pressure everywhere — the controller flies blind but the system
+    // must stay sound: every query completes and the run is
+    // deterministic. (QoS may degrade; that is the *point* of the
+    // meters.)
+    let day_s = 240.0;
+    let mut exp = Experiment::new(
+        SystemVariant::Amoeba,
+        scenario(day_s),
+        SimDuration::from_secs_f64(day_s),
+        31,
+    );
+    exp.run_meters = false;
+    let r = exp.run();
+    assert_eq!(r.meter_cpu_overhead, 0.0, "no meters, no meter cost");
+    assert_eq!(r.mean_pressures, [0.0; 3], "blind monitor reads zero");
+    for s in &r.services {
+        assert_eq!(s.submitted, s.completed, "{}", s.name);
+    }
+}
+
+#[test]
+fn meter_outage_costs_qos_headroom() {
+    // The blind controller underestimates contention, so its serverless
+    // episodes run closer to (or past) the edge than the monitored
+    // system's — the violation ratio must not *improve* when the meters
+    // die.
+    let day_s = 300.0;
+    let run = |meters: bool| {
+        let mut exp = Experiment::new(
+            SystemVariant::Amoeba,
+            scenario(day_s),
+            SimDuration::from_secs_f64(day_s),
+            37,
+        );
+        exp.run_meters = meters;
+        exp.run()
+    };
+    let with = run(true);
+    let without = run(false);
+    let v_with = with.services[0].serverless_violation_ratio();
+    let v_without = without.services[0].serverless_violation_ratio();
+    assert!(
+        v_without >= v_with * 0.8,
+        "blind run should not beat the monitored one: {v_without} vs {v_with}"
+    );
+}
+
+#[test]
+fn cold_start_storm_under_tiny_keep_alive() {
+    // A platform that reclaims idle containers after 1 s keep-alive:
+    // every lull re-cold-starts the pool. The system must survive (no
+    // lost queries) and the cold-start count must explode relative to
+    // the default platform.
+    let day_s = 180.0;
+    let run = |keep_alive_s: u64, seed: u64| {
+        let mut exp = Experiment::new(
+            SystemVariant::OpenWhisk,
+            scenario(day_s),
+            SimDuration::from_secs_f64(day_s),
+            seed,
+        );
+        exp.serverless_cfg = ServerlessConfig {
+            keep_alive: SimDuration::from_secs(keep_alive_s),
+            ..Default::default()
+        };
+        exp.run()
+    };
+    let storm = run(1, 41);
+    let normal = run(60, 41);
+    for s in &storm.services {
+        assert_eq!(s.submitted, s.completed, "{}", s.name);
+    }
+    assert!(
+        storm.cold_starts > normal.cold_starts * 3,
+        "tiny keep-alive must cause a cold-start storm: {} vs {}",
+        storm.cold_starts,
+        normal.cold_starts
+    );
+    // And the QoS pays for it.
+    assert!(
+        storm.services[0].violation_ratio() > normal.services[0].violation_ratio(),
+        "storm {} vs normal {}",
+        storm.services[0].violation_ratio(),
+        normal.services[0].violation_ratio()
+    );
+}
+
+#[test]
+fn memory_starved_pool_still_conserves_queries() {
+    // A pool with room for only 8 containers shared by three tenants:
+    // constant eviction churn and queueing, but nothing is lost and the
+    // FIFO queue eventually drains everything.
+    let day_s = 120.0;
+    let mut exp = Experiment::new(
+        SystemVariant::OpenWhisk,
+        scenario(day_s),
+        SimDuration::from_secs_f64(day_s),
+        43,
+    );
+    exp.serverless_cfg = ServerlessConfig {
+        pool_memory_mb: 8.0 * 256.0,
+        ..Default::default()
+    };
+    let r = exp.run();
+    for s in &r.services {
+        assert_eq!(s.submitted, s.completed, "{}", s.name);
+    }
+    // Such a pool cannot hold the peak: violations must be substantial
+    // (this is the §IV-A memory ceiling binding).
+    assert!(
+        r.services[0].violation_ratio() > 0.2,
+        "an 8-container pool should buckle: {}",
+        r.services[0].violation_ratio()
+    );
+}
+
+#[test]
+fn flash_crowd_on_pure_serverless_recovers() {
+    // A 4x flash crowd hits a serverless-pinned service; once the burst
+    // passes, latencies recover (the backlog drains rather than
+    // wedging).
+    let day_s = 300.0;
+    let spec = benchmarks::matmul();
+    let trace =
+        LoadTrace::new(DiurnalPattern::flat(0.25), spec.peak_qps, day_s).with_burst(Burst {
+            start: SimTime::from_secs(100),
+            duration_s: 30.0,
+            magnitude: 1.0,
+        });
+    let services = vec![ServiceSetup {
+        trace,
+        spec,
+        background: false,
+    }];
+    let r = Experiment::new(
+        SystemVariant::OpenWhisk,
+        services,
+        SimDuration::from_secs_f64(day_s),
+        47,
+    )
+    .run();
+    let fg = &r.services[0];
+    assert_eq!(fg.submitted, fg.completed);
+    // Mean load after the burst window returns to the pre-burst level
+    // (load estimator sanity) …
+    let pre = fg
+        .load_timeline
+        .mean_step(SimTime::from_secs(60), SimTime::from_secs(95));
+    let post = fg
+        .load_timeline
+        .mean_step(SimTime::from_secs(200), SimTime::from_secs(290));
+    assert!((post - pre).abs() / pre < 0.4, "pre {pre} post {post}");
+}
+
+#[test]
+fn zero_load_service_is_harmless() {
+    // A registered service that never receives a query must not disturb
+    // the others or the accounting.
+    let day_s = 120.0;
+    let mut setups = scenario(day_s);
+    let mut idle = benchmarks::linpack();
+    idle.name = "idle".into();
+    setups.push(ServiceSetup {
+        trace: LoadTrace::new(DiurnalPattern::flat(0.0001), 0.001, day_s),
+        spec: idle,
+        background: true,
+    });
+    let r = Experiment::new(
+        SystemVariant::Amoeba,
+        setups,
+        SimDuration::from_secs_f64(day_s),
+        53,
+    )
+    .run();
+    let idle_svc = r.services.last().unwrap();
+    assert!(
+        idle_svc.completed <= 2,
+        "idle service saw {} queries",
+        idle_svc.completed
+    );
+    assert_eq!(r.services[0].submitted, r.services[0].completed);
+}

@@ -1,0 +1,135 @@
+//! Cross-stack property tests: randomised workloads and demand vectors
+//! through the full platform, with bounded case counts (each case is a
+//! complete simulation).
+
+use amoeba::platform::{
+    ClusterEvent, Effect, Query, QueryId, ServerlessConfig, ServerlessPlatform,
+};
+use amoeba::sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba::workload::{DemandVector, MicroserviceSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = MicroserviceSpec> {
+    (0.005f64..0.3, 32f64..200.0, 0f64..80.0, 0f64..30.0).prop_map(|(cpu, mem, io, net)| {
+        MicroserviceSpec {
+            name: "prop".into(),
+            demand: DemandVector {
+                cpu_s: cpu,
+                mem_mb: mem,
+                io_mb: io,
+                net_mb: net,
+            },
+            qos_target_s: 5.0,
+            qos_percentile: 0.95,
+            peak_qps: 50.0,
+            container_mem_mb: 256.0,
+        }
+    })
+}
+
+/// Run a batch of queries through a fresh serverless platform to
+/// completion; returns (completions, latencies in seconds).
+fn drive(spec: MicroserviceSpec, arrivals_ms: Vec<u64>, seed: u64) -> (usize, Vec<f64>) {
+    let mut platform = ServerlessPlatform::new(ServerlessConfig::default());
+    let mut rng = SimRng::seed_from_u64(seed);
+    let sid = platform.register(spec);
+    let mut queue: EventQueue<ClusterEvent> = EventQueue::new();
+    let mut latencies = Vec::new();
+    let mut completions = 0usize;
+    let absorb = |effects: Vec<Effect>,
+                  now: SimTime,
+                  queue: &mut EventQueue<ClusterEvent>,
+                  latencies: &mut Vec<f64>,
+                  completions: &mut usize| {
+        for e in effects {
+            match e {
+                Effect::Schedule { after, event } => {
+                    queue.push(now + after, event);
+                }
+                Effect::Completed(o) => {
+                    *completions += 1;
+                    latencies.push(o.latency().as_secs_f64());
+                }
+                _ => {}
+            }
+        }
+    };
+    // Interleave arrivals with due platform events (arrivals are sorted).
+    let mut sorted = arrivals_ms.clone();
+    sorted.sort_unstable();
+    for (i, &ms) in sorted.iter().enumerate() {
+        let t = SimTime::ZERO + SimDuration::from_millis(ms);
+        while let Some(peek) = queue.peek_time() {
+            if peek > t {
+                break;
+            }
+            let ev = queue.pop().unwrap();
+            let eff = platform.handle(ev.payload, ev.time, &mut rng);
+            absorb(eff, ev.time, &mut queue, &mut latencies, &mut completions);
+        }
+        let q = Query {
+            id: QueryId(i as u64),
+            service: sid,
+            submitted: t,
+        };
+        let eff = platform.submit(q, t, &mut rng);
+        absorb(eff, t, &mut queue, &mut latencies, &mut completions);
+    }
+    while let Some(ev) = queue.pop() {
+        let eff = platform.handle(ev.payload, ev.time, &mut rng);
+        absorb(eff, ev.time, &mut queue, &mut latencies, &mut completions);
+    }
+    (completions, latencies)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every submitted query completes exactly once, for arbitrary demand
+    /// vectors and arrival patterns (including simultaneous arrivals).
+    #[test]
+    fn serverless_platform_conserves_queries(
+        spec in spec_strategy(),
+        arrivals in proptest::collection::vec(0u64..30_000, 1..150),
+        seed in 0u64..1000,
+    ) {
+        let n = arrivals.len();
+        let (completions, latencies) = drive(spec, arrivals, seed);
+        prop_assert_eq!(completions, n);
+        prop_assert_eq!(latencies.len(), n);
+        for l in &latencies {
+            prop_assert!(l.is_finite() && *l > 0.0);
+        }
+    }
+
+    /// No query beats the physics: end-to-end latency is never below the
+    /// service's uncontended execution time (overheads and jitter only
+    /// add — jitter is multiplicative lognormal, bounded below by the
+    /// 5-sigma floor we allow here).
+    #[test]
+    fn latency_never_beats_solo_exec(
+        spec in spec_strategy(),
+        arrivals in proptest::collection::vec(0u64..20_000, 1..60),
+        seed in 0u64..1000,
+    ) {
+        let solo = spec.demand.solo_exec_seconds(500.0, 250.0);
+        let (_, latencies) = drive(spec, arrivals, seed);
+        let floor = solo * 0.75; // 5-sigma of the 5% lognormal jitter
+        for l in &latencies {
+            prop_assert!(*l >= floor, "latency {l} below solo floor {floor}");
+        }
+    }
+
+    /// The platform is a pure function of (inputs, seed).
+    #[test]
+    fn platform_is_deterministic(
+        spec in spec_strategy(),
+        arrivals in proptest::collection::vec(0u64..10_000, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let a = drive(spec.clone(), arrivals.clone(), seed);
+        let b = drive(spec, arrivals, seed);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+}
