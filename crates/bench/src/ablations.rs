@@ -4,14 +4,17 @@
 //! choices called out in DESIGN.md.
 
 use crate::report::{row, Report};
-use crate::scenarios::{foregrounds, run_cell, standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED};
+use crate::scenarios::{
+    foregrounds, run_cell, run_cell_traced, standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED,
+};
 use crate::steady::max_steady_qps;
 use amoeba_core::controller::ServiceModel;
 use amoeba_core::{ControllerConfig, DeploymentController, SystemVariant};
+use amoeba_json::json;
 use amoeba_meters::LatencySurface;
 use amoeba_platform::ServerlessConfig;
+use amoeba_telemetry::{Mode, SwitchPhase, Trace, ViolationCause};
 use amoeba_workload::MicroserviceSpec;
-use serde_json::json;
 
 /// Fig. 14: resource usage of Amoeba vs Amoeba-NoM, both normalised to
 /// Nameko (paper: NoM costs up to 1.77× CPU and 2.38× memory relative
@@ -41,8 +44,8 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
             .map(|b| {
                 s.spawn(move || {
                     let nameko = run_cell(SystemVariant::Nameko, b.clone(), day_s, seed);
-                    let amoeba = run_cell(SystemVariant::Amoeba, b.clone(), day_s, seed);
-                    let nom = run_cell(SystemVariant::AmoebaNoM, b.clone(), day_s, seed);
+                    let amoeba = run_cell_traced(SystemVariant::Amoeba, b.clone(), day_s, seed);
+                    let nom = run_cell_traced(SystemVariant::AmoebaNoM, b.clone(), day_s, seed);
                     (b.name.clone(), nameko, amoeba, nom)
                 })
             })
@@ -52,7 +55,7 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
             .map(|h| h.join().expect("run"))
             .collect()
     });
-    for (name, nameko, amoeba, nom) in results {
+    for (name, nameko, (amoeba, amoeba_trace), (nom, nom_trace)) in results {
         let base = &nameko.services[0].usage;
         let a_cpu = amoeba.services[0].usage.cpu_relative_to(base);
         let n_cpu = nom.services[0].usage.cpu_relative_to(base);
@@ -61,12 +64,15 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
         // The mechanism behind the usage gap (§VII-C): NoM's pessimistic
         // accumulation lowers λ(μ), so its switch *to serverless* fires
         // at a lower load — later on the descending shoulder of the day.
-        let down_load = |run: &amoeba_core::RunResult| {
-            let loads: Vec<f64> = run.services[0]
-                .switch_history
-                .iter()
-                .filter(|(_, m, _)| matches!(m, amoeba_core::DeployMode::Serverless))
-                .map(|(_, _, l)| *l)
+        // Read off the telemetry stream: the load the controller saw at
+        // each `Requested` step toward serverless.
+        let down_load = |trace: &Trace| {
+            let loads: Vec<f64> = trace
+                .switch_events()
+                .filter(|e| {
+                    e.service == 0 && e.phase == SwitchPhase::Requested && e.to == Mode::Serverless
+                })
+                .map(|e| e.load_qps)
                 .collect();
             if loads.is_empty() {
                 f64::NAN
@@ -74,8 +80,8 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
                 loads.iter().sum::<f64>() / loads.len() as f64
             }
         };
-        let a_down = down_load(&amoeba);
-        let n_down = down_load(&nom);
+        let a_down = down_load(&amoeba_trace);
+        let n_down = down_load(&nom_trace);
         r.line(row(
             &[
                 name.clone(),
@@ -95,8 +101,8 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
             "name": name,
             "amoeba_cpu": a_cpu, "nom_cpu": n_cpu,
             "amoeba_mem": a_mem, "nom_mem": n_mem,
-            "amoeba_down_load": if a_down.is_nan() { serde_json::Value::Null } else { json!(a_down) },
-            "nom_down_load": if n_down.is_nan() { serde_json::Value::Null } else { json!(n_down) },
+            "amoeba_down_load": if a_down.is_nan() { amoeba_json::Value::Null } else { json!(a_down) },
+            "nom_down_load": if n_down.is_nan() { amoeba_json::Value::Null } else { json!(n_down) },
         }));
     }
     r.json = json!(out);
@@ -263,7 +269,7 @@ pub fn fig15(seed: u64) -> Report {
 /// Amoeba alongside for contrast.
 pub fn fig16(day_s: f64, seed: u64) -> Report {
     let mut r = Report::new("fig16", "QoS violation of the benchmarks with Amoeba-NoP");
-    let w = [12, 12, 12, 13, 13, 10];
+    let w = [12, 12, 12, 13, 13, 10, 10];
     r.line(row(
         &[
             "Name".into(),
@@ -272,6 +278,7 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
             "NoP sl-viol%".into(),
             "A sl-viol%".into(),
             "switches".into(),
+            "cold%".into(),
         ],
         &w,
     ));
@@ -281,7 +288,7 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
             .into_iter()
             .map(|b| {
                 s.spawn(move || {
-                    let nop = run_cell(SystemVariant::AmoebaNoP, b.clone(), day_s, seed);
+                    let nop = run_cell_traced(SystemVariant::AmoebaNoP, b.clone(), day_s, seed);
                     let amoeba = run_cell(SystemVariant::Amoeba, b.clone(), day_s, seed);
                     (b.name.clone(), nop, amoeba)
                 })
@@ -292,12 +299,24 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
             .map(|h| h.join().expect("run"))
             .collect()
     });
-    for (name, nop, amoeba) in results {
+    for (name, (nop, nop_trace), amoeba) in results {
         let v_nop = nop.services[0].violation_ratio();
         let v_amoeba = amoeba.services[0].violation_ratio();
         let sl_nop = nop.services[0].serverless_violation_ratio();
         let sl_amoeba = amoeba.services[0].serverless_violation_ratio();
         let switches = nop.services[0].switch_history.len();
+        // The paper's causal claim — NoP violates *because of cold
+        // starts* — read directly off the trace's attribution.
+        let nop_viols = nop_trace.violations().filter(|v| v.service == 0).count();
+        let nop_cold = nop_trace
+            .violations()
+            .filter(|v| v.service == 0 && v.cause == ViolationCause::ColdStart)
+            .count();
+        let cold_share = if nop_viols > 0 {
+            nop_cold as f64 / nop_viols as f64
+        } else {
+            0.0
+        };
         r.line(row(
             &[
                 name.clone(),
@@ -306,6 +325,7 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
                 format!("{:.2}", sl_nop * 100.0),
                 format!("{:.2}", sl_amoeba * 100.0),
                 format!("{switches}"),
+                format!("{:.0}", cold_share * 100.0),
             ],
             &w,
         ));
@@ -316,6 +336,7 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
             "nop_serverless_violation": sl_nop,
             "amoeba_serverless_violation": sl_amoeba,
             "switches": switches,
+            "nop_cold_start_share": cold_share,
         }));
     }
     r.json = json!(out);

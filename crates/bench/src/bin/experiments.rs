@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 overhead ablation-slowdown.
+//! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
+//! ablation-prewarm ablation-percentile week ablation-placement trace.
 
 use amoeba_bench::{ablations, evaluation, extensions, investigation, profiling, Report};
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
@@ -36,6 +37,7 @@ fn by_id(id: &str) -> Option<Report> {
         "ablation-percentile" => extensions::ablation_percentile(DEFAULT_DAY_S, DEFAULT_SEED),
         "week" => extensions::week(DEFAULT_DAY_S, DEFAULT_SEED),
         "ablation-placement" => extensions::ablation_placement(DEFAULT_SEED),
+        "trace" => extensions::trace_summary(DEFAULT_DAY_S, DEFAULT_SEED),
         _ => return None,
     };
     Some(r)
@@ -61,6 +63,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "ablation-percentile",
             "week",
             "ablation-placement",
+            "trace",
         ],
     ),
 ];
@@ -103,12 +106,12 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{}.json", report.id);
             let mut f = std::fs::File::create(&path).expect("create json file");
-            let blob = serde_json::json!({
+            let blob = amoeba_json::json!({
                 "id": report.id,
                 "title": report.title,
                 "data": report.json,
             });
-            writeln!(f, "{}", serde_json::to_string_pretty(&blob).unwrap()).expect("write json");
+            writeln!(f, "{}", amoeba_json::to_string_pretty(&blob).unwrap()).expect("write json");
         }
     }
 }

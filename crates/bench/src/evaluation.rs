@@ -4,9 +4,9 @@
 use crate::report::{row, Report};
 use crate::scenarios::{foregrounds, run_cell, DEFAULT_DAY_S, DEFAULT_SEED};
 use amoeba_core::{DeployMode, RunResult, SystemVariant};
+use amoeba_json::json;
 use amoeba_metrics::Cdf;
 use amoeba_sim::{SimDuration, SimTime};
-use serde_json::json;
 
 /// Run the (benchmark × variant) grid in parallel.
 fn run_grid(variants: &[SystemVariant], day_s: f64, seed: u64) -> Vec<(String, Vec<RunResult>)> {

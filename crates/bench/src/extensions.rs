@@ -3,12 +3,14 @@
 //! choices DESIGN.md calls out (prewarm sizing, percentile estimator).
 
 use crate::report::{row, Report};
-use crate::scenarios::{foregrounds, run_cell, standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED};
+use crate::scenarios::{
+    foregrounds, run_cell, run_cell_traced, standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED,
+};
 use amoeba_core::{Experiment, ServiceSetup, SystemVariant};
+use amoeba_json::json;
 use amoeba_metrics::{CostModel, LogHistogram};
 use amoeba_sim::SimDuration;
 use amoeba_workload::{DiurnalPattern, LoadTrace};
-use serde_json::json;
 
 /// Maintainer-side billing: what each deployment strategy costs under a
 /// public-cloud price card (IaaS rent vs Lambda-style per-invocation).
@@ -95,7 +97,10 @@ pub fn multi_tenant(day_s: f64, seed: u64) -> Report {
                 background: false,
             })
             .collect();
-        Experiment::new(variant, services, SimDuration::from_secs_f64(day_s), seed).run()
+        Experiment::builder(variant, SimDuration::from_secs_f64(day_s), seed)
+            .services(services)
+            .build()
+            .run()
     };
     let (mut amoeba, nameko) = std::thread::scope(|s| {
         let a = s.spawn(|| build(SystemVariant::Amoeba));
@@ -177,13 +182,14 @@ pub fn ablation_prewarm(day_s: f64, seed: u64) -> Report {
             .map(|factor| {
                 let spec = spec.clone();
                 s.spawn(move || {
-                    let mut exp = Experiment::new(
+                    let exp = Experiment::builder(
                         SystemVariant::Amoeba,
-                        standard_scenario(spec, day_s),
                         SimDuration::from_secs_f64(day_s),
                         seed,
-                    );
-                    exp.prewarm_factor = factor;
+                    )
+                    .services(standard_scenario(spec, day_s))
+                    .prewarm_factor(factor)
+                    .build();
                     (factor, exp.run())
                 })
             })
@@ -294,7 +300,10 @@ pub fn week(day_s: f64, seed: u64) -> Report {
         background: false,
     }];
     let horizon = SimDuration::from_secs_f64(day_s * 7.0);
-    let run = Experiment::new(SystemVariant::Amoeba, services, horizon, seed).run();
+    let run = Experiment::builder(SystemVariant::Amoeba, horizon, seed)
+        .services(services)
+        .build()
+        .run();
     let fg = &run.services[0];
     let w = [8, 10, 14, 12];
     r.line(row(
@@ -465,6 +474,44 @@ pub fn ablation_placement(seed: u64) -> Report {
     r
 }
 
+/// One traced Amoeba run summarised from the telemetry stream alone —
+/// switch count, time-in-mode, and violation attribution all come from
+/// [`amoeba_telemetry::Trace::summary`], nothing from the `RunResult`.
+pub fn trace_summary(day_s: f64, seed: u64) -> Report {
+    let mut r = Report::new("trace", "Telemetry trace summary of one Amoeba run");
+    let spec = amoeba_workload::benchmarks::float();
+    let (_run, trace) = run_cell_traced(SystemVariant::Amoeba, spec, day_s, seed);
+    let summary = trace.summary();
+    for line in summary.to_string().lines() {
+        r.line(line.to_string());
+    }
+    let services: Vec<_> = summary
+        .services
+        .iter()
+        .map(|(name, s)| {
+            json!({
+                "name": name.clone(),
+                "switches": s.switches,
+                "aborted": s.aborted,
+                "time_in_iaas_s": s.time_in_iaas.as_secs_f64(),
+                "time_in_serverless_s": s.time_in_serverless.as_secs_f64(),
+                "violations_cold_start": s.violations_cold_start,
+                "violations_queueing": s.violations_queueing,
+                "violations_contention": s.violations_contention,
+            })
+        })
+        .collect();
+    r.json = json!({
+        "events": trace.len(),
+        "ticks": summary.ticks,
+        "heartbeats": summary.heartbeats,
+        "switches": summary.switches,
+        "aborted_switches": summary.aborted_switches,
+        "services": services,
+    });
+    r
+}
+
 /// All extension reports at default scale.
 pub fn all() -> Vec<Report> {
     vec![
@@ -474,6 +521,7 @@ pub fn all() -> Vec<Report> {
         ablation_percentile(DEFAULT_DAY_S, DEFAULT_SEED),
         week(DEFAULT_DAY_S, DEFAULT_SEED),
         ablation_placement(DEFAULT_SEED),
+        trace_summary(DEFAULT_DAY_S, DEFAULT_SEED),
     ]
 }
 

@@ -4,10 +4,10 @@ use crate::report::{row, Report};
 use crate::scenarios::{run_cell, DEFAULT_DAY_S, DEFAULT_SEED};
 use crate::steady::max_steady_qps;
 use amoeba_core::SystemVariant;
+use amoeba_json::json;
 use amoeba_platform::{required_cores, IaasConfig, NodeConfig, ServerlessConfig};
 use amoeba_workload::benchmarks::{self, SOLO_IO_RATE_MBPS, SOLO_NET_RATE_MBPS};
 use amoeba_workload::ResourceKind;
-use serde_json::json;
 
 /// Table II: the simulated platform configuration.
 pub fn table2() -> Report {
@@ -27,7 +27,12 @@ pub fn table2() -> Report {
         ia.boot_time_s,
         ia.sizing_headroom
     ));
-    r.json = serde_json::to_value(node).unwrap_or_default();
+    r.json = json!({
+        "cores": node.cores,
+        "dram_mb": node.dram_mb,
+        "disk_bw_mbps": node.disk_bw_mbps,
+        "nic_bw_mbps": node.nic_bw_mbps,
+    });
     r
 }
 
@@ -248,14 +253,21 @@ pub fn fig4(seed: u64) -> Report {
             spec: spec.clone(),
             background: false,
         }];
-        let run = amoeba_core::Experiment::new(
+        // Run with the memory sink attached and rebuild the breakdown
+        // from the trace's warm samples — the report is a pure consumer
+        // of the telemetry stream.
+        let (_run, trace) = amoeba_core::Experiment::builder(
             SystemVariant::OpenWhisk,
-            services,
             amoeba_sim::SimDuration::from_secs_f64(DEFAULT_DAY_S / 4.0),
             seed,
         )
-        .run();
-        let bd = &run.services[0].breakdown;
+        .services(services)
+        .build()
+        .run_traced();
+        let bd = amoeba_core::BreakdownMeans::from_warm_samples(
+            trace.warm_samples().filter(|s| s.service == 0),
+        );
+        let bd = &bd;
         r.line(row(
             &[
                 b.name.clone(),

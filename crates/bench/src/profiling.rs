@@ -3,10 +3,10 @@
 
 use crate::report::{row, Report};
 use amoeba_core::profiler::profile_meter_empirical;
+use amoeba_json::json;
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve};
 use amoeba_platform::ServerlessConfig;
 use amoeba_workload::benchmarks;
-use serde_json::json;
 
 const RESOURCES: [&str; 3] = ["CPU", "IO", "Network"];
 

@@ -1,6 +1,6 @@
 //! Experiment output: human-readable text plus machine-readable JSON.
 
-use serde_json::Value;
+use amoeba_json::Value;
 
 /// One experiment's rendered result.
 #[derive(Debug, Clone)]

@@ -51,12 +51,9 @@ pub fn standard_experiment(
     day_s: f64,
     seed: u64,
 ) -> Experiment {
-    Experiment::new(
-        variant,
-        standard_scenario(foreground, day_s),
-        SimDuration::from_secs_f64(day_s),
-        seed,
-    )
+    Experiment::builder(variant, SimDuration::from_secs_f64(day_s), seed)
+        .services(standard_scenario(foreground, day_s))
+        .build()
 }
 
 /// Run one (variant, benchmark) cell of the evaluation grid.
@@ -67,6 +64,18 @@ pub fn run_cell(
     seed: u64,
 ) -> amoeba_core::RunResult {
     standard_experiment(variant, foreground, day_s, seed).run()
+}
+
+/// [`run_cell`] with the telemetry stream captured — for analyses that
+/// read the controller/switch record instead of the aggregate results.
+/// The results half is bit-identical to [`run_cell`] at the same seed.
+pub fn run_cell_traced(
+    variant: SystemVariant,
+    foreground: MicroserviceSpec,
+    day_s: f64,
+    seed: u64,
+) -> (amoeba_core::RunResult, amoeba_telemetry::Trace) {
+    standard_experiment(variant, foreground, day_s, seed).run_traced()
 }
 
 /// The five foreground benchmarks in Table III order.

@@ -39,13 +39,15 @@ pub fn steady_qos_latency(
             background: true,
         });
     }
-    let mut exp = Experiment::new(variant, services, SimDuration::from_secs_f64(PROBE_S), seed);
-    exp.serverless_cfg = serverless_cfg;
     // The warm pool needs time to grow to its steady LIFO size before
     // the percentile is representative (cold-start transients are a
     // start-up artefact at a *steady* rate, not part of the sustained
     // capacity the probe measures).
-    exp.warmup = SimDuration::from_secs(60);
+    let exp = Experiment::builder(variant, SimDuration::from_secs_f64(PROBE_S), seed)
+        .services(services)
+        .serverless_cfg(serverless_cfg)
+        .warmup(SimDuration::from_secs(60))
+        .build();
     let mut run = exp.run();
     let fg = &mut run.services[0];
     if fg.completed < 50 {
@@ -78,14 +80,15 @@ pub fn steady_probe(
             background: true,
         });
     }
-    let mut exp = Experiment::new(
+    let exp = Experiment::builder(
         SystemVariant::OpenWhisk,
-        services,
         SimDuration::from_secs_f64(PROBE_S * 1.5),
         seed,
-    );
-    exp.serverless_cfg = serverless_cfg;
-    exp.warmup = SimDuration::from_secs(20);
+    )
+    .services(services)
+    .serverless_cfg(serverless_cfg)
+    .warmup(SimDuration::from_secs(20))
+    .build();
     let run = exp.run();
     let bd = &run.services[0].breakdown;
     let mean_service = bd.auth_s + bd.code_load_s + bd.result_post_s + bd.exec_s;

@@ -1,9 +1,7 @@
 //! The systems compared in the paper's evaluation (§VII).
 
-use serde::{Deserialize, Serialize};
-
 /// Which system runs an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemVariant {
     /// Pure IaaS baseline — Nameko on peak-sized VMs, never switches.
     Nameko,

@@ -26,17 +26,26 @@
 use amoeba_meters::LatencySurface;
 use amoeba_queueing::MmnModel;
 use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::TickReason;
 use amoeba_workload::MicroserviceSpec;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Where a service's queries are currently routed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeployMode {
     /// Dedicated VM group.
     Iaas,
     /// Shared serverless pool.
     Serverless,
+}
+
+impl From<DeployMode> for amoeba_telemetry::Mode {
+    fn from(m: DeployMode) -> Self {
+        match m {
+            DeployMode::Iaas => amoeba_telemetry::Mode::Iaas,
+            DeployMode::Serverless => amoeba_telemetry::Mode::Serverless,
+        }
+    }
 }
 
 /// The controller's verdict for one service at one control tick.
@@ -50,8 +59,53 @@ pub enum Decision {
     SwitchToIaas,
 }
 
+impl From<Decision> for amoeba_telemetry::TraceDecision {
+    fn from(d: Decision) -> Self {
+        match d {
+            Decision::Stay => amoeba_telemetry::TraceDecision::Stay,
+            Decision::SwitchToServerless => amoeba_telemetry::TraceDecision::SwitchToServerless,
+            Decision::SwitchToIaas => amoeba_telemetry::TraceDecision::SwitchToIaas,
+        }
+    }
+}
+
+/// Whose pressure contribution [`DeploymentController::adjust_pressures`]
+/// applies: project the service's own serverless footprint onto the
+/// measured pressure, or strip it back out. The two operations are
+/// inverses below the clamps, and pairing them through one entry point
+/// keeps callers from mixing up which direction a given mode requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnPressure {
+    /// Add the service's projected contribution at the given load (an
+    /// IaaS-resident candidate being evaluated for admission — the pool
+    /// has not felt it yet). Clamped to ≤ 0.97 per resource.
+    Added,
+    /// Remove the service's contribution at the given load (a
+    /// pool-resident service whose own traffic must not read as
+    /// co-tenant contention). Clamped to ≥ 0 per resource.
+    Removed,
+}
+
+/// The intermediate quantities behind one
+/// [`DeploymentController::decide_explained`] verdict — everything Eq. 5
+/// and Eq. 6 saw and produced, for the telemetry tick record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTrace {
+    /// Estimated load `V_u`, queries/second.
+    pub load_qps: f64,
+    /// Eq. 6 predicted per-container capacity `μ`, queries/second.
+    pub mu: f64,
+    /// Eq. 5 discriminant `λ(μ)`: the maximum admissible load.
+    pub lambda_max: f64,
+    /// The effective pressure vector the discriminant was evaluated at
+    /// (own contribution projected in for an IaaS candidate).
+    pub pressures: [f64; 3],
+    /// Why the verdict came out the way it did.
+    pub reason: TickReason,
+}
+
 /// Controller tuning.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ControllerConfig {
     /// Switch to serverless when `V_u < down_margin · λ(μ)`.
     pub down_margin: f64,
@@ -254,14 +308,26 @@ impl DeploymentController {
         model.discriminant_lambda(s.model.spec.qos_target_s, s.model.spec.qos_percentile)
     }
 
-    /// Pressure with this service's own serverless contribution removed
-    /// (used when the service already runs in the pool, so its own load
-    /// is not mistaken for co-tenant contention).
-    pub fn pressures_without_own(&self, idx: usize, pressures: [f64; 3], load: f64) -> [f64; 3] {
+    /// The measured pressure vector with this service's own serverless
+    /// contribution at `load` qps [`OwnPressure::Added`] (evaluating an
+    /// IaaS-resident candidate: project its footprint onto the pool) or
+    /// [`OwnPressure::Removed`] (a pool-resident service: its own
+    /// traffic is not co-tenant contention).
+    pub fn adjust_pressures(
+        &self,
+        idx: usize,
+        pressures: [f64; 3],
+        load: f64,
+        own: OwnPressure,
+    ) -> [f64; 3] {
         let s = &self.services[idx];
         let mut p = pressures;
         for r in 0..3 {
-            p[r] = (p[r] - load * s.model.util_per_qps[r]).max(0.0);
+            let delta = load * s.model.util_per_qps[r];
+            p[r] = match own {
+                OwnPressure::Added => (p[r] + delta).min(0.97),
+                OwnPressure::Removed => (p[r] - delta).max(0.0),
+            };
         }
         p
     }
@@ -320,39 +386,74 @@ impl DeploymentController {
         weights: [f64; 3],
         others: &[(usize, f64)],
     ) -> Decision {
-        if now.duration_since(last_switch) < self.cfg.min_dwell {
-            return Decision::Stay;
-        }
+        self.decide_explained(idx, mode, now, last_switch, pressures, weights, others)
+            .0
+    }
+
+    /// [`Self::decide`], plus the intermediate quantities the verdict was
+    /// derived from — the telemetry tick record. The decision is computed
+    /// exactly once (by this method); `decide` discards the trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_explained(
+        &self,
+        idx: usize,
+        mode: DeployMode,
+        now: SimTime,
+        last_switch: SimTime,
+        pressures: [f64; 3],
+        weights: [f64; 3],
+        others: &[(usize, f64)],
+    ) -> (Decision, DecisionTrace) {
+        let dwell_pending = now.duration_since(last_switch) < self.cfg.min_dwell;
         let load = self.estimated_load(idx, now);
-        match mode {
+        let (p_eff, lambda_max) = match mode {
             DeployMode::Iaas => {
                 // Measured pressure excludes this service (it runs on
                 // IaaS); project its own contribution at the candidate
                 // load on top, so self-contention is part of the
                 // admission decision — Fig. 9's surfaces are functions
                 // of (V_u, P) for exactly this reason.
-                let p_eff = self.pressures_with_own(idx, pressures, load);
-                let lambda_max = self.lambda_max(idx, p_eff, weights);
-                if load < self.cfg.down_margin * lambda_max
-                    && self.impact_ok(idx, load, pressures, others)
-                {
-                    Decision::SwitchToServerless
-                } else {
-                    Decision::Stay
+                let p = self.adjust_pressures(idx, pressures, load, OwnPressure::Added);
+                (p, self.lambda_max(idx, p, weights))
+            }
+            // Measured pressure already includes this service's own
+            // traffic: evaluate admissibility of the current load at
+            // the pressure that load creates.
+            DeployMode::Serverless => (pressures, self.lambda_max(idx, pressures, weights)),
+        };
+        let (decision, reason) = if dwell_pending {
+            (Decision::Stay, TickReason::DwellPending)
+        } else {
+            match mode {
+                DeployMode::Iaas => {
+                    if load >= self.cfg.down_margin * lambda_max {
+                        (Decision::Stay, TickReason::LoadAboveDownMargin)
+                    } else if !self.impact_ok(idx, load, pressures, others) {
+                        (Decision::Stay, TickReason::ImpactVetoed)
+                    } else {
+                        (
+                            Decision::SwitchToServerless,
+                            TickReason::LoadBelowDownMargin,
+                        )
+                    }
+                }
+                DeployMode::Serverless => {
+                    if load > self.cfg.up_margin * lambda_max {
+                        (Decision::SwitchToIaas, TickReason::LoadAboveUpMargin)
+                    } else {
+                        (Decision::Stay, TickReason::LoadBelowUpMargin)
+                    }
                 }
             }
-            DeployMode::Serverless => {
-                // Measured pressure already includes this service's own
-                // traffic: evaluate admissibility of the current load at
-                // the pressure that load creates.
-                let lambda_max = self.lambda_max(idx, pressures, weights);
-                if load > self.cfg.up_margin * lambda_max {
-                    Decision::SwitchToIaas
-                } else {
-                    Decision::Stay
-                }
-            }
-        }
+        };
+        let trace = DecisionTrace {
+            load_qps: load,
+            mu: self.predicted_mu(idx, p_eff, weights),
+            lambda_max,
+            pressures: p_eff,
+            reason,
+        };
+        (decision, trace)
     }
 
     /// The self-consistent admissible load: the largest `λ` with
@@ -364,7 +465,7 @@ impl DeploymentController {
     pub fn admissible_load(&self, idx: usize, p_env: [f64; 3], weights: [f64; 3]) -> f64 {
         let cap = self.services[idx].model.n_max as f64 * self.predicted_mu(idx, p_env, weights);
         let ok = |lam: f64| {
-            let p = self.pressures_with_own(idx, p_env, lam);
+            let p = self.adjust_pressures(idx, p_env, lam, OwnPressure::Added);
             lam <= self.lambda_max(idx, p, weights)
         };
         if !ok(1e-3) {
@@ -384,18 +485,6 @@ impl DeploymentController {
             }
         }
         lo
-    }
-
-    /// Pressure with this service's own projected serverless
-    /// contribution added (used when deciding whether to move an
-    /// IaaS-resident service onto the pool).
-    pub fn pressures_with_own(&self, idx: usize, pressures: [f64; 3], load: f64) -> [f64; 3] {
-        let s = &self.services[idx];
-        let mut p = pressures;
-        for r in 0..3 {
-            p[r] = (p[r] + load * s.model.util_per_qps[r]).min(0.97);
-        }
-        p
     }
 
     /// The service's registered model.
@@ -729,11 +818,11 @@ mod tests {
     #[test]
     fn own_pressure_subtraction() {
         let c = controller_with(vec![benchmarks::float()]);
-        let p = c.pressures_without_own(0, [0.5, 0.1, 0.1], 40.0);
+        let p = c.adjust_pressures(0, [0.5, 0.1, 0.1], 40.0, OwnPressure::Removed);
         assert!(p[0] < 0.5, "own cpu contribution removed: {p:?}");
         assert!(p.iter().all(|&x| x >= 0.0));
         // Subtracting more than present clamps at zero.
-        let p = c.pressures_without_own(0, [0.01, 0.0, 0.0], 500.0);
+        let p = c.adjust_pressures(0, [0.01, 0.0, 0.0], 500.0, OwnPressure::Removed);
         assert_eq!(p[0], 0.0);
     }
 
@@ -742,11 +831,59 @@ mod tests {
         let c = controller_with(vec![benchmarks::dd()]);
         let env = [0.1, 0.2, 0.05];
         let load = 8.0;
-        let with = c.pressures_with_own(0, env, load);
-        let back = c.pressures_without_own(0, with, load);
+        let with = c.adjust_pressures(0, env, load, OwnPressure::Added);
+        let back = c.adjust_pressures(0, with, load, OwnPressure::Removed);
         for r in 0..3 {
             assert!((back[r] - env[r]).abs() < 1e-9, "{back:?} vs {env:?}");
         }
+    }
+
+    #[test]
+    fn decide_explained_matches_decide_and_carries_reasons() {
+        let mut c = controller_with(vec![benchmarks::float()]);
+        let now = SimTime::from_secs(100);
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        // Low load on IaaS: switch down, reason LoadBelowDownMargin.
+        let (d, tr) = c.decide_explained(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::SwitchToServerless);
+        assert_eq!(tr.reason, TickReason::LoadBelowDownMargin);
+        assert!(tr.load_qps > 0.0 && tr.load_qps < tr.lambda_max);
+        assert!(tr.mu > 0.0);
+        // Dwell pending: Stay regardless of load, with the dwell reason —
+        // and the trace still carries the quantities for the record.
+        let (d, tr) = c.decide_explained(
+            0,
+            DeployMode::Iaas,
+            now,
+            now - SimDuration::from_secs(2),
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::Stay);
+        assert_eq!(tr.reason, TickReason::DwellPending);
+        assert!(tr.lambda_max > 0.0);
+        // decide() is the explained verdict with the trace discarded.
+        let d2 = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d2, Decision::SwitchToServerless);
     }
 
     #[test]
@@ -757,13 +894,13 @@ mod tests {
         assert!(lam > 0.0, "dd must be admissible at mild pressure");
         // Just inside: the predicate holds at the pressure the load
         // itself creates.
-        let p_in = c.pressures_with_own(0, env, lam * 0.98);
+        let p_in = c.adjust_pressures(0, env, lam * 0.98, OwnPressure::Added);
         assert!(
             lam * 0.98 <= c.lambda_max(0, p_in, CALIBRATED),
             "fixed point not satisfied from below"
         );
         // Just outside: it fails.
-        let p_out = c.pressures_with_own(0, env, lam * 1.05);
+        let p_out = c.adjust_pressures(0, env, lam * 1.05, OwnPressure::Added);
         assert!(
             lam * 1.05 > c.lambda_max(0, p_out, CALIBRATED),
             "fixed point not binding from above"

@@ -18,10 +18,10 @@
 use crate::controller::DeployMode;
 use amoeba_platform::ServiceId;
 use amoeba_sim::SimTime;
-use serde::{Deserialize, Serialize};
+use amoeba_telemetry::{SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink};
 
 /// Where the router sends a new query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteTarget {
     /// To the serverless pool.
     Serverless,
@@ -58,6 +58,39 @@ pub enum EngineAction {
     },
 }
 
+/// The platform-side effectors [`EngineAction`]s dispatch onto. The
+/// runtime implements this over its simulated platforms; a real
+/// deployment would implement it over OpenWhisk/IaaS control APIs.
+pub trait PlatformCommands {
+    /// Warm `count` containers for the service (`S_pw`); the platform
+    /// must eventually ack with a `PrewarmReady`-style effect.
+    fn prewarm(&mut self, service: ServiceId, count: u32, now: SimTime);
+    /// Boot the service's VM group; acks with `VmGroupReady`.
+    fn activate_vms(&mut self, service: ServiceId, now: SimTime);
+    /// Release the service's serverless containers (`S_sd`).
+    fn release_containers(&mut self, service: ServiceId, now: SimTime);
+    /// Drain and deallocate the service's VM group (`S_sd`).
+    fn release_vms(&mut self, service: ServiceId, now: SimTime);
+}
+
+/// Dispatch a batch of engine actions onto the platform effectors.
+pub fn dispatch_actions(
+    actions: Vec<EngineAction>,
+    now: SimTime,
+    platform: &mut dyn PlatformCommands,
+) {
+    for a in actions {
+        match a {
+            EngineAction::Prewarm { service, count } => platform.prewarm(service, count, now),
+            EngineAction::ActivateVms { service } => platform.activate_vms(service, now),
+            EngineAction::ReleaseContainers { service } => {
+                platform.release_containers(service, now)
+            }
+            EngineAction::ReleaseVms { service } => platform.release_vms(service, now),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Transition {
     Steady,
@@ -80,6 +113,33 @@ pub struct HybridEngine {
     routes: Vec<ServiceRoute>,
     /// Skip prewarming (Amoeba-NoP).
     prewarm_enabled: bool,
+}
+
+/// Record one switch-protocol stage. Callers pass the sink down from the
+/// runtime; the construction is guarded so the disabled sink costs one
+/// branch.
+#[allow(clippy::too_many_arguments)]
+fn emit_phase(
+    sink: &mut dyn TelemetrySink,
+    t: SimTime,
+    service: ServiceId,
+    from: DeployMode,
+    to: DeployMode,
+    phase: SwitchPhase,
+    prewarm_count: u32,
+    load_qps: f64,
+) {
+    if sink.enabled() {
+        sink.record(TelemetryEvent::Switch(SwitchRecord {
+            t,
+            service: service.raw() as usize,
+            from: from.into(),
+            to: to.into(),
+            phase,
+            prewarm_count,
+            load_qps,
+        }));
+    }
 }
 
 impl HybridEngine {
@@ -146,6 +206,10 @@ impl HybridEngine {
     /// `n` (ignored for switches toward IaaS). With prewarming disabled
     /// (NoP) a switch to serverless commits immediately and the returned
     /// actions already include the IaaS release.
+    ///
+    /// Emits a `Requested` switch-protocol stage to `sink` (for the NoP
+    /// immediate flip, also `Flip` and `ReleaseIssued` at the same
+    /// instant — the protocol collapses to one step).
     pub fn begin_switch(
         &mut self,
         service: ServiceId,
@@ -153,15 +217,27 @@ impl HybridEngine {
         prewarm_count: u32,
         load: f64,
         now: SimTime,
+        sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
         let r = &mut self.routes[service.raw() as usize];
         if r.mode == target || !matches!(r.transition, Transition::Steady) {
             return Vec::new();
         }
+        let from = r.mode;
         match target {
             DeployMode::Serverless => {
                 if self.prewarm_enabled {
                     r.transition = Transition::Preparing { target };
+                    emit_phase(
+                        sink,
+                        now,
+                        service,
+                        from,
+                        target,
+                        SwitchPhase::Requested,
+                        prewarm_count,
+                        load,
+                    );
                     vec![EngineAction::Prewarm {
                         service,
                         count: prewarm_count,
@@ -171,11 +247,28 @@ impl HybridEngine {
                     r.mode = DeployMode::Serverless;
                     r.last_switch = now;
                     r.history.push((now, DeployMode::Serverless, load));
+                    for phase in [
+                        SwitchPhase::Requested,
+                        SwitchPhase::Flip,
+                        SwitchPhase::ReleaseIssued,
+                    ] {
+                        emit_phase(sink, now, service, from, target, phase, 0, load);
+                    }
                     vec![EngineAction::ReleaseVms { service }]
                 }
             }
             DeployMode::Iaas => {
                 r.transition = Transition::Preparing { target };
+                emit_phase(
+                    sink,
+                    now,
+                    service,
+                    from,
+                    target,
+                    SwitchPhase::Requested,
+                    0,
+                    load,
+                );
                 vec![EngineAction::ActivateVms { service }]
             }
         }
@@ -186,12 +279,17 @@ impl HybridEngine {
     /// the switch history. Stale acks (no transition pending, or for the
     /// wrong side) are ignored — e.g. a VmGroupReady from an activation
     /// that a faster opposite decision already cancelled.
+    ///
+    /// Emits `Ack`, `Flip` and `ReleaseIssued` stages (all at `now`: the
+    /// router flips as soon as the ack lands, and the old side's release
+    /// is issued in the same step).
     pub fn on_ready(
         &mut self,
         service: ServiceId,
         side: DeployMode,
         load: f64,
         now: SimTime,
+        sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
         let r = &mut self.routes[service.raw() as usize];
         let Transition::Preparing { target } = r.transition else {
@@ -200,10 +298,18 @@ impl HybridEngine {
         if target != side {
             return Vec::new();
         }
+        let from = r.mode;
         r.mode = target;
         r.transition = Transition::Steady;
         r.last_switch = now;
         r.history.push((now, target, load));
+        for phase in [
+            SwitchPhase::Ack,
+            SwitchPhase::Flip,
+            SwitchPhase::ReleaseIssued,
+        ] {
+            emit_phase(sink, now, service, from, target, phase, 0, load);
+        }
         match target {
             DeployMode::Serverless => vec![EngineAction::ReleaseVms { service }],
             DeployMode::Iaas => vec![EngineAction::ReleaseContainers { service }],
@@ -212,12 +318,28 @@ impl HybridEngine {
 
     /// Abort an in-flight transition (e.g. the controller reversed its
     /// decision before the ack). The prepared resources are released.
-    pub fn abort_transition(&mut self, service: ServiceId) -> Vec<EngineAction> {
+    /// Emits an `Aborted` stage closing the open switch span.
+    pub fn abort_transition(
+        &mut self,
+        service: ServiceId,
+        now: SimTime,
+        sink: &mut dyn TelemetrySink,
+    ) -> Vec<EngineAction> {
         let r = &mut self.routes[service.raw() as usize];
         let Transition::Preparing { target } = r.transition else {
             return Vec::new();
         };
         r.transition = Transition::Steady;
+        emit_phase(
+            sink,
+            now,
+            service,
+            r.mode,
+            target,
+            SwitchPhase::Aborted,
+            0,
+            0.0,
+        );
         match target {
             DeployMode::Serverless => vec![EngineAction::ReleaseContainers { service }],
             DeployMode::Iaas => vec![EngineAction::ReleaseVms { service }],
@@ -228,6 +350,7 @@ impl HybridEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amoeba_telemetry::{MemorySink, Mode, NoopSink};
 
     const S: ServiceId = ServiceId(0);
 
@@ -245,8 +368,9 @@ mod tests {
 
     #[test]
     fn switch_to_serverless_prewarms_then_flips() {
+        let mut sink = NoopSink;
         let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
-        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 8.0, t(10));
+        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 8.0, t(10), &mut sink);
         assert_eq!(
             actions,
             vec![EngineAction::Prewarm {
@@ -258,7 +382,7 @@ mod tests {
         // transformation only occurs after acknowledgement received").
         assert_eq!(e.route(S), RouteTarget::Iaas);
         assert!(e.in_transition(S));
-        let actions = e.on_ready(S, DeployMode::Serverless, 8.0, t(12));
+        let actions = e.on_ready(S, DeployMode::Serverless, 8.0, t(12), &mut sink);
         assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
         assert_eq!(e.route(S), RouteTarget::Serverless);
         assert!(!e.in_transition(S));
@@ -268,11 +392,12 @@ mod tests {
 
     #[test]
     fn switch_to_iaas_boots_then_flips() {
+        let mut sink = NoopSink;
         let mut e = HybridEngine::new(1, DeployMode::Serverless, true);
-        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 80.0, t(20));
+        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 80.0, t(20), &mut sink);
         assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
         assert_eq!(e.route(S), RouteTarget::Serverless);
-        let actions = e.on_ready(S, DeployMode::Iaas, 80.0, t(31));
+        let actions = e.on_ready(S, DeployMode::Iaas, 80.0, t(31), &mut sink);
         assert_eq!(
             actions,
             vec![EngineAction::ReleaseContainers { service: S }]
@@ -282,54 +407,99 @@ mod tests {
 
     #[test]
     fn nop_variant_flips_immediately_without_prewarm() {
+        let mut sink = MemorySink::new();
         let mut e = HybridEngine::new(1, DeployMode::Iaas, false);
-        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 3.0, t(10));
+        let actions = e.begin_switch(S, DeployMode::Serverless, 5, 3.0, t(10), &mut sink);
         assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
         assert_eq!(e.route(S), RouteTarget::Serverless, "NoP routes directly");
         assert!(!e.in_transition(S));
         // Toward IaaS, NoP still waits for VMs (nothing cold-start-like
         // about that direction; the paper's ablation only drops container
         // prewarming).
-        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(30));
+        let actions = e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(30), &mut sink);
         assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
         assert_eq!(e.route(S), RouteTarget::Serverless);
+        // The NoP flip's telemetry span collapses to a single instant:
+        // requested, flipped and released at t=10, with no ack stage.
+        let spans = sink.into_trace().switch_spans();
+        assert_eq!(spans[0].requested, t(10));
+        assert_eq!(spans[0].flip, Some(t(10)));
+        assert_eq!(spans[0].release_issued, Some(t(10)));
+        assert_eq!(spans[0].ack, None);
+        assert!(spans[0].completed());
     }
 
     #[test]
     fn duplicate_switch_requests_are_ignored() {
+        let mut sink = NoopSink;
         let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
         assert!(!e
-            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1))
+            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1), &mut sink)
             .is_empty());
         // Second request while preparing: no-op.
         assert!(e
-            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2))
+            .begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2), &mut sink)
             .is_empty());
         // Request for the current mode: no-op.
         let mut e2 = HybridEngine::new(1, DeployMode::Iaas, true);
         assert!(e2
-            .begin_switch(S, DeployMode::Iaas, 3, 1.0, t(1))
+            .begin_switch(S, DeployMode::Iaas, 3, 1.0, t(1), &mut sink)
             .is_empty());
     }
 
     #[test]
+    fn second_switch_while_preparing_leaves_one_span() {
+        // A duplicate request during Preparing must not open a second
+        // telemetry span: the trace shows exactly one Requested stage.
+        let mut sink = MemorySink::new();
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1), &mut sink);
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.5, t(2), &mut sink);
+        // An opposite-direction request while preparing is also ignored
+        // by the engine (the controller aborts first if it reverses).
+        e.begin_switch(S, DeployMode::Iaas, 0, 50.0, t(3), &mut sink);
+        e.on_ready(S, DeployMode::Serverless, 1.0, t(4), &mut sink);
+        let trace = sink.into_trace();
+        let spans = trace.switch_spans();
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].requested, t(1));
+        assert_eq!(spans[0].ack, Some(t(4)));
+        assert!(spans[0].completed());
+    }
+
+    #[test]
     fn stale_or_mismatched_acks_ignored() {
+        let mut sink = MemorySink::new();
         let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
         // Ack with no transition pending.
-        assert!(e.on_ready(S, DeployMode::Serverless, 0.0, t(1)).is_empty());
+        assert!(e
+            .on_ready(S, DeployMode::Serverless, 0.0, t(1), &mut sink)
+            .is_empty());
         // Ack for the wrong side.
-        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2));
-        assert!(e.on_ready(S, DeployMode::Iaas, 0.0, t(3)).is_empty());
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(2), &mut sink);
+        assert!(e
+            .on_ready(S, DeployMode::Iaas, 0.0, t(3), &mut sink)
+            .is_empty());
         assert!(e.in_transition(S));
         // The right ack still lands.
-        assert!(!e.on_ready(S, DeployMode::Serverless, 1.0, t(4)).is_empty());
+        assert!(!e
+            .on_ready(S, DeployMode::Serverless, 1.0, t(4), &mut sink)
+            .is_empty());
+        // Ignored acks leave no trace stages: the span acks once, at the
+        // genuine ready time.
+        let trace = sink.into_trace();
+        assert_eq!(trace.switch_events().count(), 4); // Requested + Ack/Flip/Release
+        let spans = trace.switch_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ack, Some(t(4)));
     }
 
     #[test]
     fn abort_releases_prepared_side() {
+        let mut sink = MemorySink::new();
         let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
-        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1));
-        let actions = e.abort_transition(S);
+        e.begin_switch(S, DeployMode::Serverless, 3, 1.0, t(1), &mut sink);
+        let actions = e.abort_transition(S, t(2), &mut sink);
         assert_eq!(
             actions,
             vec![EngineAction::ReleaseContainers { service: S }]
@@ -337,16 +507,40 @@ mod tests {
         assert!(!e.in_transition(S));
         assert_eq!(e.route(S), RouteTarget::Iaas, "mode unchanged after abort");
         // Abort with nothing pending: no-op.
-        assert!(e.abort_transition(S).is_empty());
+        assert!(e.abort_transition(S, t(3), &mut sink).is_empty());
+        // The span closes as aborted, never flipped.
+        let spans = sink.into_trace().switch_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].aborted, Some(t(2)));
+        assert!(!spans[0].completed());
+        assert_eq!(spans[0].flip, None);
+    }
+
+    #[test]
+    fn prewarm_ack_ordering_is_visible_in_span() {
+        // Requested strictly precedes ack/flip; prewarm count recorded.
+        let mut sink = MemorySink::new();
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.begin_switch(S, DeployMode::Serverless, 7, 12.0, t(10), &mut sink);
+        e.on_ready(S, DeployMode::Serverless, 12.0, t(13), &mut sink);
+        let spans = sink.into_trace().switch_spans();
+        let s = &spans[0];
+        assert_eq!(s.prewarm_count, 7);
+        assert_eq!(s.from, Mode::Iaas);
+        assert_eq!(s.to, Mode::Serverless);
+        assert!(s.requested < s.ack.unwrap());
+        assert_eq!(s.ack, s.flip, "router flips on the ack");
+        assert_eq!(s.prewarm_duration().unwrap(), t(13) - t(10));
     }
 
     #[test]
     fn history_records_both_directions() {
+        let mut sink = NoopSink;
         let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
-        e.begin_switch(S, DeployMode::Serverless, 2, 4.0, t(10));
-        e.on_ready(S, DeployMode::Serverless, 4.0, t(12));
-        e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(50));
-        e.on_ready(S, DeployMode::Iaas, 90.0, t(61));
+        e.begin_switch(S, DeployMode::Serverless, 2, 4.0, t(10), &mut sink);
+        e.on_ready(S, DeployMode::Serverless, 4.0, t(12), &mut sink);
+        e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(50), &mut sink);
+        e.on_ready(S, DeployMode::Iaas, 90.0, t(61), &mut sink);
         let h = e.history(S);
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].1, DeployMode::Serverless);

@@ -36,4 +36,6 @@ pub use controller::{ControllerConfig, Decision, DeployMode, DeploymentControlle
 pub use engine::{EngineAction, HybridEngine, RouteTarget};
 pub use monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
 pub use monitor_nd::NdContentionMonitor;
-pub use runtime::{Experiment, RunResult, ServiceResult, ServiceSetup};
+pub use runtime::{
+    BreakdownMeans, Experiment, ExperimentBuilder, RunResult, ServiceResult, ServiceSetup,
+};

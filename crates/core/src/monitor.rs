@@ -14,7 +14,6 @@
 
 use amoeba_linalg::{Matrix, Pca};
 use amoeba_meters::ProfileCurve;
-use serde::{Deserialize, Serialize};
 
 /// Eq. 8: the lower bound on the sample period so that one accidental
 /// cold start inside a period cannot trick the controller into seeing a
@@ -42,7 +41,7 @@ pub fn sample_period_lower_bound(
 }
 
 /// Monitor configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MonitorConfig {
     /// EWMA smoothing factor for meter latencies (0 < α ≤ 1; higher =
     /// more reactive).
@@ -160,6 +159,13 @@ impl ContentionMonitor {
     /// The current Eq. 6 weights `w = (w_cpu, w_io, w_net)`.
     pub fn weights(&self) -> [f64; 3] {
         self.weights
+    }
+
+    /// The smoothed meter latencies `[cpu, io, net]` in seconds (`None`
+    /// where a meter has not reported yet). These are the raw inputs the
+    /// pressure inversion reads; telemetry heartbeats record them.
+    pub fn smoothed_latencies(&self) -> [Option<f64>; 3] {
+        self.smoothed_latency
     }
 
     /// Number of heartbeat samples currently in the PCA window.

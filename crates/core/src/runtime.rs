@@ -15,7 +15,7 @@ use crate::baselines::SystemVariant;
 use crate::controller::{
     prewarm_count, ControllerConfig, Decision, DeployMode, DeploymentController, ServiceModel,
 };
-use crate::engine::{EngineAction, HybridEngine, RouteTarget};
+use crate::engine::{dispatch_actions, HybridEngine, PlatformCommands, RouteTarget};
 use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve, METER_QPS};
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter, UsageSummary};
@@ -24,8 +24,12 @@ use amoeba_platform::{
     ServerlessConfig, ServerlessPlatform, ServiceId,
 };
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba_telemetry::{
+    HeartbeatRecord, MemorySink, NoopSink, ServiceInfo, SwitchPhase, SwitchRecord, TelemetryEvent,
+    TelemetrySink, TickReason, TickRecord, Trace, ViolationCause, ViolationRecord,
+    WarmSampleRecord,
+};
 use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals};
-use serde::{Deserialize, Serialize};
 
 /// Shadow queries (§III step 1: queries mirrored to the serverless
 /// platform while a service runs on IaaS, to keep the calibration fed)
@@ -80,34 +84,136 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Start describing an experiment. The three arguments every run
+    /// needs are taken up front; everything else defaults and can be
+    /// overridden fluently:
+    ///
+    /// ```ignore
+    /// let exp = Experiment::builder(SystemVariant::Amoeba, horizon, 42)
+    ///     .service(setup)
+    ///     .prewarm_factor(1.5)
+    ///     .build();
+    /// ```
+    pub fn builder(variant: SystemVariant, horizon: SimDuration, seed: u64) -> ExperimentBuilder {
+        ExperimentBuilder {
+            inner: Experiment {
+                serverless_cfg: ServerlessConfig::default(),
+                iaas_cfg: IaasConfig::default(),
+                controller_cfg: ControllerConfig::default(),
+                monitor_cfg: MonitorConfig::default(),
+                variant,
+                services: Vec::new(),
+                horizon,
+                warmup: SimDuration::from_secs(20),
+                seed,
+                control_period: SimDuration::from_secs(1),
+                usage_sample_period: SimDuration::from_millis(500),
+                run_meters: true,
+                prewarm_factor: 1.0,
+            },
+        }
+    }
+
     /// A ready-to-run experiment with default platform and component
     /// configurations.
+    #[deprecated(note = "use Experiment::builder(variant, horizon, seed)")]
     pub fn new(
         variant: SystemVariant,
         services: Vec<ServiceSetup>,
         horizon: SimDuration,
         seed: u64,
     ) -> Self {
-        Experiment {
-            serverless_cfg: ServerlessConfig::default(),
-            iaas_cfg: IaasConfig::default(),
-            controller_cfg: ControllerConfig::default(),
-            monitor_cfg: MonitorConfig::default(),
-            variant,
-            services,
-            horizon,
-            warmup: SimDuration::from_secs(20),
-            seed,
-            control_period: SimDuration::from_secs(1),
-            usage_sample_period: SimDuration::from_millis(500),
-            run_meters: true,
-            prewarm_factor: 1.0,
-        }
+        Experiment::builder(variant, horizon, seed)
+            .services(services)
+            .build()
+    }
+}
+
+/// Fluent constructor for [`Experiment`], from [`Experiment::builder`].
+///
+/// Field-by-field struct updates made every new experiment knob a
+/// breaking change at each call site; the builder keeps construction
+/// stable as knobs accrue. Setters may be called in any order and
+/// later calls win.
+pub struct ExperimentBuilder {
+    inner: Experiment,
+}
+
+impl ExperimentBuilder {
+    /// Add one service to the scenario (in registration order).
+    pub fn service(mut self, setup: ServiceSetup) -> Self {
+        self.inner.services.push(setup);
+        self
+    }
+
+    /// Add a batch of services (appended after any added so far).
+    pub fn services(mut self, setups: Vec<ServiceSetup>) -> Self {
+        self.inner.services.extend(setups);
+        self
+    }
+
+    /// Override the serverless platform configuration.
+    pub fn serverless_cfg(mut self, cfg: ServerlessConfig) -> Self {
+        self.inner.serverless_cfg = cfg;
+        self
+    }
+
+    /// Override the IaaS platform configuration.
+    pub fn iaas_cfg(mut self, cfg: IaasConfig) -> Self {
+        self.inner.iaas_cfg = cfg;
+        self
+    }
+
+    /// Override the controller tuning.
+    pub fn controller_cfg(mut self, cfg: ControllerConfig) -> Self {
+        self.inner.controller_cfg = cfg;
+        self
+    }
+
+    /// Override the monitor tuning.
+    pub fn monitor_cfg(mut self, cfg: MonitorConfig) -> Self {
+        self.inner.monitor_cfg = cfg;
+        self
+    }
+
+    /// Time at the start excluded from latency/QoS accounting.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.inner.warmup = warmup;
+        self
+    }
+
+    /// Controller tick period.
+    pub fn control_period(mut self, period: SimDuration) -> Self {
+        self.inner.control_period = period;
+        self
+    }
+
+    /// Usage/timeline sampling period.
+    pub fn usage_sample_period(mut self, period: SimDuration) -> Self {
+        self.inner.usage_sample_period = period;
+        self
+    }
+
+    /// Run (or disable) the background contention meters.
+    pub fn run_meters(mut self, run: bool) -> Self {
+        self.inner.run_meters = run;
+        self
+    }
+
+    /// Multiplier on the Eq. 7 prewarm count.
+    pub fn prewarm_factor(mut self, factor: f64) -> Self {
+        self.inner.prewarm_factor = factor;
+        self
+    }
+
+    /// Finish: the described experiment, ready to [`Experiment::run`].
+    pub fn build(self) -> Experiment {
+        self.inner
     }
 }
 
 /// Mean serverless latency breakdown (warm executions only) — Fig. 4.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BreakdownMeans {
     /// Samples aggregated.
     pub count: usize,
@@ -133,6 +239,24 @@ impl BreakdownMeans {
         upd(&mut self.exec_s, b.exec.as_secs_f64());
         upd(&mut self.queue_s, b.queue_wait.as_secs_f64());
         self.count += 1;
+    }
+
+    /// Rebuild the Fig. 4 means from a telemetry trace's warm samples.
+    /// Uses the same incremental fold as the in-run accumulation, so for
+    /// a full-run trace the values are bit-identical to
+    /// [`ServiceResult::breakdown`].
+    pub fn from_warm_samples<'a>(samples: impl Iterator<Item = &'a WarmSampleRecord>) -> Self {
+        let mut out = BreakdownMeans::default();
+        for s in samples {
+            let n = out.count as f64;
+            let upd = |mean: &mut f64, v: f64| *mean = (*mean * n + v) / (n + 1.0);
+            upd(&mut out.auth_s, s.auth_s);
+            upd(&mut out.code_load_s, s.code_load_s);
+            upd(&mut out.result_post_s, s.result_post_s);
+            upd(&mut out.exec_s, s.exec_s);
+            out.count += 1;
+        }
+        out
     }
 
     /// The Fig. 4 overhead share: (auth + code load + post) / total
@@ -269,8 +393,28 @@ struct ServiceRt {
 }
 
 impl Experiment {
-    /// Execute the experiment.
+    /// Execute the experiment with telemetry disabled. Identical to
+    /// [`Experiment::run_with_sink`] with a [`NoopSink`] — same seeds,
+    /// same decisions, same results.
     pub fn run(&self) -> RunResult {
+        self.run_with_sink(&mut NoopSink)
+    }
+
+    /// Execute the experiment recording the full telemetry stream in
+    /// memory, returning it as a [`Trace`] alongside the results.
+    pub fn run_traced(&self) -> (RunResult, Trace) {
+        let mut sink = MemorySink::new();
+        let result = self.run_with_sink(&mut sink);
+        (result, sink.into_trace())
+    }
+
+    /// Execute the experiment, streaming telemetry events into `sink`.
+    ///
+    /// Every emission is guarded by [`TelemetrySink::enabled`], so a
+    /// disabled sink costs one inlined boolean check per site and no
+    /// allocation; the event stream never feeds back into the run, so
+    /// results are bit-identical whatever sink is attached.
+    pub fn run_with_sink(&self, sink: &mut dyn TelemetrySink) -> RunResult {
         let mut master_rng = SimRng::seed_from_u64(self.seed);
         let mut platform_rng = master_rng.fork();
         let mut iaas_rng = master_rng.fork();
@@ -405,6 +549,28 @@ impl Experiment {
         };
         let mut engine =
             HybridEngine::new(services.len(), initial_fg_mode, self.variant.prewarms());
+
+        if sink.enabled() {
+            sink.record(TelemetryEvent::RunStarted {
+                variant: self.variant.label().to_string(),
+                seed: self.seed,
+                horizon_s: self.horizon.as_secs_f64(),
+                services: self
+                    .services
+                    .iter()
+                    .map(|setup| ServiceInfo {
+                        name: setup.spec.name.clone(),
+                        background: setup.background,
+                        initial_mode: if setup.background {
+                            DeployMode::Serverless
+                        } else {
+                            initial_fg_mode
+                        }
+                        .into(),
+                    })
+                    .collect(),
+            });
+        }
 
         // Event calendar.
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -559,11 +725,39 @@ impl Experiment {
                                 continue;
                             }
                             let sid = services[idx].sid;
+                            let mode = engine.mode(sid);
                             if engine.in_transition(sid) {
+                                // The controller is not consulted while a
+                                // switch is in flight, but the tick is
+                                // still recorded (decide_explained is
+                                // pure, so this costs nothing when the
+                                // sink is disabled).
+                                if sink.enabled() {
+                                    let (_, tr) = controller.decide_explained(
+                                        idx,
+                                        mode,
+                                        now,
+                                        engine.last_switch(sid),
+                                        pressures,
+                                        weights,
+                                        &others,
+                                    );
+                                    sink.record(TelemetryEvent::Tick(TickRecord {
+                                        t: now,
+                                        service: idx,
+                                        mode: mode.into(),
+                                        load_qps: tr.load_qps,
+                                        mu: tr.mu,
+                                        lambda_max: tr.lambda_max,
+                                        pressures: tr.pressures,
+                                        weights,
+                                        decision: Decision::Stay.into(),
+                                        reason: TickReason::InTransition,
+                                    }));
+                                }
                                 continue;
                             }
-                            let mode = engine.mode(sid);
-                            let decision = controller.decide(
+                            let (decision, tr) = controller.decide_explained(
                                 idx,
                                 mode,
                                 now,
@@ -572,7 +766,21 @@ impl Experiment {
                                 weights,
                                 &others,
                             );
-                            let load = controller.estimated_load(idx, now);
+                            if sink.enabled() {
+                                sink.record(TelemetryEvent::Tick(TickRecord {
+                                    t: now,
+                                    service: idx,
+                                    mode: mode.into(),
+                                    load_qps: tr.load_qps,
+                                    mu: tr.mu,
+                                    lambda_max: tr.lambda_max,
+                                    pressures: tr.pressures,
+                                    weights,
+                                    decision: decision.into(),
+                                    reason: tr.reason,
+                                }));
+                            }
+                            let load = tr.load_qps;
                             let actions = match decision {
                                 Decision::Stay => Vec::new(),
                                 Decision::SwitchToServerless => {
@@ -581,19 +789,28 @@ impl Experiment {
                                     let n = ((n as f64 * self.prewarm_factor).ceil() as u32)
                                         .max(1)
                                         .min(n_max);
-                                    engine.begin_switch(sid, DeployMode::Serverless, n, load, now)
+                                    engine.begin_switch(
+                                        sid,
+                                        DeployMode::Serverless,
+                                        n,
+                                        load,
+                                        now,
+                                        sink,
+                                    )
                                 }
                                 Decision::SwitchToIaas => {
-                                    engine.begin_switch(sid, DeployMode::Iaas, 0, load, now)
+                                    engine.begin_switch(sid, DeployMode::Iaas, 0, load, now, sink)
                                 }
                             };
-                            self.apply_actions(
+                            dispatch_actions(
                                 actions,
                                 now,
-                                &mut serverless,
-                                &mut iaas,
-                                &mut platform_rng,
-                                &mut effects,
+                                &mut SimPlatforms {
+                                    serverless: &mut serverless,
+                                    iaas: &mut iaas,
+                                    rng: &mut platform_rng,
+                                    effects: &mut effects,
+                                },
                             );
                         }
                         // Shadow traffic: one mirrored query per IaaS-mode
@@ -626,6 +843,14 @@ impl Experiment {
                 }
                 Ev::Heartbeat => {
                     monitor.heartbeat();
+                    if sink.enabled() {
+                        sink.record(TelemetryEvent::Heartbeat(HeartbeatRecord {
+                            t: now,
+                            meter_latency_s: monitor.smoothed_latencies(),
+                            pressures: monitor.pressures(),
+                            weights: monitor.weights(),
+                        }));
+                    }
                     let next = now + heartbeat_period;
                     if next < horizon_t {
                         queue.push(next, Ev::Heartbeat);
@@ -706,26 +931,35 @@ impl Experiment {
                         Effect::Completed(outcome) => {
                             self.on_completion(
                                 outcome,
+                                now,
                                 warmup_t,
                                 &meter_ids,
                                 &mut services,
                                 &mut controller,
                                 &mut monitor,
+                                sink,
                             );
                         }
                         Effect::PrewarmReady { service } => {
                             if (service.raw() as usize) < services.len() {
                                 let idx = service.raw() as usize;
                                 let load = controller.estimated_load(idx, now);
-                                let actions =
-                                    engine.on_ready(service, DeployMode::Serverless, load, now);
-                                self.apply_actions(
+                                let actions = engine.on_ready(
+                                    service,
+                                    DeployMode::Serverless,
+                                    load,
+                                    now,
+                                    sink,
+                                );
+                                dispatch_actions(
                                     actions,
                                     now,
-                                    &mut serverless,
-                                    &mut iaas,
-                                    &mut platform_rng,
-                                    &mut effects,
+                                    &mut SimPlatforms {
+                                        serverless: &mut serverless,
+                                        iaas: &mut iaas,
+                                        rng: &mut platform_rng,
+                                        effects: &mut effects,
+                                    },
                                 );
                             }
                         }
@@ -733,18 +967,36 @@ impl Experiment {
                             if (service.raw() as usize) < services.len() {
                                 let idx = service.raw() as usize;
                                 let load = controller.estimated_load(idx, now);
-                                let actions = engine.on_ready(service, DeployMode::Iaas, load, now);
-                                self.apply_actions(
+                                let actions =
+                                    engine.on_ready(service, DeployMode::Iaas, load, now, sink);
+                                dispatch_actions(
                                     actions,
                                     now,
-                                    &mut serverless,
-                                    &mut iaas,
-                                    &mut platform_rng,
-                                    &mut effects,
+                                    &mut SimPlatforms {
+                                        serverless: &mut serverless,
+                                        iaas: &mut iaas,
+                                        rng: &mut platform_rng,
+                                        effects: &mut effects,
+                                    },
                                 );
                             }
                         }
-                        Effect::IaasDrained { .. } => {}
+                        Effect::IaasDrained { service } => {
+                            // The old IaaS side has finished its in-flight
+                            // queries: the span's terminal step.
+                            if sink.enabled() && (service.raw() as usize) < services.len() {
+                                let idx = service.raw() as usize;
+                                sink.record(TelemetryEvent::Switch(SwitchRecord {
+                                    t: now,
+                                    service: idx,
+                                    from: DeployMode::Iaas.into(),
+                                    to: DeployMode::Serverless.into(),
+                                    phase: SwitchPhase::Drained,
+                                    prewarm_count: 0,
+                                    load_qps: controller.estimated_load(idx, now),
+                                }));
+                            }
+                        }
                     }
                 }
             }
@@ -801,42 +1053,17 @@ impl Experiment {
         }
     }
 
-    fn apply_actions(
-        &self,
-        actions: Vec<EngineAction>,
-        now: SimTime,
-        serverless: &mut ServerlessPlatform,
-        iaas: &mut IaasPlatform,
-        platform_rng: &mut SimRng,
-        effects: &mut Vec<Effect>,
-    ) {
-        for a in actions {
-            match a {
-                EngineAction::Prewarm { service, count } => {
-                    effects.extend(serverless.prewarm(service, count, now, platform_rng));
-                }
-                EngineAction::ActivateVms { service } => {
-                    effects.extend(iaas.activate(service, now));
-                }
-                EngineAction::ReleaseContainers { service } => {
-                    serverless.release_service(service);
-                }
-                EngineAction::ReleaseVms { service } => {
-                    effects.extend(iaas.release(service, now));
-                }
-            }
-        }
-    }
-
     #[allow(clippy::too_many_arguments)]
     fn on_completion(
         &self,
         outcome: amoeba_platform::QueryOutcome,
+        now: SimTime,
         warmup_t: SimTime,
         meter_ids: &[ServiceId; 3],
         services: &mut [ServiceRt],
         controller: &mut DeploymentController,
         monitor: &mut ContentionMonitor,
+        sink: &mut dyn TelemetrySink,
     ) {
         let sid = outcome.query.service;
         // Meter completion: feed the monitor.
@@ -870,19 +1097,76 @@ impl Experiment {
         let s = &mut services[idx];
         s.recorder.record(outcome.latency());
         s.completed += 1;
+        let target = self.services[idx].spec.qos_target_s;
+        let latency_s = outcome.latency().as_secs_f64();
         if outcome.executed_on == ExecutedOn::Serverless {
             s.serverless_queries += 1;
-            let target = self.services[idx].spec.qos_target_s;
-            if outcome.latency().as_secs_f64() > target {
+            if latency_s > target {
                 s.serverless_violations += 1;
             }
+        }
+        if sink.enabled() && latency_s > target {
+            let cold_start_s = outcome.breakdown.cold_start.as_secs_f64();
+            let queue_wait_s = outcome.breakdown.queue_wait.as_secs_f64();
+            sink.record(TelemetryEvent::Violation(ViolationRecord {
+                t: now,
+                service: idx,
+                platform: match outcome.executed_on {
+                    ExecutedOn::Serverless => DeployMode::Serverless,
+                    ExecutedOn::Iaas => DeployMode::Iaas,
+                }
+                .into(),
+                latency_s,
+                target_s: target,
+                cold_start_s,
+                queue_wait_s,
+                cause: ViolationCause::attribute(cold_start_s, queue_wait_s),
+            }));
         }
         if outcome.executed_on == ExecutedOn::Serverless
             && outcome.breakdown.cold_start == SimDuration::ZERO
             && outcome.breakdown.queue_wait == SimDuration::ZERO
         {
             s.breakdown.add(&outcome.breakdown);
+            if sink.enabled() {
+                let b = &outcome.breakdown;
+                sink.record(TelemetryEvent::WarmSample(WarmSampleRecord {
+                    t: now,
+                    service: idx,
+                    auth_s: b.auth.as_secs_f64(),
+                    code_load_s: b.code_load.as_secs_f64(),
+                    result_post_s: b.result_post.as_secs_f64(),
+                    exec_s: b.exec.as_secs_f64(),
+                }));
+            }
         }
+    }
+}
+
+/// The simulated platforms wired up as the engine's command target.
+struct SimPlatforms<'a> {
+    serverless: &'a mut ServerlessPlatform,
+    iaas: &'a mut IaasPlatform,
+    rng: &'a mut SimRng,
+    effects: &'a mut Vec<Effect>,
+}
+
+impl PlatformCommands for SimPlatforms<'_> {
+    fn prewarm(&mut self, service: ServiceId, count: u32, now: SimTime) {
+        self.effects
+            .extend(self.serverless.prewarm(service, count, now, self.rng));
+    }
+
+    fn activate_vms(&mut self, service: ServiceId, now: SimTime) {
+        self.effects.extend(self.iaas.activate(service, now));
+    }
+
+    fn release_containers(&mut self, service: ServiceId, _now: SimTime) {
+        self.serverless.release_service(service);
+    }
+
+    fn release_vms(&mut self, service: ServiceId, now: SimTime) {
+        self.effects.extend(self.iaas.release(service, now));
     }
 }
 
@@ -925,7 +1209,10 @@ pub(crate) mod tests {
     pub(crate) fn run_pub(variant: SystemVariant, day_s: f64, seed: u64) -> RunResult {
         let services = scenario(benchmarks::float(), day_s);
         let horizon = SimDuration::from_secs_f64(day_s);
-        Experiment::new(variant, services, horizon, seed).run()
+        Experiment::builder(variant, horizon, seed)
+            .services(services)
+            .build()
+            .run()
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! meter latency against the curve to recover the pressure on that
 //! resource.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotone pressure → latency curve with both directions of lookup.
 ///
 /// Pressure is the resource's utilisation in `[0, u_max]`; latency is the
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// // Observe a 80 ms meter latency at runtime -> the pool is at ~50 %.
 /// assert!((curve.pressure_at(0.080) - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfileCurve {
     /// `(pressure, latency_s)` pairs, strictly increasing in both
     /// coordinates.

@@ -15,10 +15,9 @@
 //! tested against.
 
 use amoeba_queueing::MmnModel;
-use serde::{Deserialize, Serialize};
 
 /// A latency surface: `p95(load, pressure)` for one service × resource.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencySurface {
     /// Load axis (queries/second), strictly increasing.
     loads: Vec<f64>,

@@ -5,10 +5,8 @@
 //! Nameko and OpenWhisk; this module turns a recorder's samples into that
 //! exact series.
 
-use serde::{Deserialize, Serialize};
-
 /// One point of an empirical CDF.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CdfPoint {
     /// The value (e.g. latency / QoS target).
     pub x: f64,
@@ -17,7 +15,7 @@ pub struct CdfPoint {
 }
 
 /// An empirical CDF over `f64` samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cdf {
     points: Vec<CdfPoint>,
 }

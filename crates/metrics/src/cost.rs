@@ -11,7 +11,6 @@
 //!   container time, the Lambda-style formula.
 
 use crate::usage::UsageSummary;
-use serde::{Deserialize, Serialize};
 
 /// Price card, in abstract currency units.
 ///
@@ -42,7 +41,7 @@ use serde::{Deserialize, Serialize};
 /// $0.20 per million invocations + $0.0000166667 per GB-second) — the
 /// absolute unit is irrelevant, the IaaS:serverless *ratio* is what the
 /// experiments exercise.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Price of one rented core for one hour.
     pub per_core_hour: f64,
@@ -69,7 +68,7 @@ impl Default for CostModel {
 /// integrals in [`UsageSummary`] mix both platforms (that is what the
 /// vendor's hardware sees); billing needs the split, which the runtime
 /// tracks separately.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BillableUsage {
     /// IaaS core-seconds rented.
     pub iaas_core_seconds: f64,

@@ -5,10 +5,8 @@
 //! quantile error is bounded by the bucket growth factor (~1% by default)
 //! regardless of sample count.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometric histogram over positive `f64` values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogHistogram {
     /// Smallest representable value; everything below lands in bucket 0.
     min_value: f64,

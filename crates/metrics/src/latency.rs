@@ -7,7 +7,6 @@
 //! for the long-horizon ablations where exact storage is wasteful.
 
 use amoeba_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Collects individual query latencies.
 ///
@@ -32,7 +31,7 @@ pub struct LatencyRecorder {
 }
 
 /// Summary statistics extracted from a recorder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,

@@ -2,10 +2,9 @@
 //! switches, Fig. 13 resource-usage variation).
 
 use amoeba_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A time-ordered sequence of `(SimTime, T)` samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries<T> {
     samples: Vec<(SimTime, T)>,
 }

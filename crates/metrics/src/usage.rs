@@ -8,7 +8,6 @@
 //! Fig. 2's utilisation statistics fall out of the same instrument.
 
 use amoeba_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Integrates allocated and consumed resource over simulated time.
 ///
@@ -37,7 +36,7 @@ pub struct UsageMeter {
 }
 
 /// Final summary of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsageSummary {
     /// Allocated core-seconds over the run.
     pub core_seconds: f64,

@@ -1,10 +1,9 @@
 //! Cluster configuration, defaulting to the paper's Table II testbed.
 
 use amoeba_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Physical node configuration (Table II).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NodeConfig {
     /// CPU cores per node (Table II: 40).
     pub cores: f64,
@@ -43,7 +42,7 @@ impl NodeConfig {
 }
 
 /// Serverless platform configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ServerlessConfig {
     /// The node hosting the shared pool.
     pub node: NodeConfig,
@@ -117,7 +116,7 @@ impl ServerlessConfig {
 }
 
 /// IaaS platform configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IaasConfig {
     /// Cores per VM instance.
     pub cores_per_vm: u32,

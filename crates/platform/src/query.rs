@@ -2,10 +2,9 @@
 
 use crate::ids::{QueryId, ServiceId};
 use amoeba_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A user query submitted to one of the platforms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Query {
     /// Unique id.
     pub id: QueryId,
@@ -19,7 +18,7 @@ pub struct Query {
 /// harnesses can split CDFs by deployment mode (Fig. 10's observation
 /// that Amoeba's curve hugs OpenWhisk's at low latencies and Nameko's in
 /// the tail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutedOn {
     /// Ran in the shared serverless container pool.
     Serverless,
@@ -30,7 +29,7 @@ pub enum ExecutedOn {
 /// The latency decomposition of Fig. 4: queuing, cold start, platform
 /// overheads (auth + code loading + result posting) and actual
 /// execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyBreakdown {
     /// Time spent waiting in the FIFO queue (or for a free core on IaaS).
     pub queue_wait: SimDuration,
@@ -70,7 +69,7 @@ impl LatencyBreakdown {
 }
 
 /// A completed query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryOutcome {
     /// The query.
     pub query: Query,

@@ -20,10 +20,8 @@
 //! controller consumes, and the bench suite includes an ablation over
 //! alternative shapes.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate demand rates on the three metered resources.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LoadVector {
     /// Cores busy (sum of per-invocation CPU shares).
     pub cpu_cores: f64,

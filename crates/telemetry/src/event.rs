@@ -1,0 +1,579 @@
+//! The telemetry event vocabulary and its JSON-lines encoding.
+//!
+//! Every event is flat, owns its data, and round-trips through one JSON
+//! object with a `"type"` discriminator — see DESIGN.md §"Telemetry
+//! event schema" for the full schema.
+
+use amoeba_json::{json, Value};
+use amoeba_sim::SimTime;
+
+/// Deployment mode, mirrored from `amoeba-core` so the trace layer does
+/// not depend on the runtime it instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dedicated VM group.
+    Iaas,
+    /// Shared serverless pool.
+    Serverless,
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Iaas => "iaas",
+            Mode::Serverless => "serverless",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "iaas" => Ok(Mode::Iaas),
+            "serverless" => Ok(Mode::Serverless),
+            _ => Err(DecodeError::new(format!("unknown mode '{s}'"))),
+        }
+    }
+}
+
+/// The controller's verdict, as traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecision {
+    /// Keep the current mode.
+    Stay,
+    /// Begin the switch to serverless.
+    SwitchToServerless,
+    /// Begin the switch to IaaS.
+    SwitchToIaas,
+}
+
+impl TraceDecision {
+    fn tag(self) -> &'static str {
+        match self {
+            TraceDecision::Stay => "stay",
+            TraceDecision::SwitchToServerless => "switch_to_serverless",
+            TraceDecision::SwitchToIaas => "switch_to_iaas",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "stay" => Ok(TraceDecision::Stay),
+            "switch_to_serverless" => Ok(TraceDecision::SwitchToServerless),
+            "switch_to_iaas" => Ok(TraceDecision::SwitchToIaas),
+            _ => Err(DecodeError::new(format!("unknown decision '{s}'"))),
+        }
+    }
+}
+
+/// Why the controller decided what it decided at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickReason {
+    /// A switch is already in flight; the controller was not consulted.
+    InTransition,
+    /// `min_dwell` since the last switch has not elapsed.
+    DwellPending,
+    /// IaaS-resident, `V_u < down_margin · λ(μ)` and the impact check
+    /// passed: switch down.
+    LoadBelowDownMargin,
+    /// IaaS-resident, load too high for the pool: stay.
+    LoadAboveDownMargin,
+    /// IaaS-resident, load admissible but the §III impact check vetoed
+    /// the move.
+    ImpactVetoed,
+    /// Serverless-resident, `V_u > up_margin · λ(μ)`: switch up.
+    LoadAboveUpMargin,
+    /// Serverless-resident, load admissible: stay.
+    LoadBelowUpMargin,
+}
+
+impl TickReason {
+    fn tag(self) -> &'static str {
+        match self {
+            TickReason::InTransition => "in_transition",
+            TickReason::DwellPending => "dwell_pending",
+            TickReason::LoadBelowDownMargin => "load_below_down_margin",
+            TickReason::LoadAboveDownMargin => "load_above_down_margin",
+            TickReason::ImpactVetoed => "impact_vetoed",
+            TickReason::LoadAboveUpMargin => "load_above_up_margin",
+            TickReason::LoadBelowUpMargin => "load_below_up_margin",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "in_transition" => Ok(TickReason::InTransition),
+            "dwell_pending" => Ok(TickReason::DwellPending),
+            "load_below_down_margin" => Ok(TickReason::LoadBelowDownMargin),
+            "load_above_down_margin" => Ok(TickReason::LoadAboveDownMargin),
+            "impact_vetoed" => Ok(TickReason::ImpactVetoed),
+            "load_above_up_margin" => Ok(TickReason::LoadAboveUpMargin),
+            "load_below_up_margin" => Ok(TickReason::LoadBelowUpMargin),
+            _ => Err(DecodeError::new(format!("unknown reason '{s}'"))),
+        }
+    }
+}
+
+/// One step of the §V switch protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPhase {
+    /// The controller committed to a switch; the prepare signal `S_pw`
+    /// (prewarm containers / boot VMs) was issued.
+    Requested,
+    /// The target side acknowledged readiness.
+    Ack,
+    /// The router flipped: new queries go to the target side.
+    Flip,
+    /// The shutdown signal `S_sd` was sent to the old side.
+    ReleaseIssued,
+    /// The old side's VM group finished draining in-flight queries.
+    Drained,
+    /// The transition was aborted before the ack.
+    Aborted,
+}
+
+impl SwitchPhase {
+    fn tag(self) -> &'static str {
+        match self {
+            SwitchPhase::Requested => "requested",
+            SwitchPhase::Ack => "ack",
+            SwitchPhase::Flip => "flip",
+            SwitchPhase::ReleaseIssued => "release_issued",
+            SwitchPhase::Drained => "drained",
+            SwitchPhase::Aborted => "aborted",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "requested" => Ok(SwitchPhase::Requested),
+            "ack" => Ok(SwitchPhase::Ack),
+            "flip" => Ok(SwitchPhase::Flip),
+            "release_issued" => Ok(SwitchPhase::ReleaseIssued),
+            "drained" => Ok(SwitchPhase::Drained),
+            "aborted" => Ok(SwitchPhase::Aborted),
+            _ => Err(DecodeError::new(format!("unknown phase '{s}'"))),
+        }
+    }
+}
+
+/// What pushed a query over its QoS target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationCause {
+    /// The query paid a container cold start.
+    ColdStart,
+    /// The query waited in the platform queue.
+    Queueing,
+    /// Neither: the execution itself was slowed by co-tenant contention.
+    Contention,
+}
+
+impl ViolationCause {
+    /// Attribution rule: cold start present → [`ViolationCause::ColdStart`];
+    /// else queueing present → [`ViolationCause::Queueing`]; else the
+    /// slowdown happened inside the execution → [`ViolationCause::Contention`].
+    pub fn attribute(cold_start_s: f64, queue_wait_s: f64) -> Self {
+        if cold_start_s > 0.0 {
+            ViolationCause::ColdStart
+        } else if queue_wait_s > 0.0 {
+            ViolationCause::Queueing
+        } else {
+            ViolationCause::Contention
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            ViolationCause::ColdStart => "cold_start",
+            ViolationCause::Queueing => "queueing",
+            ViolationCause::Contention => "contention",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "cold_start" => Ok(ViolationCause::ColdStart),
+            "queueing" => Ok(ViolationCause::Queueing),
+            "contention" => Ok(ViolationCause::Contention),
+            _ => Err(DecodeError::new(format!("unknown cause '{s}'"))),
+        }
+    }
+}
+
+/// One service's identity in the run header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceInfo {
+    /// The service's name.
+    pub name: String,
+    /// Background (contention-generating, pinned serverless) service?
+    pub background: bool,
+    /// Where it starts.
+    pub initial_mode: Mode,
+}
+
+/// Per-tick controller record: everything Eq. 5/Eq. 6 saw and produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    /// Tick time.
+    pub t: SimTime,
+    /// Service index (registration order).
+    pub service: usize,
+    /// Current deployment mode.
+    pub mode: Mode,
+    /// Estimated load `V_u` (λ), queries/second.
+    pub load_qps: f64,
+    /// Eq. 6 predicted per-container capacity `μ`, queries/second.
+    pub mu: f64,
+    /// Eq. 5 discriminant `λ(μ)`: the maximum admissible load.
+    pub lambda_max: f64,
+    /// Pressure vector the discriminant was evaluated at.
+    pub pressures: [f64; 3],
+    /// Eq. 6 weights `w`.
+    pub weights: [f64; 3],
+    /// The verdict.
+    pub decision: TraceDecision,
+    /// Why.
+    pub reason: TickReason,
+}
+
+/// One step of one switch's protocol execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRecord {
+    /// When the step happened.
+    pub t: SimTime,
+    /// Service index.
+    pub service: usize,
+    /// Mode being left.
+    pub from: Mode,
+    /// Mode being entered.
+    pub to: Mode,
+    /// Which protocol step.
+    pub phase: SwitchPhase,
+    /// Eq. 7 prewarm count (`Requested` toward serverless; else 0).
+    pub prewarm_count: u32,
+    /// Estimated load at this step, queries/second.
+    pub load_qps: f64,
+}
+
+/// Monitor heartbeat: the sample-period summary the PCA consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatRecord {
+    /// Heartbeat time.
+    pub t: SimTime,
+    /// Smoothed meter latencies [cpu, io, net], seconds (None = no
+    /// observation yet).
+    pub meter_latency_s: [Option<f64>; 3],
+    /// Inverted pressures `P`.
+    pub pressures: [f64; 3],
+    /// Eq. 6 weights after this heartbeat's refresh.
+    pub weights: [f64; 3],
+}
+
+/// One query finishing over its QoS target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationRecord {
+    /// Completion time.
+    pub t: SimTime,
+    /// Service index.
+    pub service: usize,
+    /// Where the query executed.
+    pub platform: Mode,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// The QoS target it missed, seconds.
+    pub target_s: f64,
+    /// Cold-start share of the latency, seconds.
+    pub cold_start_s: f64,
+    /// Queueing share, seconds.
+    pub queue_wait_s: f64,
+    /// Attributed cause.
+    pub cause: ViolationCause,
+}
+
+/// A warm serverless execution's latency breakdown (Fig. 4 input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSampleRecord {
+    /// Completion time.
+    pub t: SimTime,
+    /// Service index.
+    pub service: usize,
+    /// Auth/processing overhead, seconds.
+    pub auth_s: f64,
+    /// Code-loading overhead, seconds.
+    pub code_load_s: f64,
+    /// Result-posting overhead, seconds.
+    pub result_post_s: f64,
+    /// Execution time, seconds.
+    pub exec_s: f64,
+}
+
+/// The event stream's alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// Run header: identifies the scenario the rest of the stream
+    /// belongs to.
+    RunStarted {
+        /// System variant label (e.g. "Amoeba").
+        variant: String,
+        /// RNG seed.
+        seed: u64,
+        /// Simulated duration, seconds.
+        horizon_s: f64,
+        /// The services, in index order.
+        services: Vec<ServiceInfo>,
+    },
+    /// Per-tick controller record.
+    Tick(TickRecord),
+    /// Switch-protocol step.
+    Switch(SwitchRecord),
+    /// Monitor heartbeat.
+    Heartbeat(HeartbeatRecord),
+    /// QoS violation with attribution.
+    Violation(ViolationRecord),
+    /// Warm serverless breakdown sample.
+    WarmSample(WarmSampleRecord),
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Wrap a message.
+    pub fn new(message: String) -> Self {
+        DecodeError { message }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "telemetry decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn triple(v: [f64; 3]) -> Value {
+    Value::Array(vec![v[0].into(), v[1].into(), v[2].into()])
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, DecodeError> {
+    v[key]
+        .as_f64()
+        .ok_or_else(|| DecodeError::new(format!("missing number '{key}'")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, DecodeError> {
+    v[key]
+        .as_u64()
+        .ok_or_else(|| DecodeError::new(format!("missing integer '{key}'")))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, DecodeError> {
+    v[key]
+        .as_str()
+        .ok_or_else(|| DecodeError::new(format!("missing string '{key}'")))
+}
+
+fn get_time(v: &Value) -> Result<SimTime, DecodeError> {
+    Ok(SimTime::from_micros(get_u64(v, "t_us")?))
+}
+
+fn get_triple(v: &Value, key: &str) -> Result<[f64; 3], DecodeError> {
+    let arr = v[key]
+        .as_array()
+        .ok_or_else(|| DecodeError::new(format!("missing array '{key}'")))?;
+    if arr.len() != 3 {
+        return Err(DecodeError::new(format!("'{key}' must have 3 entries")));
+    }
+    let mut out = [0.0; 3];
+    for (i, x) in arr.iter().enumerate() {
+        out[i] = x
+            .as_f64()
+            .ok_or_else(|| DecodeError::new(format!("non-number in '{key}'")))?;
+    }
+    Ok(out)
+}
+
+impl TelemetryEvent {
+    /// Encode as one JSON object (one line of the JSON-lines export).
+    pub fn to_json(&self) -> Value {
+        match self {
+            TelemetryEvent::RunStarted {
+                variant,
+                seed,
+                horizon_s,
+                services,
+            } => {
+                let svc: Vec<Value> = services
+                    .iter()
+                    .map(|s| {
+                        json!({
+                            "name": s.name.clone(),
+                            "background": s.background,
+                            "initial_mode": s.initial_mode.tag(),
+                        })
+                    })
+                    .collect();
+                json!({
+                    "type": "run_started",
+                    "variant": variant.clone(),
+                    "seed": *seed,
+                    "horizon_s": *horizon_s,
+                    "services": svc,
+                })
+            }
+            TelemetryEvent::Tick(r) => json!({
+                "type": "tick",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "mode": r.mode.tag(),
+                "load_qps": r.load_qps,
+                "mu": r.mu,
+                "lambda_max": r.lambda_max,
+                "pressures": (triple(r.pressures)),
+                "weights": (triple(r.weights)),
+                "decision": r.decision.tag(),
+                "reason": r.reason.tag(),
+            }),
+            TelemetryEvent::Switch(r) => json!({
+                "type": "switch",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "from": r.from.tag(),
+                "to": r.to.tag(),
+                "phase": r.phase.tag(),
+                "prewarm_count": r.prewarm_count,
+                "load_qps": r.load_qps,
+            }),
+            TelemetryEvent::Heartbeat(r) => {
+                let lat: Vec<Value> = r.meter_latency_s.iter().map(|l| Value::from(*l)).collect();
+                json!({
+                    "type": "heartbeat",
+                    "t_us": r.t.as_micros(),
+                    "meter_latency_s": (Value::Array(lat)),
+                    "pressures": (triple(r.pressures)),
+                    "weights": (triple(r.weights)),
+                })
+            }
+            TelemetryEvent::Violation(r) => json!({
+                "type": "violation",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "platform": r.platform.tag(),
+                "latency_s": r.latency_s,
+                "target_s": r.target_s,
+                "cold_start_s": r.cold_start_s,
+                "queue_wait_s": r.queue_wait_s,
+                "cause": r.cause.tag(),
+            }),
+            TelemetryEvent::WarmSample(r) => json!({
+                "type": "warm_sample",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "auth_s": r.auth_s,
+                "code_load_s": r.code_load_s,
+                "result_post_s": r.result_post_s,
+                "exec_s": r.exec_s,
+            }),
+        }
+    }
+
+    /// Decode one JSON-lines object.
+    pub fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        match get_str(v, "type")? {
+            "run_started" => {
+                let mut services = Vec::new();
+                let arr = v["services"]
+                    .as_array()
+                    .ok_or_else(|| DecodeError::new("missing 'services'".into()))?;
+                for s in arr {
+                    services.push(ServiceInfo {
+                        name: get_str(s, "name")?.to_string(),
+                        background: s["background"]
+                            .as_bool()
+                            .ok_or_else(|| DecodeError::new("missing 'background'".into()))?,
+                        initial_mode: Mode::from_tag(get_str(s, "initial_mode")?)?,
+                    });
+                }
+                Ok(TelemetryEvent::RunStarted {
+                    variant: get_str(v, "variant")?.to_string(),
+                    seed: get_u64(v, "seed")?,
+                    horizon_s: get_f64(v, "horizon_s")?,
+                    services,
+                })
+            }
+            "tick" => Ok(TelemetryEvent::Tick(TickRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                mode: Mode::from_tag(get_str(v, "mode")?)?,
+                load_qps: get_f64(v, "load_qps")?,
+                mu: get_f64(v, "mu")?,
+                lambda_max: get_f64(v, "lambda_max")?,
+                pressures: get_triple(v, "pressures")?,
+                weights: get_triple(v, "weights")?,
+                decision: TraceDecision::from_tag(get_str(v, "decision")?)?,
+                reason: TickReason::from_tag(get_str(v, "reason")?)?,
+            })),
+            "switch" => Ok(TelemetryEvent::Switch(SwitchRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                from: Mode::from_tag(get_str(v, "from")?)?,
+                to: Mode::from_tag(get_str(v, "to")?)?,
+                phase: SwitchPhase::from_tag(get_str(v, "phase")?)?,
+                prewarm_count: get_u64(v, "prewarm_count")? as u32,
+                load_qps: get_f64(v, "load_qps")?,
+            })),
+            "heartbeat" => {
+                let arr = v["meter_latency_s"]
+                    .as_array()
+                    .ok_or_else(|| DecodeError::new("missing 'meter_latency_s'".into()))?;
+                if arr.len() != 3 {
+                    return Err(DecodeError::new("'meter_latency_s' must have 3".into()));
+                }
+                let mut lat = [None; 3];
+                for (i, x) in arr.iter().enumerate() {
+                    lat[i] = x.as_f64();
+                }
+                Ok(TelemetryEvent::Heartbeat(HeartbeatRecord {
+                    t: get_time(v)?,
+                    meter_latency_s: lat,
+                    pressures: get_triple(v, "pressures")?,
+                    weights: get_triple(v, "weights")?,
+                }))
+            }
+            "violation" => Ok(TelemetryEvent::Violation(ViolationRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                platform: Mode::from_tag(get_str(v, "platform")?)?,
+                latency_s: get_f64(v, "latency_s")?,
+                target_s: get_f64(v, "target_s")?,
+                cold_start_s: get_f64(v, "cold_start_s")?,
+                queue_wait_s: get_f64(v, "queue_wait_s")?,
+                cause: ViolationCause::from_tag(get_str(v, "cause")?)?,
+            })),
+            "warm_sample" => Ok(TelemetryEvent::WarmSample(WarmSampleRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                auth_s: get_f64(v, "auth_s")?,
+                code_load_s: get_f64(v, "code_load_s")?,
+                result_post_s: get_f64(v, "result_post_s")?,
+                exec_s: get_f64(v, "exec_s")?,
+            })),
+            other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
+        }
+    }
+
+    /// The event's timestamp (run headers read as t=0).
+    pub fn time(&self) -> SimTime {
+        match self {
+            TelemetryEvent::RunStarted { .. } => SimTime::ZERO,
+            TelemetryEvent::Tick(r) => r.t,
+            TelemetryEvent::Switch(r) => r.t,
+            TelemetryEvent::Heartbeat(r) => r.t,
+            TelemetryEvent::Violation(r) => r.t,
+            TelemetryEvent::WarmSample(r) => r.t,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Where events go: the zero-cost-when-disabled sink abstraction.
+
+use crate::event::TelemetryEvent;
+use crate::trace::Trace;
+
+/// An append-only consumer of telemetry events.
+///
+/// Instrumented code must guard event *construction* behind
+/// [`TelemetrySink::enabled`]:
+///
+/// ```
+/// # use amoeba_telemetry::{TelemetrySink, NoopSink};
+/// # let mut sink = NoopSink;
+/// # let expensive_event = || unreachable!();
+/// if sink.enabled() {
+///     sink.record(expensive_event());
+/// }
+/// ```
+///
+/// so that with [`NoopSink`] the hot path does no allocation and no
+/// formatting — one inlined `false` check and nothing else.
+pub trait TelemetrySink {
+    /// Should callers build and record events?
+    fn enabled(&self) -> bool;
+
+    /// Append one event. Implementations may assume callers checked
+    /// [`TelemetrySink::enabled`], but must stay correct if they didn't.
+    fn record(&mut self, event: TelemetryEvent);
+}
+
+/// The disabled sink: [`TelemetrySink::enabled`] is `false` and
+/// [`TelemetrySink::record`] discards. This is the default for
+/// `Experiment::run`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: TelemetryEvent) {}
+}
+
+/// An in-memory sink: keeps every event, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<TelemetryEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Consume the sink into a [`Trace`].
+    pub fn into_trace(self) -> Trace {
+        Trace::from_events(self.events)
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TelemetryEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{HeartbeatRecord, TelemetryEvent};
+    use amoeba_sim::SimTime;
+
+    #[test]
+    fn noop_sink_is_disabled_and_discards() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.record(TelemetryEvent::Heartbeat(HeartbeatRecord {
+            t: SimTime::ZERO,
+            meter_latency_s: [None; 3],
+            pressures: [0.0; 3],
+            weights: [1.0; 3],
+        }));
+    }
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let mut s = MemorySink::new();
+        assert!(s.enabled());
+        for i in 0..3 {
+            s.record(TelemetryEvent::Heartbeat(HeartbeatRecord {
+                t: SimTime::from_secs(i),
+                meter_latency_s: [None; 3],
+                pressures: [0.0; 3],
+                weights: [1.0; 3],
+            }));
+        }
+        let trace = s.into_trace();
+        let times: Vec<u64> = trace
+            .events()
+            .iter()
+            .map(|e| e.time().as_micros())
+            .collect();
+        assert_eq!(times, vec![0, 1_000_000, 2_000_000]);
+    }
+}

@@ -16,13 +16,12 @@
 //! the paper and the code cannot drift apart.
 
 use crate::demand::DemandVector;
-use serde::{Deserialize, Serialize};
 
 /// Everything Amoeba knows about one microservice when it is submitted
 /// (§III: the maintainer provides the executable function, the VM image
 /// and an IaaS resource configuration sized for peak load — nothing
 /// else).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MicroserviceSpec {
     /// Benchmark name.
     pub name: String,

@@ -1,11 +1,9 @@
 //! Per-query resource demand vectors and sensitivity classes.
 
-use serde::{Deserialize, Serialize};
-
 /// The shared resources of the serverless platform the paper's Fig. 5
 /// enumerates: ① cores, ② memory space, ③ IO bandwidth, ④ network
 /// bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU cores (and the paper's combined "CPU_Memory" meter dimension).
     Cpu,
@@ -37,7 +35,7 @@ impl ResourceKind {
 
 /// Qualitative sensitivity of a benchmark to contention on one resource —
 /// the cells of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Sensitivity {
     /// "-" in Table III: the resource is barely touched.
     None,
@@ -66,7 +64,7 @@ impl Sensitivity {
 /// streams at the per-flow disk rate, the network phase at the per-flow
 /// NIC rate — each phase stretched by the current contention slowdown on
 /// its resource.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandVector {
     /// CPU work, core-seconds.
     pub cpu_s: f64,

@@ -10,12 +10,11 @@
 //! the analysis."
 
 use amoeba_sim::{Distributions, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A normalised 24-point diurnal shape (hourly multipliers in `[0, 1]`,
 /// max = 1 at the peak hour), interpolated linearly between points and
 /// wrapped around midnight.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiurnalPattern {
     hourly: Vec<f64>,
 }
@@ -171,7 +170,7 @@ pub struct LoadTrace {
 }
 
 /// A transient load burst injected on top of the diurnal shape.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Burst {
     /// When the burst starts.
     pub start: SimTime,

@@ -39,8 +39,16 @@ fn main() {
         spec: services[0].spec.clone(),
         background: false,
     }];
-    let mut amoeba = Experiment::new(SystemVariant::Amoeba, services, horizon, 42).run();
-    let mut nameko = Experiment::new(SystemVariant::Nameko, services_nameko, horizon, 42).run();
+    // The Amoeba run also records its telemetry stream: every control
+    // tick, switch-protocol step, heartbeat and violation.
+    let (mut amoeba, trace) = Experiment::builder(SystemVariant::Amoeba, horizon, 42)
+        .services(services)
+        .build()
+        .run_traced();
+    let mut nameko = Experiment::builder(SystemVariant::Nameko, horizon, 42)
+        .services(services_nameko)
+        .build()
+        .run();
 
     let fg = &mut amoeba.services[0];
     println!("\n-- Amoeba --");
@@ -82,4 +90,10 @@ fn main() {
     println!("\n-- resource usage, Amoeba / Nameko --");
     println!("CPU:    {:.3}  ({:.1}% saved)", cpu, (1.0 - cpu) * 100.0);
     println!("memory: {:.3}  ({:.1}% saved)", mem, (1.0 - mem) * 100.0);
+
+    // The trace summarises itself: switch spans, time-in-mode and QoS
+    // violation attribution, all reconstructed from the event stream.
+    // `trace.to_jsonl()` serialises the full stream for offline tools.
+    println!("\n-- telemetry trace ({} events) --", trace.len());
+    print!("{}", trace.summary());
 }

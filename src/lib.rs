@@ -12,4 +12,5 @@ pub use amoeba_metrics as metrics;
 pub use amoeba_platform as platform;
 pub use amoeba_queueing as queueing;
 pub use amoeba_sim as sim;
+pub use amoeba_telemetry as telemetry;
 pub use amoeba_workload as workload;

@@ -32,13 +32,10 @@ fn run(
     day_s: f64,
     seed: u64,
 ) -> amoeba::core::RunResult {
-    Experiment::new(
-        variant,
-        scenario(fg, day_s),
-        SimDuration::from_secs_f64(day_s),
-        seed,
-    )
-    .run()
+    Experiment::builder(variant, SimDuration::from_secs_f64(day_s), seed)
+        .services(scenario(fg, day_s))
+        .build()
+        .run()
 }
 
 #[test]
@@ -164,13 +161,10 @@ fn burst_injection_switches_back_to_iaas() {
         spec,
         background: false,
     }];
-    let r = Experiment::new(
-        SystemVariant::Amoeba,
-        services,
-        SimDuration::from_secs_f64(day_s),
-        21,
-    )
-    .run();
+    let r = Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(day_s), 21)
+        .services(services)
+        .build()
+        .run();
     let fg = &r.services[0];
     let to_sl_first = fg
         .switch_history

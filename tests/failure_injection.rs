@@ -35,13 +35,10 @@ fn meter_outage_does_not_break_the_run() {
     // deterministic. (QoS may degrade; that is the *point* of the
     // meters.)
     let day_s = 240.0;
-    let mut exp = Experiment::new(
-        SystemVariant::Amoeba,
-        scenario(day_s),
-        SimDuration::from_secs_f64(day_s),
-        31,
-    );
-    exp.run_meters = false;
+    let exp = Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(day_s), 31)
+        .services(scenario(day_s))
+        .run_meters(false)
+        .build();
     let r = exp.run();
     assert_eq!(r.meter_cpu_overhead, 0.0, "no meters, no meter cost");
     assert_eq!(r.mean_pressures, [0.0; 3], "blind monitor reads zero");
@@ -58,14 +55,11 @@ fn meter_outage_costs_qos_headroom() {
     // die.
     let day_s = 300.0;
     let run = |meters: bool| {
-        let mut exp = Experiment::new(
-            SystemVariant::Amoeba,
-            scenario(day_s),
-            SimDuration::from_secs_f64(day_s),
-            37,
-        );
-        exp.run_meters = meters;
-        exp.run()
+        Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(day_s), 37)
+            .services(scenario(day_s))
+            .run_meters(meters)
+            .build()
+            .run()
     };
     let with = run(true);
     let without = run(false);
@@ -85,17 +79,18 @@ fn cold_start_storm_under_tiny_keep_alive() {
     // the default platform.
     let day_s = 180.0;
     let run = |keep_alive_s: u64, seed: u64| {
-        let mut exp = Experiment::new(
+        Experiment::builder(
             SystemVariant::OpenWhisk,
-            scenario(day_s),
             SimDuration::from_secs_f64(day_s),
             seed,
-        );
-        exp.serverless_cfg = ServerlessConfig {
+        )
+        .services(scenario(day_s))
+        .serverless_cfg(ServerlessConfig {
             keep_alive: SimDuration::from_secs(keep_alive_s),
             ..Default::default()
-        };
-        exp.run()
+        })
+        .build()
+        .run()
     };
     let storm = run(1, 41);
     let normal = run(60, 41);
@@ -123,16 +118,17 @@ fn memory_starved_pool_still_conserves_queries() {
     // constant eviction churn and queueing, but nothing is lost and the
     // FIFO queue eventually drains everything.
     let day_s = 120.0;
-    let mut exp = Experiment::new(
+    let exp = Experiment::builder(
         SystemVariant::OpenWhisk,
-        scenario(day_s),
         SimDuration::from_secs_f64(day_s),
         43,
-    );
-    exp.serverless_cfg = ServerlessConfig {
+    )
+    .services(scenario(day_s))
+    .serverless_cfg(ServerlessConfig {
         pool_memory_mb: 8.0 * 256.0,
         ..Default::default()
-    };
+    })
+    .build();
     let r = exp.run();
     for s in &r.services {
         assert_eq!(s.submitted, s.completed, "{}", s.name);
@@ -164,12 +160,13 @@ fn flash_crowd_on_pure_serverless_recovers() {
         spec,
         background: false,
     }];
-    let r = Experiment::new(
+    let r = Experiment::builder(
         SystemVariant::OpenWhisk,
-        services,
         SimDuration::from_secs_f64(day_s),
         47,
     )
+    .services(services)
+    .build()
     .run();
     let fg = &r.services[0];
     assert_eq!(fg.submitted, fg.completed);
@@ -197,13 +194,10 @@ fn zero_load_service_is_harmless() {
         spec: idle,
         background: true,
     });
-    let r = Experiment::new(
-        SystemVariant::Amoeba,
-        setups,
-        SimDuration::from_secs_f64(day_s),
-        53,
-    )
-    .run();
+    let r = Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(day_s), 53)
+        .services(setups)
+        .build()
+        .run();
     let idle_svc = r.services.last().unwrap();
     assert!(
         idle_svc.completed <= 2,

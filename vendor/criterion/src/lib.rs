@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the API surface the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`,
+//! `Bencher::{iter, iter_with_setup}`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: each benchmark is auto-calibrated to a time
+//! budget, sampled repeatedly, and reported as the median ns/iteration
+//! on stdout. No statistics beyond that, no HTML report.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque an expression to the optimizer, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    samples: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 20,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        let budget = self.budget;
+        run_named(name, samples, budget, &mut routine);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.samples.unwrap_or(self.parent.samples);
+        let budget = self.parent.budget;
+        run_named(&full, samples, budget, &mut routine);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    budget: Duration,
+    routine: &mut F,
+) {
+    // Calibration pass: let the routine pick an iteration count that
+    // fills roughly budget/samples per sample.
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let target = (budget.as_secs_f64() / samples as f64).max(1e-4);
+    let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    println!("{name:<40} median {median:>12.1} ns/iter   (best {best:.1}, {iters} iters x {samples} samples)");
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Calibrate => {
+                // Run until ~2ms have elapsed to estimate cost.
+                let start = Instant::now();
+                let mut n = 0u64;
+                loop {
+                    black_box(routine());
+                    n += 1;
+                    if start.elapsed() > Duration::from_millis(2) {
+                        break;
+                    }
+                }
+                self.iters = n;
+                self.elapsed = start.elapsed();
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        match self.mode {
+            Mode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.iters = 1;
+                self.elapsed = start.elapsed().max(Duration::from_nanos(1));
+            }
+            Mode::Measure => {
+                let mut total = Duration::ZERO;
+                for _ in 0..self.iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                self.elapsed = total;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            samples: 3,
+            budget: Duration::from_millis(6),
+        };
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+}
