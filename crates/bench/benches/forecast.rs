@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the forecaster hot path: the per-tick
+//! `observe` + `predict` pair the proactive controller pays for every
+//! unpinned service at every control period.
+
+use amoeba_forecast::{Ewma, Forecaster, HoltLinear, HoltWintersDiurnal, Naive};
+use amoeba_sim::{SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// One simulated day at the report scale (480 s) with 240 seasonal
+/// buckets — the configuration the runtime attaches to Amoeba-Pro.
+fn hw() -> HoltWintersDiurnal {
+    HoltWintersDiurnal::new(SimDuration::from_secs_f64(480.0), 240)
+}
+
+/// A deterministic diurnal-ish rate without any RNG.
+fn rate_at(t_s: f64) -> f64 {
+    60.0 + 55.0 * (t_s * std::f64::consts::TAU / 480.0).sin()
+}
+
+fn seeded(mut f: Box<dyn Forecaster>) -> Box<dyn Forecaster> {
+    for i in 0..960 {
+        let t = i as f64 * 1.0;
+        f.observe(SimTime::from_secs_f64(t), rate_at(t));
+    }
+    f
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let horizon = SimDuration::from_secs(6);
+    let models: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(Naive::new()),
+        Box::new(Ewma::default()),
+        Box::new(HoltLinear::default()),
+        Box::new(hw()),
+    ];
+    for model in models {
+        let name = model.name();
+        let mut f = seeded(model);
+        let mut i = 960u64;
+        c.bench_function(&format!("forecast/tick/{name}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let t = i as f64 * 1.0;
+                f.observe(SimTime::from_secs_f64(t), black_box(rate_at(t)));
+                black_box(f.predict(horizon))
+            })
+        });
+    }
+}
+
+fn bench_predict_only(c: &mut Criterion) {
+    let mut f = seeded(Box::new(hw()));
+    let horizon = SimDuration::from_secs(6);
+    c.bench_function("forecast/predict/holt_winters", |b| {
+        b.iter(|| black_box(f.predict(black_box(horizon))))
+    });
+    let _ = &mut f;
+}
+
+criterion_group!(benches, bench_tick, bench_predict_only);
+criterion_main!(benches);

@@ -7,9 +7,10 @@
 //!
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
-//! ablation-prewarm ablation-percentile week ablation-placement trace.
+//! ablation-prewarm ablation-percentile week ablation-placement trace
+//! forecast.
 
-use amoeba_bench::{ablations, evaluation, extensions, investigation, profiling, Report};
+use amoeba_bench::{ablations, evaluation, extensions, forecast, investigation, profiling, Report};
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
 
@@ -38,6 +39,7 @@ fn by_id(id: &str) -> Option<Report> {
         "week" => extensions::week(DEFAULT_DAY_S, DEFAULT_SEED),
         "ablation-placement" => extensions::ablation_placement(DEFAULT_SEED),
         "trace" => extensions::trace_summary(DEFAULT_DAY_S, DEFAULT_SEED),
+        "forecast" => forecast::forecast(DEFAULT_DAY_S, DEFAULT_SEED),
         _ => return None,
     };
     Some(r)
@@ -64,6 +66,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "week",
             "ablation-placement",
             "trace",
+            "forecast",
         ],
     ),
 ];

@@ -17,16 +17,22 @@ pub enum SystemVariant {
     /// Ablation (§VII-D): no container prewarming; on a switch to
     /// serverless, queries are routed immediately and eat cold starts.
     AmoebaNoP,
+    /// Extension beyond the paper: the full system plus a load
+    /// forecaster — switch decisions evaluate Eq. 5 against the upper
+    /// forecast bound at the switch latency instead of the current load.
+    AmoebaPro,
 }
 
 impl SystemVariant {
-    /// All variants, in the order the paper's figures list them.
-    pub const ALL: [SystemVariant; 5] = [
+    /// All variants, in the order the paper's figures list them (the
+    /// Amoeba-Pro extension appended last).
+    pub const ALL: [SystemVariant; 6] = [
         SystemVariant::Amoeba,
         SystemVariant::Nameko,
         SystemVariant::OpenWhisk,
         SystemVariant::AmoebaNoM,
         SystemVariant::AmoebaNoP,
+        SystemVariant::AmoebaPro,
     ];
 
     /// Display name as used in the paper.
@@ -37,6 +43,7 @@ impl SystemVariant {
             SystemVariant::Amoeba => "Amoeba",
             SystemVariant::AmoebaNoM => "Amoeba-NoM",
             SystemVariant::AmoebaNoP => "Amoeba-NoP",
+            SystemVariant::AmoebaPro => "Amoeba-Pro",
         }
     }
 
@@ -47,12 +54,23 @@ impl SystemVariant {
 
     /// Does this variant use the PCA weight correction?
     pub fn uses_pca(self) -> bool {
-        matches!(self, SystemVariant::Amoeba | SystemVariant::AmoebaNoP)
+        matches!(
+            self,
+            SystemVariant::Amoeba | SystemVariant::AmoebaNoP | SystemVariant::AmoebaPro
+        )
     }
 
     /// Does this variant prewarm containers before switching?
     pub fn prewarms(self) -> bool {
-        matches!(self, SystemVariant::Amoeba | SystemVariant::AmoebaNoM)
+        matches!(
+            self,
+            SystemVariant::Amoeba | SystemVariant::AmoebaNoM | SystemVariant::AmoebaPro
+        )
+    }
+
+    /// Does this variant forecast load and decide proactively?
+    pub fn proactive(self) -> bool {
+        matches!(self, SystemVariant::AmoebaPro)
     }
 }
 
@@ -77,6 +95,10 @@ mod tests {
         // The ablations differ from Amoeba in exactly one feature each.
         assert!(AmoebaNoM.prewarms());
         assert!(AmoebaNoP.uses_pca());
+        // Amoeba-Pro is Amoeba plus the forecaster, nothing removed.
+        assert!(AmoebaPro.switches() && AmoebaPro.uses_pca() && AmoebaPro.prewarms());
+        assert!(AmoebaPro.proactive());
+        assert!(!Amoeba.proactive() && !AmoebaNoM.proactive() && !AmoebaNoP.proactive());
     }
 
     #[test]
@@ -84,6 +106,6 @@ mod tests {
         let mut labels: Vec<&str> = SystemVariant::ALL.iter().map(|v| v.label()).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 5);
+        assert_eq!(labels.len(), 6);
     }
 }

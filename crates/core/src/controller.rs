@@ -23,6 +23,7 @@
 //! 5. refuses a switch to serverless that would push any co-located
 //!    service past its own QoS target (§III).
 
+use amoeba_forecast::Forecaster;
 use amoeba_meters::LatencySurface;
 use amoeba_queueing::MmnModel;
 use amoeba_sim::{SimDuration, SimTime};
@@ -86,6 +87,20 @@ pub enum OwnPressure {
     Removed,
 }
 
+/// The forecast a proactive decision was evaluated against, for the
+/// telemetry record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastSnapshot {
+    /// Horizon the forecast targets (the relevant switch latency).
+    pub horizon: SimDuration,
+    /// Point forecast of λ at `now + horizon`, queries/second.
+    pub mean: f64,
+    /// Lower bound of the forecast band.
+    pub lo: f64,
+    /// Upper bound — what Eq. 5 was evaluated against.
+    pub hi: f64,
+}
+
 /// The intermediate quantities behind one
 /// [`DeploymentController::decide_explained`] verdict — everything Eq. 5
 /// and Eq. 6 saw and produced, for the telemetry tick record.
@@ -93,6 +108,10 @@ pub enum OwnPressure {
 pub struct DecisionTrace {
     /// Estimated load `V_u`, queries/second.
     pub load_qps: f64,
+    /// The load Eq. 5 was actually compared against:
+    /// `max(load_qps, forecast.hi)` in proactive mode, `load_qps`
+    /// otherwise.
+    pub eval_qps: f64,
     /// Eq. 6 predicted per-container capacity `μ`, queries/second.
     pub mu: f64,
     /// Eq. 5 discriminant `λ(μ)`: the maximum admissible load.
@@ -102,6 +121,21 @@ pub struct DecisionTrace {
     pub pressures: [f64; 3],
     /// Why the verdict came out the way it did.
     pub reason: TickReason,
+    /// The forecast behind `eval_qps`, when the service has one.
+    pub forecast: Option<ForecastSnapshot>,
+}
+
+/// Horizons for the proactive (Amoeba-Pro) decision rule: how far ahead
+/// the controller looks is exactly how long the corresponding switch
+/// takes to become effective — a decision made now lands then.
+#[derive(Debug, Clone, Copy)]
+pub struct ProactiveConfig {
+    /// Lookahead for a serverless-resident service considering a switch
+    /// up to IaaS (VM boot plus one control period).
+    pub up_horizon: SimDuration,
+    /// Lookahead for an IaaS-resident service considering a switch down
+    /// to serverless (container prewarm plus one control period).
+    pub down_horizon: SimDuration,
 }
 
 /// Controller tuning.
@@ -117,6 +151,11 @@ pub struct ControllerConfig {
     pub load_window: SimDuration,
     /// EWMA factor of the μ-calibration gain.
     pub gain_alpha: f64,
+    /// Proactive lookahead horizons. `None` (the default) keeps the
+    /// paper's reactive rule; `Some` makes every decision for a service
+    /// with an attached forecaster evaluate Eq. 5 against the upper
+    /// forecast bound at the switch latency.
+    pub proactive: Option<ProactiveConfig>,
 }
 
 impl Default for ControllerConfig {
@@ -127,6 +166,7 @@ impl Default for ControllerConfig {
             min_dwell: SimDuration::from_secs(8),
             load_window: SimDuration::from_secs(4),
             gain_alpha: 0.15,
+            proactive: None,
         }
     }
 }
@@ -152,6 +192,7 @@ struct ServiceState {
     model: ServiceModel,
     arrivals: VecDeque<SimTime>,
     gain: f64,
+    forecaster: Option<Box<dyn Forecaster>>,
 }
 
 /// The deployment controller for a set of services.
@@ -176,8 +217,27 @@ impl DeploymentController {
             model,
             arrivals: VecDeque::new(),
             gain: 1.0,
+            forecaster: None,
         });
         self.services.len() - 1
+    }
+
+    /// Attach a load forecaster to a service. Until one is attached (or
+    /// when [`ControllerConfig::proactive`] is `None`) decisions stay
+    /// purely reactive.
+    pub fn attach_forecaster(&mut self, idx: usize, forecaster: Box<dyn Forecaster>) {
+        self.services[idx].forecaster = Some(forecaster);
+    }
+
+    /// Feed the current load estimate to the service's forecaster (call
+    /// once per control tick, before [`Self::decide`]). A no-op without
+    /// an attached forecaster, so callers need not special-case reactive
+    /// variants.
+    pub fn observe_load(&mut self, idx: usize, now: SimTime) {
+        let load = self.estimated_load(idx, now);
+        if let Some(f) = self.services[idx].forecaster.as_mut() {
+            f.observe(now, load);
+        }
     }
 
     /// Number of registered services.
@@ -207,10 +267,15 @@ impl DeploymentController {
         }
     }
 
-    /// Estimated load `V_u` in queries/second at `now`.
+    /// Estimated load `V_u` in queries/second at `now`. A degenerate
+    /// (zero or non-finite) load window reads as zero load rather than
+    /// dividing into NaN/infinity.
     pub fn estimated_load(&self, idx: usize, now: SimTime) -> f64 {
         let s = &self.services[idx];
         let window_s = self.cfg.load_window.as_secs_f64();
+        if !(window_s.is_finite() && window_s > 0.0) {
+            return 0.0;
+        }
         let cutoff = now
             .as_micros()
             .saturating_sub(self.cfg.load_window.as_micros());
@@ -406,6 +471,32 @@ impl DeploymentController {
     ) -> (Decision, DecisionTrace) {
         let dwell_pending = now.duration_since(last_switch) < self.cfg.min_dwell;
         let load = self.estimated_load(idx, now);
+        // Proactive (Amoeba-Pro): evaluate Eq. 5 against the *upper*
+        // forecast bound at the moment a switch started now would take
+        // effect. The lookahead matches the direction under
+        // consideration — a serverless-resident service is weighing a
+        // switch up (VM boot), an IaaS-resident one a switch down
+        // (prewarm). Taking max(current, forecast hi) is conservative
+        // toward QoS: forecast uncertainty can only delay a switch down
+        // or advance a switch up, never admit load the reactive rule
+        // would have refused.
+        let forecast = match (self.cfg.proactive, self.services[idx].forecaster.as_ref()) {
+            (Some(p), Some(f)) => {
+                let horizon = match mode {
+                    DeployMode::Serverless => p.up_horizon,
+                    DeployMode::Iaas => p.down_horizon,
+                };
+                let fc = f.predict(horizon);
+                Some(ForecastSnapshot {
+                    horizon,
+                    mean: fc.mean,
+                    lo: fc.lo,
+                    hi: fc.hi,
+                })
+            }
+            _ => None,
+        };
+        let eval_qps = forecast.map_or(load, |fc| load.max(fc.hi));
         let (p_eff, lambda_max) = match mode {
             DeployMode::Iaas => {
                 // Measured pressure excludes this service (it runs on
@@ -413,7 +504,7 @@ impl DeploymentController {
                 // load on top, so self-contention is part of the
                 // admission decision — Fig. 9's surfaces are functions
                 // of (V_u, P) for exactly this reason.
-                let p = self.adjust_pressures(idx, pressures, load, OwnPressure::Added);
+                let p = self.adjust_pressures(idx, pressures, eval_qps, OwnPressure::Added);
                 (p, self.lambda_max(idx, p, weights))
             }
             // Measured pressure already includes this service's own
@@ -426,9 +517,9 @@ impl DeploymentController {
         } else {
             match mode {
                 DeployMode::Iaas => {
-                    if load >= self.cfg.down_margin * lambda_max {
+                    if eval_qps >= self.cfg.down_margin * lambda_max {
                         (Decision::Stay, TickReason::LoadAboveDownMargin)
-                    } else if !self.impact_ok(idx, load, pressures, others) {
+                    } else if !self.impact_ok(idx, eval_qps, pressures, others) {
                         (Decision::Stay, TickReason::ImpactVetoed)
                     } else {
                         (
@@ -438,7 +529,7 @@ impl DeploymentController {
                     }
                 }
                 DeployMode::Serverless => {
-                    if load > self.cfg.up_margin * lambda_max {
+                    if eval_qps > self.cfg.up_margin * lambda_max {
                         (Decision::SwitchToIaas, TickReason::LoadAboveUpMargin)
                     } else {
                         (Decision::Stay, TickReason::LoadBelowUpMargin)
@@ -448,10 +539,12 @@ impl DeploymentController {
         };
         let trace = DecisionTrace {
             load_qps: load,
+            eval_qps,
             mu: self.predicted_mu(idx, p_eff, weights),
             lambda_max,
             pressures: p_eff,
             reason,
+            forecast,
         };
         (decision, trace)
     }
@@ -494,12 +587,21 @@ impl DeploymentController {
 }
 
 /// Eq. 7: the prewarm container count `n` with
-/// `(n−1)/QoS_t < V_u ≤ n/QoS_t`, i.e. the smallest `n ≥ V_u · QoS_t`
-/// (at least 1 — a switch always warms something).
+/// `(n−1)/QoS_t < V_u ≤ n/QoS_t`, i.e. the smallest `n ≥ V_u · QoS_t`.
+/// Degenerate inputs — zero, negative or non-finite load or target —
+/// yield 0 containers rather than letting a NaN propagate through the
+/// `ceil`-and-cast (which would silently produce 0 anyway on some
+/// platforms and UB-adjacent garbage on others). Callers that must warm
+/// at least one container clamp at the call site.
 pub fn prewarm_count(load_qps: f64, qos_target_s: f64) -> u32 {
-    assert!(qos_target_s > 0.0);
+    if !(load_qps.is_finite() && load_qps > 0.0) {
+        return 0;
+    }
+    if !(qos_target_s.is_finite() && qos_target_s > 0.0) {
+        return 0;
+    }
     let n = (load_qps * qos_target_s).ceil();
-    (n as u32).max(1)
+    n.min(u32::MAX as f64).max(1.0) as u32
 }
 
 #[cfg(test)]
@@ -569,7 +671,34 @@ mod tests {
         assert_eq!(prewarm_count(10.0, 0.5), 5);
         assert_eq!(prewarm_count(9.9, 0.5), 5);
         assert_eq!(prewarm_count(10.1, 0.5), 6);
-        assert_eq!(prewarm_count(0.0, 0.5), 1);
+        // Tiny but positive load still warms one container.
+        assert_eq!(prewarm_count(0.1, 0.5), 1);
+    }
+
+    #[test]
+    fn eq7_degenerate_inputs_warm_nothing() {
+        assert_eq!(prewarm_count(0.0, 0.5), 0);
+        assert_eq!(prewarm_count(-3.0, 0.5), 0);
+        assert_eq!(prewarm_count(f64::NAN, 0.5), 0);
+        assert_eq!(prewarm_count(f64::INFINITY, 0.5), 0);
+        assert_eq!(prewarm_count(10.0, 0.0), 0);
+        assert_eq!(prewarm_count(10.0, -1.0), 0);
+        assert_eq!(prewarm_count(10.0, f64::NAN), 0);
+        assert_eq!(prewarm_count(10.0, f64::INFINITY), 0);
+        // A huge-but-finite product saturates instead of wrapping.
+        assert_eq!(prewarm_count(1e30, 1e30), u32::MAX);
+    }
+
+    #[test]
+    fn degenerate_load_window_reads_as_zero_load() {
+        let mut c = DeploymentController::new(ControllerConfig {
+            load_window: SimDuration::ZERO,
+            ..ControllerConfig::default()
+        });
+        c.register(model_for(benchmarks::float()));
+        c.record_arrival(0, SimTime::from_secs(1));
+        let load = c.estimated_load(0, SimTime::from_secs(1));
+        assert_eq!(load, 0.0, "zero window must not divide into NaN/inf");
     }
 
     #[test]
@@ -884,6 +1013,140 @@ mod tests {
             &[],
         );
         assert_eq!(d2, Decision::SwitchToServerless);
+    }
+
+    /// Test stub: a forecaster pinned to one value regardless of input.
+    struct FixedForecast(f64);
+
+    impl Forecaster for FixedForecast {
+        fn observe(&mut self, _t: SimTime, _lambda_qps: f64) {}
+        fn predict(&self, _horizon: SimDuration) -> amoeba_forecast::ForecastInterval {
+            amoeba_forecast::ForecastInterval::point(self.0)
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    fn proactive_cfg() -> ControllerConfig {
+        ControllerConfig {
+            proactive: Some(ProactiveConfig {
+                up_horizon: SimDuration::from_secs(6),
+                down_horizon: SimDuration::from_secs(3),
+            }),
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn proactive_forecast_advances_the_switch_up() {
+        // Serverless-resident at a tiny current load, but the forecast
+        // says the rush arrives within the VM boot time: Amoeba-Pro
+        // boots now, reactive Amoeba waits until the load is already
+        // there.
+        let mut c = DeploymentController::new(proactive_cfg());
+        c.register(model_for(benchmarks::float()));
+        let now = SimTime::from_secs(100);
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        let reactive = c.decide(
+            0,
+            DeployMode::Serverless,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(reactive, Decision::Stay, "no forecaster: reactive rule");
+        c.attach_forecaster(0, Box::new(FixedForecast(200.0)));
+        let (d, tr) = c.decide_explained(
+            0,
+            DeployMode::Serverless,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::SwitchToIaas);
+        assert_eq!(tr.eval_qps, 200.0);
+        assert!(tr.load_qps < 3.0, "current load still low: {}", tr.load_qps);
+        let fc = tr.forecast.expect("forecast snapshot recorded");
+        assert_eq!(fc.horizon, SimDuration::from_secs(6));
+        assert_eq!(fc.hi, 200.0);
+    }
+
+    #[test]
+    fn proactive_forecast_holds_a_doomed_switch_down() {
+        // IaaS-resident, load momentarily low enough to switch down, but
+        // the forecast upper bound at the prewarm horizon is above the
+        // admission margin: stay — the pool would have to hand the
+        // service straight back.
+        let mut c = DeploymentController::new(proactive_cfg());
+        c.register(model_for(benchmarks::float()));
+        let now = SimTime::from_secs(100);
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        let reactive = c.decide(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(reactive, Decision::SwitchToServerless);
+        c.attach_forecaster(0, Box::new(FixedForecast(200.0)));
+        let (d, tr) = c.decide_explained(
+            0,
+            DeployMode::Iaas,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        assert_eq!(d, Decision::Stay);
+        assert_eq!(tr.reason, TickReason::LoadAboveDownMargin);
+        assert_eq!(
+            tr.forecast.expect("snapshot").horizon,
+            SimDuration::from_secs(3),
+            "IaaS-resident decisions look ahead by the down horizon"
+        );
+    }
+
+    #[test]
+    fn observe_load_feeds_the_forecaster() {
+        let mut c = DeploymentController::new(proactive_cfg());
+        c.register(model_for(benchmarks::float()));
+        c.attach_forecaster(0, Box::new(amoeba_forecast::Naive::new()));
+        let now = SimTime::from_secs(100);
+        for i in 0..8 {
+            c.record_arrival(0, now - SimDuration::from_millis(i * 450));
+        }
+        c.observe_load(0, now);
+        let (_, tr) = c.decide_explained(
+            0,
+            DeployMode::Serverless,
+            now,
+            SimTime::ZERO,
+            [0.0; 3],
+            CALIBRATED,
+            &[],
+        );
+        let fc = tr.forecast.expect("snapshot");
+        assert!(
+            (fc.mean - tr.load_qps).abs() < 1e-9,
+            "naive forecast echoes the observed load: {} vs {}",
+            fc.mean,
+            tr.load_qps
+        );
+        // Unchanged decision semantics: eval is the max of both.
+        assert!((tr.eval_qps - tr.load_qps.max(fc.hi)).abs() < 1e-12);
     }
 
     #[test]

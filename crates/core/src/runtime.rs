@@ -13,10 +13,12 @@
 
 use crate::baselines::SystemVariant;
 use crate::controller::{
-    prewarm_count, ControllerConfig, Decision, DeployMode, DeploymentController, ServiceModel,
+    prewarm_count, ControllerConfig, Decision, DecisionTrace, DeployMode, DeploymentController,
+    ProactiveConfig, ServiceModel,
 };
 use crate::engine::{dispatch_actions, HybridEngine, PlatformCommands, RouteTarget};
 use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
+use amoeba_forecast::HoltWintersDiurnal;
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve, METER_QPS};
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter, UsageSummary};
 use amoeba_platform::{
@@ -25,8 +27,8 @@ use amoeba_platform::{
 };
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{
-    HeartbeatRecord, MemorySink, NoopSink, ServiceInfo, SwitchPhase, SwitchRecord, TelemetryEvent,
-    TelemetrySink, TickReason, TickRecord, Trace, ViolationCause, ViolationRecord,
+    ForecastRecord, HeartbeatRecord, MemorySink, NoopSink, ServiceInfo, SwitchPhase, SwitchRecord,
+    TelemetryEvent, TelemetrySink, TickReason, TickRecord, Trace, ViolationCause, ViolationRecord,
     WarmSampleRecord,
 };
 use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals};
@@ -35,6 +37,24 @@ use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArriva
 /// platform while a service runs on IaaS, to keep the calibration fed)
 /// carry this bit in their id and are excluded from QoS accounting.
 const SHADOW_BIT: u64 = 1 << 63;
+
+/// Emit the tick's forecast as a telemetry event, when the decision
+/// carried one (proactive variants with an attached forecaster only).
+/// `realized_qps` stays `None` here — only the report layer, replaying
+/// the trace after the fact, knows what λ turned out to be.
+fn record_forecast(sink: &mut dyn TelemetrySink, now: SimTime, idx: usize, tr: &DecisionTrace) {
+    if let Some(fc) = tr.forecast {
+        sink.record(TelemetryEvent::Forecast(ForecastRecord {
+            t: now,
+            service: idx,
+            horizon_s: fc.horizon.as_secs_f64(),
+            mean_qps: fc.mean,
+            lo_qps: fc.lo,
+            hi_qps: fc.hi,
+            realized_qps: None,
+        }));
+    }
+}
 
 /// One service in an experiment.
 pub struct ServiceSetup {
@@ -112,20 +132,6 @@ impl Experiment {
                 prewarm_factor: 1.0,
             },
         }
-    }
-
-    /// A ready-to-run experiment with default platform and component
-    /// configurations.
-    #[deprecated(note = "use Experiment::builder(variant, horizon, seed)")]
-    pub fn new(
-        variant: SystemVariant,
-        services: Vec<ServiceSetup>,
-        horizon: SimDuration,
-        seed: u64,
-    ) -> Self {
-        Experiment::builder(variant, horizon, seed)
-            .services(services)
-            .build()
     }
 }
 
@@ -421,7 +427,20 @@ impl Experiment {
 
         let mut serverless = ServerlessPlatform::new(self.serverless_cfg);
         let mut iaas = IaasPlatform::new(self.iaas_cfg);
-        let mut controller = DeploymentController::new(self.controller_cfg);
+        // Proactive variants look ahead by exactly the switch latency in
+        // each direction: a switch up waits on the VM boot, a switch
+        // down on the container prewarm, and either decision lands one
+        // control period after it is made.
+        let mut controller_cfg = self.controller_cfg;
+        if self.variant.proactive() && controller_cfg.proactive.is_none() {
+            controller_cfg.proactive = Some(ProactiveConfig {
+                up_horizon: SimDuration::from_secs_f64(self.iaas_cfg.boot_time_s)
+                    + self.control_period,
+                down_horizon: SimDuration::from_secs_f64(self.serverless_cfg.cold_start_median_s)
+                    + self.control_period,
+            });
+        }
+        let mut controller = DeploymentController::new(controller_cfg);
 
         let n_max = self
             .serverless_cfg
@@ -469,13 +488,28 @@ impl Experiment {
                 )
             });
             let util_per_qps = [0, 1, 2].map(|r| l0 * rate_arr[r] / caps[r]);
-            controller.register(ServiceModel {
+            let idx = controller.register(ServiceModel {
                 spec: setup.spec.clone(),
                 l0_s: l0,
                 surfaces,
                 util_per_qps,
                 n_max,
             });
+            if self.variant.proactive() && !setup.background {
+                // Seasonal buckets at roughly half the tick cadence keep
+                // several observations per bucket while still resolving
+                // the diurnal shoulders.
+                let day_s = setup.trace.day_seconds();
+                let control_s = self.control_period.as_secs_f64().max(1e-3);
+                let buckets = ((day_s / control_s / 2.0).round() as usize).clamp(24, 240);
+                controller.attach_forecaster(
+                    idx,
+                    Box::new(HoltWintersDiurnal::new(
+                        SimDuration::from_secs_f64(day_s),
+                        buckets,
+                    )),
+                );
+            }
             let arrivals = PoissonArrivals::from_trace(
                 setup.trace.clone(),
                 SimTime::ZERO + self.horizon,
@@ -712,6 +746,16 @@ impl Experiment {
                     pressure_samples += 1;
                     let weights = monitor.weights();
                     if self.variant.switches() {
+                        // Feed each unpinned service's forecaster before
+                        // any decision this tick. Unconditional (not
+                        // sink-gated): the forecast is control-plane
+                        // state, so traced and untraced runs stay
+                        // bit-identical. A no-op for reactive variants.
+                        for idx in 0..services.len() {
+                            if !services[idx].pinned {
+                                controller.observe_load(idx, now);
+                            }
+                        }
                         // Current serverless co-tenants with their loads.
                         let others: Vec<(usize, f64)> = (0..services.len())
                             .filter(|&j| {
@@ -754,6 +798,7 @@ impl Experiment {
                                         decision: Decision::Stay.into(),
                                         reason: TickReason::InTransition,
                                     }));
+                                    record_forecast(sink, now, idx, &tr);
                                 }
                                 continue;
                             }
@@ -779,13 +824,19 @@ impl Experiment {
                                     decision: decision.into(),
                                     reason: tr.reason,
                                 }));
+                                record_forecast(sink, now, idx, &tr);
                             }
                             let load = tr.load_qps;
                             let actions = match decision {
                                 Decision::Stay => Vec::new(),
                                 Decision::SwitchToServerless => {
                                     let spec = &controller.model(idx).spec;
-                                    let n = prewarm_count(load, spec.qos_target_s);
+                                    // Prewarm for the load the decision
+                                    // was evaluated at — in proactive
+                                    // mode the forecast upper bound, so
+                                    // the pool is sized for the load
+                                    // arriving by the time it is warm.
+                                    let n = prewarm_count(tr.eval_qps, spec.qos_target_s);
                                     let n = ((n as f64 * self.prewarm_factor).ceil() as u32)
                                         .max(1)
                                         .min(n_max);

@@ -1,0 +1,591 @@
+//! The [`Forecaster`] trait and its four implementations.
+
+use amoeba_sim::{SimDuration, SimTime};
+
+/// A point forecast with an uncertainty band: `lo ≤ mean ≤ hi`, all
+/// non-negative (a rate cannot be negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastInterval {
+    /// Expected λ at the horizon, queries/second.
+    pub mean: f64,
+    /// Lower bound of the band.
+    pub lo: f64,
+    /// Upper bound of the band — what the proactive controller feeds
+    /// into Eq. 5 (conservative toward QoS: uncertainty can only delay a
+    /// switch down or advance a switch up).
+    pub hi: f64,
+}
+
+impl ForecastInterval {
+    /// A zero-width interval at `v` (clamped to ≥ 0).
+    pub fn point(v: f64) -> Self {
+        let v = sanitize(v);
+        ForecastInterval {
+            mean: v,
+            lo: v,
+            hi: v,
+        }
+    }
+
+    /// An interval `mean ± half_width`, clamped so the invariant
+    /// `0 ≤ lo ≤ mean ≤ hi` holds whatever the inputs were.
+    pub fn around(mean: f64, half_width: f64) -> Self {
+        let mean = sanitize(mean);
+        let hw = sanitize(half_width);
+        ForecastInterval {
+            mean,
+            lo: (mean - hw).max(0.0),
+            hi: mean + hw,
+        }
+    }
+
+    /// Width of the band, `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Does the band contain `v`?
+    pub fn covers(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// Non-finite and negative rates collapse to 0 — a rate estimator fed a
+/// NaN must not poison every later prediction.
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() {
+        v.max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// An online λ forecaster: feed it the controller's load estimates in
+/// time order, ask for the rate at `now + horizon`.
+pub trait Forecaster {
+    /// Record the load estimate `lambda_qps` observed at `t`.
+    /// Observations must arrive in non-decreasing time order; non-finite
+    /// or negative rates are treated as 0.
+    fn observe(&mut self, t: SimTime, lambda_qps: f64);
+
+    /// Forecast λ at `horizon` past the last observation. Before any
+    /// observation the forecast is a zero point interval.
+    fn predict(&self, horizon: SimDuration) -> ForecastInterval;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared residual tracker: an EWMA of the absolute one-step-ahead
+/// error and of the observation spacing. The interval half-width at
+/// horizon `h` scales the one-step error by `√(h / mean_dt)` — the
+/// random-walk growth rate, the standard pragmatic widening when the
+/// model's own error dynamics are unknown.
+#[derive(Debug, Clone, Copy)]
+struct Residuals {
+    abs_err: f64,
+    mean_dt_s: f64,
+    seeded: bool,
+}
+
+/// 95 % band multiplier for a roughly symmetric error distribution
+/// (1.96 σ with σ ≈ 1.25 · mean absolute error).
+const BAND_Z: f64 = 2.45;
+/// Smoothing factor for the residual EWMAs.
+const RESIDUAL_ALPHA: f64 = 0.1;
+
+impl Residuals {
+    fn new() -> Self {
+        Residuals {
+            abs_err: 0.0,
+            mean_dt_s: 1.0,
+            seeded: false,
+        }
+    }
+
+    /// Fold in one realized one-step error and its observation gap.
+    fn update(&mut self, predicted: f64, actual: f64, dt_s: f64) {
+        let err = (actual - predicted).abs();
+        if !err.is_finite() {
+            return;
+        }
+        if self.seeded {
+            self.abs_err += RESIDUAL_ALPHA * (err - self.abs_err);
+            if dt_s > 0.0 {
+                self.mean_dt_s += RESIDUAL_ALPHA * (dt_s - self.mean_dt_s);
+            }
+        } else {
+            self.abs_err = err;
+            if dt_s > 0.0 {
+                self.mean_dt_s = dt_s;
+            }
+            self.seeded = true;
+        }
+    }
+
+    /// Half-width of the band at `horizon`.
+    fn half_width(&self, horizon: SimDuration) -> f64 {
+        if !self.seeded {
+            return 0.0;
+        }
+        let steps = (horizon.as_secs_f64() / self.mean_dt_s.max(1e-9)).max(1.0);
+        BAND_Z * self.abs_err * steps.sqrt()
+    }
+}
+
+/// Last observed value. The persistence baseline: tomorrow looks like
+/// right now.
+#[derive(Debug, Clone, Copy)]
+pub struct Naive {
+    last: Option<f64>,
+    last_t: Option<SimTime>,
+    residuals: Residuals,
+}
+
+impl Naive {
+    /// A fresh forecaster with no observations.
+    pub fn new() -> Self {
+        Naive {
+            last: None,
+            last_t: None,
+            residuals: Residuals::new(),
+        }
+    }
+}
+
+impl Default for Naive {
+    fn default() -> Self {
+        Naive::new()
+    }
+}
+
+impl Forecaster for Naive {
+    fn observe(&mut self, t: SimTime, lambda_qps: f64) {
+        let v = sanitize(lambda_qps);
+        if let (Some(prev), Some(pt)) = (self.last, self.last_t) {
+            let dt = t.duration_since(pt).as_secs_f64();
+            self.residuals.update(prev, v, dt);
+        }
+        self.last = Some(v);
+        self.last_t = Some(t);
+    }
+
+    fn predict(&self, horizon: SimDuration) -> ForecastInterval {
+        match self.last {
+            Some(v) => ForecastInterval::around(v, self.residuals.half_width(horizon)),
+            None => ForecastInterval::point(0.0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+/// Exponentially weighted moving average: smooths estimator noise but
+/// lags every ramp by `~1/α` observations.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    level: Option<f64>,
+    last_t: Option<SimTime>,
+    residuals: Residuals,
+}
+
+impl Ewma {
+    /// A fresh forecaster with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            alpha,
+            level: None,
+            last_t: None,
+            residuals: Residuals::new(),
+        }
+    }
+}
+
+impl Default for Ewma {
+    /// α = 0.3: the controller's load window already smooths arrivals,
+    /// so the forecaster only needs mild extra damping.
+    fn default() -> Self {
+        Ewma::new(0.3)
+    }
+}
+
+impl Forecaster for Ewma {
+    fn observe(&mut self, t: SimTime, lambda_qps: f64) {
+        let v = sanitize(lambda_qps);
+        match self.level {
+            Some(level) => {
+                let dt = self
+                    .last_t
+                    .map(|pt| t.duration_since(pt).as_secs_f64())
+                    .unwrap_or(0.0);
+                self.residuals.update(level, v, dt);
+                self.level = Some(level + self.alpha * (v - level));
+            }
+            None => self.level = Some(v),
+        }
+        self.last_t = Some(t);
+    }
+
+    fn predict(&self, horizon: SimDuration) -> ForecastInterval {
+        match self.level {
+            Some(level) => ForecastInterval::around(level, self.residuals.half_width(horizon)),
+            None => ForecastInterval::point(0.0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Holt's double exponential smoothing: a level plus a per-second trend,
+/// so a steady ramp is extrapolated instead of lagged. The workhorse for
+/// the first simulated day, before the seasonal model has seen a full
+/// period.
+#[derive(Debug, Clone, Copy)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend_per_s: f64,
+    last_t: Option<SimTime>,
+    residuals: Residuals,
+}
+
+impl HoltLinear {
+    /// A fresh forecaster with level smoothing `alpha` and trend
+    /// smoothing `beta`, both in `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        HoltLinear {
+            alpha,
+            beta,
+            level: 0.0,
+            trend_per_s: 0.0,
+            last_t: None,
+            residuals: Residuals::new(),
+        }
+    }
+}
+
+impl Default for HoltLinear {
+    /// α = 0.3, β = 0.1: responsive level, damped trend — a trend that
+    /// chases estimator noise overshoots every shoulder of the diurnal
+    /// curve.
+    fn default() -> Self {
+        HoltLinear::new(0.3, 0.1)
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn observe(&mut self, t: SimTime, lambda_qps: f64) {
+        let v = sanitize(lambda_qps);
+        let Some(pt) = self.last_t else {
+            self.level = v;
+            self.last_t = Some(t);
+            return;
+        };
+        let dt = t.duration_since(pt).as_secs_f64();
+        if dt <= 0.0 {
+            // Repeated observation at the same instant: refresh the
+            // level only (a zero gap has no trend information).
+            self.level += self.alpha * (v - self.level);
+            return;
+        }
+        let predicted = self.level + self.trend_per_s * dt;
+        self.residuals.update(predicted, v, dt);
+        let prev_level = self.level;
+        self.level = predicted + self.alpha * (v - predicted);
+        let step_trend = (self.level - prev_level) / dt;
+        self.trend_per_s += self.beta * (step_trend - self.trend_per_s);
+        self.last_t = Some(t);
+    }
+
+    fn predict(&self, horizon: SimDuration) -> ForecastInterval {
+        if self.last_t.is_none() {
+            return ForecastInterval::point(0.0);
+        }
+        let mean = self.level + self.trend_per_s * horizon.as_secs_f64();
+        ForecastInterval::around(mean, self.residuals.half_width(horizon))
+    }
+
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+}
+
+/// Holt-Winters additive seasonal smoothing with a configurable period,
+/// tuned for the diurnal trace: level + trend as in [`HoltLinear`],
+/// plus one additive seasonal index per phase bucket of the period.
+/// The first pass over a bucket seeds its index directly from the
+/// observation (classic Holt-Winters initialisation), so the model is
+/// already shape-aware after one observed period; subsequent passes
+/// refine it with the `gamma` smoothing.
+#[derive(Debug, Clone)]
+pub struct HoltWintersDiurnal {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period_s: f64,
+    level: f64,
+    trend_per_s: f64,
+    seasonal: Vec<f64>,
+    seen: Vec<bool>,
+    last_t: Option<SimTime>,
+    residuals: Residuals,
+}
+
+impl HoltWintersDiurnal {
+    /// Default smoothing for a compressed 24 h trace observed at the
+    /// controller's tick cadence (~1 Hz): nearly frozen level and trend,
+    /// moderate seasonal refresh. The level must evolve much slower than
+    /// the shape — once the seasonal indices are seeded the
+    /// deseasonalized signal is constant, and a fast level would chase
+    /// the wave itself, leaving the seasonal term to learn its own
+    /// transient (a feedback loop that never converges).
+    pub fn new(period: SimDuration, buckets: usize) -> Self {
+        HoltWintersDiurnal::with_params(period, buckets, 0.02, 0.005, 0.3)
+    }
+
+    /// Full constructor. `period` is the seasonal cycle (the trace's
+    /// day length), divided into `buckets` phase bins; `alpha`, `beta`,
+    /// `gamma` smooth level, trend and seasonal indices respectively.
+    pub fn with_params(
+        period: SimDuration,
+        buckets: usize,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+    ) -> Self {
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        assert!(buckets >= 2, "need at least two seasonal buckets");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        HoltWintersDiurnal {
+            alpha,
+            beta,
+            gamma,
+            period_s: period.as_secs_f64(),
+            level: 0.0,
+            trend_per_s: 0.0,
+            seasonal: vec![0.0; buckets],
+            seen: vec![false; buckets],
+            last_t: None,
+            residuals: Residuals::new(),
+        }
+    }
+
+    /// Seasonal period, seconds.
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+
+    /// The bucket whose bin contains phase `t mod period`.
+    fn bucket(&self, t: SimTime) -> usize {
+        let phase = (t.as_secs_f64() / self.period_s).rem_euclid(1.0);
+        ((phase * self.seasonal.len() as f64) as usize).min(self.seasonal.len() - 1)
+    }
+
+    /// Seasonal index at `t`, linearly interpolated between the two
+    /// neighbouring bucket centres (wrapping around the period) so the
+    /// forecast is continuous rather than a staircase.
+    fn seasonal_at(&self, t: SimTime) -> f64 {
+        let n = self.seasonal.len();
+        let phase = (t.as_secs_f64() / self.period_s).rem_euclid(1.0);
+        let x = phase * n as f64 - 0.5;
+        let i = x.floor().rem_euclid(n as f64) as usize % n;
+        let j = (i + 1) % n;
+        let frac = x - x.floor();
+        // An unseen neighbour contributes its partner's index — better
+        // a flat estimate than interpolating toward a phantom zero.
+        let si = if self.seen[i] {
+            self.seasonal[i]
+        } else if self.seen[j] {
+            self.seasonal[j]
+        } else {
+            0.0
+        };
+        let sj = if self.seen[j] { self.seasonal[j] } else { si };
+        si * (1.0 - frac) + sj * frac
+    }
+}
+
+impl Forecaster for HoltWintersDiurnal {
+    fn observe(&mut self, t: SimTime, lambda_qps: f64) {
+        let v = sanitize(lambda_qps);
+        let b = self.bucket(t);
+        let Some(pt) = self.last_t else {
+            self.level = v;
+            self.seasonal[b] = 0.0;
+            self.seen[b] = true;
+            self.last_t = Some(t);
+            return;
+        };
+        let dt = t.duration_since(pt).as_secs_f64();
+        if dt <= 0.0 {
+            self.level += self.alpha * (v - self.level - self.seasonal[b]);
+            return;
+        }
+        let s_b = if self.seen[b] {
+            self.seasonal[b]
+        } else {
+            self.seasonal_at(t)
+        };
+        let predicted = self.level + self.trend_per_s * dt + s_b;
+        self.residuals.update(predicted, v, dt);
+        let prev_level = self.level;
+        let base = self.level + self.trend_per_s * dt;
+        self.level = base + self.alpha * (v - s_b - base);
+        let step_trend = (self.level - prev_level) / dt;
+        self.trend_per_s += self.beta * (step_trend - self.trend_per_s);
+        if self.seen[b] {
+            self.seasonal[b] += self.gamma * (v - self.level - self.seasonal[b]);
+        } else {
+            self.seasonal[b] = v - self.level;
+            self.seen[b] = true;
+        }
+        self.last_t = Some(t);
+    }
+
+    fn predict(&self, horizon: SimDuration) -> ForecastInterval {
+        let Some(pt) = self.last_t else {
+            return ForecastInterval::point(0.0);
+        };
+        let h = horizon.as_secs_f64();
+        let mean = self.level + self.trend_per_s * h + self.seasonal_at(pt + horizon);
+        ForecastInterval::around(mean, self.residuals.half_width(horizon))
+    }
+
+    fn name(&self) -> &'static str {
+        "holt_winters"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn interval_invariant_holds_under_hostile_inputs() {
+        for (mean, hw) in [
+            (5.0, 2.0),
+            (1.0, 10.0),
+            (-3.0, 1.0),
+            (f64::NAN, 4.0),
+            (2.0, f64::INFINITY),
+            (f64::INFINITY, f64::NAN),
+        ] {
+            let i = ForecastInterval::around(mean, hw);
+            assert!(i.lo >= 0.0, "{i:?}");
+            assert!(i.lo <= i.mean && i.mean <= i.hi, "{i:?}");
+            assert!(i.lo.is_finite() && i.mean.is_finite(), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn naive_predicts_last_value() {
+        let mut f = Naive::new();
+        assert_eq!(f.predict(SimDuration::from_secs(5)).mean, 0.0);
+        f.observe(t(1.0), 10.0);
+        f.observe(t(2.0), 14.0);
+        let p = f.predict(SimDuration::from_secs(5));
+        assert_eq!(p.mean, 14.0);
+        // One step of |14-10| = 4 error widens the band.
+        assert!(p.hi > 14.0 && p.lo < 14.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_rate() {
+        let mut f = Ewma::default();
+        for i in 0..100 {
+            f.observe(t(i as f64), 20.0);
+        }
+        let p = f.predict(SimDuration::from_secs(3));
+        assert!((p.mean - 20.0).abs() < 1e-9);
+        assert!(p.width() < 1e-9, "no residuals on a constant signal");
+    }
+
+    #[test]
+    fn holt_extrapolates_a_ramp() {
+        let mut f = HoltLinear::default();
+        // λ = 2t: after settling, the 5 s forecast leads the last
+        // observation by ~10 qps.
+        for i in 0..200 {
+            f.observe(t(i as f64), 2.0 * i as f64);
+        }
+        let p = f.predict(SimDuration::from_secs(5));
+        let expected = 2.0 * 199.0 + 2.0 * 5.0;
+        assert!(
+            (p.mean - expected).abs() < 2.0,
+            "mean {} vs {expected}",
+            p.mean
+        );
+        // Naive at the same horizon lags by the full ramp step.
+        let mut n = Naive::new();
+        for i in 0..200 {
+            n.observe(t(i as f64), 2.0 * i as f64);
+        }
+        assert!((expected - n.predict(SimDuration::from_secs(5)).mean) > 9.0);
+    }
+
+    #[test]
+    fn holt_winters_learns_a_square_wave() {
+        // Period 100 s, 10 buckets; alternating 10/30 half-periods.
+        let mut f = HoltWintersDiurnal::new(SimDuration::from_secs(100), 10);
+        for i in 0..400 {
+            let phase = (i % 100) as f64 / 100.0;
+            let v = if phase < 0.5 { 10.0 } else { 30.0 };
+            f.observe(t(i as f64), v);
+        }
+        // At t=399 (phase 0.99), 26 s ahead lands at phase 0.25 → 10.
+        let p = f.predict(SimDuration::from_secs(26));
+        assert!((p.mean - 10.0).abs() < 4.0, "mean {}", p.mean);
+        // 41 s ahead lands at phase 0.40... still 10; 61 s → phase 0.60 → 30.
+        let p = f.predict(SimDuration::from_secs(61));
+        assert!((p.mean - 30.0).abs() < 4.0, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn non_finite_observations_do_not_poison_state() {
+        let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(Naive::new()),
+            Box::new(Ewma::default()),
+            Box::new(HoltLinear::default()),
+            Box::new(HoltWintersDiurnal::new(SimDuration::from_secs(50), 5)),
+        ];
+        for f in &mut forecasters {
+            f.observe(t(0.0), 10.0);
+            f.observe(t(1.0), f64::NAN);
+            f.observe(t(2.0), f64::INFINITY);
+            f.observe(t(3.0), -5.0);
+            f.observe(t(4.0), 10.0);
+            let p = f.predict(SimDuration::from_secs(5));
+            assert!(p.mean.is_finite() && p.lo.is_finite(), "{}", f.name());
+            assert!(p.lo <= p.mean && p.mean <= p.hi, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn repeated_same_time_observations_are_tolerated() {
+        let mut f = HoltLinear::default();
+        f.observe(t(1.0), 10.0);
+        f.observe(t(1.0), 12.0);
+        f.observe(t(1.0), 14.0);
+        let p = f.predict(SimDuration::from_secs(1));
+        assert!(p.mean > 9.0 && p.mean < 15.0);
+        let mut hw = HoltWintersDiurnal::new(SimDuration::from_secs(10), 4);
+        hw.observe(t(1.0), 10.0);
+        hw.observe(t(1.0), 12.0);
+        assert!(hw.predict(SimDuration::from_secs(1)).mean.is_finite());
+    }
+}

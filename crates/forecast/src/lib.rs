@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Load forecasting for proactive deployment switching (Amoeba-Pro).
+//!
+//! The paper's controller is purely reactive: it compares the *current*
+//! arrival rate λ against the Eq. 5 discriminant, so every switch starts
+//! only after load has already crossed the boundary, and the queries in
+//! flight during the switch window pay for it (Fig. 16). This crate
+//! supplies the anticipation: a [`Forecaster`] observes the controller's
+//! load estimates at tick cadence and predicts λ at `now + horizon` as a
+//! [`ForecastInterval`] — mean with a lower/upper bound — so the
+//! controller can evaluate the discriminant against the *upper* bound at
+//! the moment a switch started now would actually take effect.
+//!
+//! Four implementations, from dumbest to most structured:
+//!
+//! - [`Naive`] — last observed value (the reactive controller in
+//!   forecaster clothing; the baseline every other model must beat).
+//! - [`Ewma`] — exponentially weighted moving average.
+//! - [`HoltLinear`] — level + trend double exponential smoothing;
+//!   anticipates monotone ramps such as a diurnal rush shoulder.
+//! - [`HoltWintersDiurnal`] — Holt's method plus an additive seasonal
+//!   component with a configurable period, tuned for the 24 h trace:
+//!   after one observed day it knows the rush is coming before the
+//!   trend does.
+//!
+//! All forecasters are pure arithmetic over their observation stream:
+//! no RNG, no clocks, no allocation after construction — identical
+//! observations give bit-identical predictions, which the simulation's
+//! determinism contract requires.
+//!
+//! [`backtest()`] replays any [`amoeba_workload::LoadTrace`] through a
+//! forecaster and reports MAE / MAPE / interval coverage; the property
+//! tests and the `experiments forecast` bench report both consume it.
+
+pub mod backtest;
+pub mod forecaster;
+
+pub use backtest::{backtest, BacktestConfig, BacktestReport};
+pub use forecaster::{Ewma, ForecastInterval, Forecaster, HoltLinear, HoltWintersDiurnal, Naive};

@@ -1,0 +1,101 @@
+//! Property tests for the forecasters: the interval invariant under
+//! arbitrary observation streams, bit-exact determinism, and the
+//! Holt-Winters convergence bound on the noiseless diurnal trace.
+
+use amoeba_forecast::{
+    backtest, BacktestConfig, Ewma, ForecastInterval, Forecaster, HoltLinear, HoltWintersDiurnal,
+    Naive,
+};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_workload::{DiurnalPattern, LoadTrace};
+use proptest::prelude::*;
+
+/// All four models, fresh, behind one trait object each.
+fn fresh_forecasters() -> Vec<Box<dyn Forecaster>> {
+    vec![
+        Box::new(Naive::new()),
+        Box::new(Ewma::default()),
+        Box::new(HoltLinear::default()),
+        Box::new(HoltWintersDiurnal::new(SimDuration::from_secs(120), 24)),
+    ]
+}
+
+/// Feed a stream of (gap seconds, rate) pairs in time order.
+fn feed(f: &mut dyn Forecaster, stream: &[(f64, f64)]) {
+    let mut t = 0.0f64;
+    for &(dt, v) in stream {
+        t += dt;
+        f.observe(SimTime::from_secs_f64(t), v);
+    }
+}
+
+fn interval_ok(p: &ForecastInterval) -> bool {
+    p.lo.is_finite()
+        && p.mean.is_finite()
+        && p.hi.is_finite()
+        && 0.0 <= p.lo
+        && p.lo <= p.mean
+        && p.mean <= p.hi
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `0 ≤ lo ≤ mean ≤ hi`, all finite, whatever was observed —
+    /// including bursts, silence, and hostile rates.
+    #[test]
+    fn interval_invariant_over_random_streams(
+        stream in proptest::collection::vec((0.0f64..30.0, -10.0f64..500.0), 1..80),
+        horizon_s in 0.1f64..600.0,
+    ) {
+        for f in &mut fresh_forecasters() {
+            feed(f.as_mut(), &stream);
+            let p = f.predict(SimDuration::from_secs_f64(horizon_s));
+            prop_assert!(interval_ok(&p), "{}: {p:?}", f.name());
+        }
+    }
+
+    /// Identical observations give bit-identical predictions: the
+    /// forecasters hold no RNG, no clock, and no hidden state outside
+    /// the observation stream.
+    #[test]
+    fn forecasters_are_deterministic(
+        stream in proptest::collection::vec((0.05f64..10.0, 0.0f64..300.0), 1..60),
+        horizon_s in 0.5f64..120.0,
+    ) {
+        let h = SimDuration::from_secs_f64(horizon_s);
+        let mut first = fresh_forecasters();
+        let mut second = fresh_forecasters();
+        for (a, b) in first.iter_mut().zip(second.iter_mut()) {
+            feed(a.as_mut(), &stream);
+            feed(b.as_mut(), &stream);
+            let (pa, pb) = (a.predict(h), b.predict(h));
+            prop_assert_eq!(pa.mean.to_bits(), pb.mean.to_bits(), "{}", a.name());
+            prop_assert_eq!(pa.lo.to_bits(), pb.lo.to_bits(), "{}", a.name());
+            prop_assert_eq!(pa.hi.to_bits(), pb.hi.to_bits(), "{}", a.name());
+        }
+    }
+}
+
+/// The ISSUE's convergence bound: after two observed days of the
+/// noiseless Didi-shaped diurnal trace, Holt-Winters predicts the third
+/// day at the controller's switch horizon within 5 % MAPE.
+#[test]
+fn holt_winters_converges_on_noiseless_didi_replay() {
+    let trace = LoadTrace::new(DiurnalPattern::didi(), 120.0, 480.0);
+    let day = SimDuration::from_secs_f64(trace.day_seconds());
+    let cfg = BacktestConfig::over_days(
+        &trace,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(5),
+        2.0,
+        3.0,
+    );
+    let mut hw = HoltWintersDiurnal::new(day, 240);
+    let r = backtest(&mut hw, &trace, &cfg);
+    assert!(r.samples > 400, "backtest actually scored: {}", r.samples);
+    assert!(r.mape <= 0.05, "MAPE {:.4} above the 5% bound", r.mape);
+    // The interval should also cover the (noiseless) future nearly
+    // always once seeded.
+    assert!(r.coverage > 0.9, "coverage {:.3}", r.coverage);
+}

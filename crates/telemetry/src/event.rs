@@ -305,6 +305,27 @@ pub struct WarmSampleRecord {
     pub exec_s: f64,
 }
 
+/// One proactive-controller forecast: what the [`TickRecord`]'s decision
+/// evaluated Eq. 5 against when the run is an Amoeba-Pro variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastRecord {
+    /// Tick time the forecast was issued at.
+    pub t: SimTime,
+    /// Service index.
+    pub service: usize,
+    /// Horizon the forecast targets (the switch latency), seconds.
+    pub horizon_s: f64,
+    /// Point forecast of λ at `t + horizon`, queries/second.
+    pub mean_qps: f64,
+    /// Lower bound of the forecast band.
+    pub lo_qps: f64,
+    /// Upper bound of the band — what the controller fed into Eq. 5.
+    pub hi_qps: f64,
+    /// λ actually realized at `t + horizon`, filled in by the report
+    /// layer after the run (None while the stream is being produced).
+    pub realized_qps: Option<f64>,
+}
+
 /// The event stream's alphabet.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
@@ -330,6 +351,8 @@ pub enum TelemetryEvent {
     Violation(ViolationRecord),
     /// Warm serverless breakdown sample.
     WarmSample(WarmSampleRecord),
+    /// Proactive-controller forecast (Amoeba-Pro runs only).
+    Forecast(ForecastRecord),
 }
 
 /// A malformed trace line.
@@ -477,6 +500,16 @@ impl TelemetryEvent {
                 "result_post_s": r.result_post_s,
                 "exec_s": r.exec_s,
             }),
+            TelemetryEvent::Forecast(r) => json!({
+                "type": "forecast",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "horizon_s": r.horizon_s,
+                "mean_qps": r.mean_qps,
+                "lo_qps": r.lo_qps,
+                "hi_qps": r.hi_qps,
+                "realized_qps": (Value::from(r.realized_qps)),
+            }),
         }
     }
 
@@ -561,6 +594,15 @@ impl TelemetryEvent {
                 result_post_s: get_f64(v, "result_post_s")?,
                 exec_s: get_f64(v, "exec_s")?,
             })),
+            "forecast" => Ok(TelemetryEvent::Forecast(ForecastRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                horizon_s: get_f64(v, "horizon_s")?,
+                mean_qps: get_f64(v, "mean_qps")?,
+                lo_qps: get_f64(v, "lo_qps")?,
+                hi_qps: get_f64(v, "hi_qps")?,
+                realized_qps: v["realized_qps"].as_f64(),
+            })),
             other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
         }
     }
@@ -574,6 +616,7 @@ impl TelemetryEvent {
             TelemetryEvent::Heartbeat(r) => r.t,
             TelemetryEvent::Violation(r) => r.t,
             TelemetryEvent::WarmSample(r) => r.t,
+            TelemetryEvent::Forecast(r) => r.t,
         }
     }
 }

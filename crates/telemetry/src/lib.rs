@@ -34,8 +34,9 @@ pub mod sink;
 pub mod trace;
 
 pub use event::{
-    DecodeError, HeartbeatRecord, Mode, ServiceInfo, SwitchPhase, SwitchRecord, TelemetryEvent,
-    TickReason, TickRecord, TraceDecision, ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, ForecastRecord, HeartbeatRecord, Mode, ServiceInfo, SwitchPhase, SwitchRecord,
+    TelemetryEvent, TickReason, TickRecord, TraceDecision, ViolationCause, ViolationRecord,
+    WarmSampleRecord,
 };
 pub use sink::{MemorySink, NoopSink, TelemetrySink};
 pub use trace::{ServiceSummary, SwitchSpan, Trace, TraceSummary};

@@ -7,8 +7,8 @@ use std::fmt;
 use amoeba_sim::{SimDuration, SimTime};
 
 use crate::event::{
-    DecodeError, HeartbeatRecord, Mode, SwitchPhase, SwitchRecord, TelemetryEvent, TickRecord,
-    ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, ForecastRecord, HeartbeatRecord, Mode, SwitchPhase, SwitchRecord, TelemetryEvent,
+    TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 
 /// An ordered, append-only stream of [`TelemetryEvent`]s for one run.
@@ -191,6 +191,14 @@ impl Trace {
     pub fn warm_samples(&self) -> impl Iterator<Item = &WarmSampleRecord> {
         self.events.iter().filter_map(|e| match e {
             TelemetryEvent::WarmSample(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Proactive-controller forecasts, in order (Amoeba-Pro runs only).
+    pub fn forecasts(&self) -> impl Iterator<Item = &ForecastRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Forecast(r) => Some(r),
             _ => None,
         })
     }

@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --workspace --release
 
+# Vendored dev-harness stand-ins (vendor/*) are not held to the doc gate.
+echo "== cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude proptest --exclude criterion
+
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 

@@ -6,6 +6,7 @@
 
 pub use amoeba_bench as bench;
 pub use amoeba_core as core;
+pub use amoeba_forecast as forecast;
 pub use amoeba_linalg as linalg;
 pub use amoeba_meters as meters;
 pub use amoeba_metrics as metrics;

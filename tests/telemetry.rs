@@ -212,6 +212,72 @@ fn attaching_a_sink_does_not_change_the_run() {
 }
 
 #[test]
+fn forecast_events_round_trip_and_cover_every_pro_tick() {
+    let (_, trace) = traced(SystemVariant::AmoebaPro, 240.0, 7);
+    // One forecast per tick per unpinned (forecasting) service.
+    let forecasts: Vec<_> = trace.forecasts().collect();
+    assert_eq!(forecasts.len(), trace.ticks().count());
+    for f in &forecasts {
+        assert_eq!(f.service, 0);
+        assert!(f.horizon_s > 0.0);
+        assert!(f.lo_qps <= f.mean_qps && f.mean_qps <= f.hi_qps);
+        assert!(f.realized_qps.is_none(), "runtime leaves realized unset");
+    }
+    // Reactive variants never emit forecasts.
+    let (_, reactive) = traced(SystemVariant::Amoeba, 240.0, 7);
+    assert_eq!(reactive.forecasts().count(), 0);
+    // Losslessness through the JSONL codec, including a filled-in
+    // realized λ (the report layer writes one before exporting).
+    let mut events = trace.events().to_vec();
+    if let Some(TelemetryEvent::Forecast(r)) = events
+        .iter_mut()
+        .find(|e| matches!(e, TelemetryEvent::Forecast(_)))
+    {
+        r.realized_qps = Some(42.25);
+    }
+    let annotated = Trace::from_events(events);
+    let jsonl = annotated.to_jsonl();
+    let back = Trace::from_jsonl(&jsonl).expect("decode");
+    assert_eq!(back.events(), annotated.events());
+    assert_eq!(
+        back.forecasts().find_map(|f| f.realized_qps),
+        Some(42.25),
+        "realized λ survives the round trip"
+    );
+}
+
+#[test]
+fn tracing_an_amoeba_pro_run_does_not_change_it() {
+    // The forecaster feeds on controller state every tick whether or
+    // not a sink listens; a traced run must stay bit-identical.
+    let exp = {
+        let day_s = 240.0;
+        Experiment::builder(
+            SystemVariant::AmoebaPro,
+            SimDuration::from_secs_f64(day_s),
+            7,
+        )
+        .services(scenario(day_s))
+        .build()
+    };
+    let mut plain = exp.run();
+    let (mut traced, trace) = exp.run_traced();
+    assert_eq!(plain.services[0].completed, traced.services[0].completed);
+    assert_eq!(plain.cold_starts, traced.cold_starts);
+    assert_eq!(plain.final_weights, traced.final_weights);
+    assert_eq!(plain.mean_pressures, traced.mean_pressures);
+    assert_eq!(
+        plain.services[0].latency.quantile(0.95),
+        traced.services[0].latency.quantile(0.95)
+    );
+    assert_eq!(
+        plain.services[0].switch_history,
+        traced.services[0].switch_history
+    );
+    assert!(trace.forecasts().count() > 0);
+}
+
+#[test]
 fn switch_records_carry_matching_modes() {
     let (_, trace) = traced(SystemVariant::Amoeba, 360.0, 3);
     for e in trace.switch_events() {
