@@ -8,9 +8,11 @@
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
 //! ablation-prewarm ablation-percentile week ablation-placement trace
-//! forecast.
+//! forecast resilience.
 
-use amoeba_bench::{ablations, evaluation, extensions, forecast, investigation, profiling, Report};
+use amoeba_bench::{
+    ablations, evaluation, extensions, forecast, investigation, profiling, resilience, Report,
+};
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
 
@@ -40,6 +42,7 @@ fn by_id(id: &str) -> Option<Report> {
         "ablation-placement" => extensions::ablation_placement(DEFAULT_SEED),
         "trace" => extensions::trace_summary(DEFAULT_DAY_S, DEFAULT_SEED),
         "forecast" => forecast::forecast(DEFAULT_DAY_S, DEFAULT_SEED),
+        "resilience" => resilience::resilience(DEFAULT_DAY_S, DEFAULT_SEED),
         _ => return None,
     };
     Some(r)
@@ -67,6 +70,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "ablation-placement",
             "trace",
             "forecast",
+            "resilience",
         ],
     ),
 ];

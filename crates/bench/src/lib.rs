@@ -15,6 +15,7 @@ pub mod forecast;
 pub mod investigation;
 pub mod profiling;
 pub mod report;
+pub mod resilience;
 pub mod scenarios;
 pub mod steady;
 

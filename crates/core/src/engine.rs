@@ -17,7 +17,7 @@
 
 use crate::controller::DeployMode;
 use amoeba_platform::ServiceId;
-use amoeba_sim::SimTime;
+use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink};
 
 /// Where the router sends a new query.
@@ -91,12 +91,20 @@ pub fn dispatch_actions(
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Transition {
     Steady,
     /// Waiting for the target side's readiness ack.
     Preparing {
         target: DeployMode,
+        /// Eq. 7 prewarm count the prepare signal asked for.
+        prewarm: u32,
+        /// Load at request time (re-used for retries and the abort).
+        load: f64,
+        /// When the (latest) prepare signal was issued.
+        requested_at: SimTime,
+        /// Prepare signals re-issued after ack deadlines so far.
+        retries: u32,
     },
 }
 
@@ -108,11 +116,42 @@ struct ServiceRoute {
     history: Vec<(SimTime, DeployMode, f64)>,
 }
 
+/// What [`HybridEngine::poll_deadline`] did about an overdue ack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeadlineAction {
+    /// The prepare signal was re-issued (bounded retry with backoff).
+    Retried {
+        /// The re-issued prepare actions to dispatch.
+        actions: Vec<EngineAction>,
+        /// Which retry this is (1-based).
+        attempt: u32,
+        /// Prewarm containers the retry asks for (0 toward IaaS).
+        prewarm: u32,
+    },
+    /// Retries exhausted: the transition was rolled back. The router
+    /// stays on the old platform; the prepared side is released.
+    Aborted {
+        /// The release actions to dispatch.
+        actions: Vec<EngineAction>,
+        /// Prewarm containers wasted by the failed attempt.
+        prewarm: u32,
+        /// When the original (first) prepare signal was issued.
+        requested_at: SimTime,
+    },
+}
+
 /// The engine: one router entry per service.
 pub struct HybridEngine {
     routes: Vec<ServiceRoute>,
     /// Skip prewarming (Amoeba-NoP).
     prewarm_enabled: bool,
+    /// How long to wait for a prepare ack before re-issuing the signal.
+    /// Doubles per retry (backoff). Generous by default: fault-free
+    /// acks arrive within seconds, so the deadline never fires unless
+    /// something actually went wrong.
+    ack_timeout: SimDuration,
+    /// Prepare-signal retries before the transition aborts.
+    max_ack_retries: u32,
 }
 
 /// Record one switch-protocol stage. Callers pass the sink down from the
@@ -157,7 +196,17 @@ impl HybridEngine {
                 })
                 .collect(),
             prewarm_enabled,
+            ack_timeout: SimDuration::from_secs(30),
+            max_ack_retries: 2,
         }
+    }
+
+    /// Tune the ack-deadline policy: wait `timeout` (doubling per
+    /// retry) for each prepare ack, re-issue the prepare signal up to
+    /// `max_retries` times, then abort the transition.
+    pub fn set_ack_policy(&mut self, timeout: SimDuration, max_retries: u32) {
+        self.ack_timeout = timeout;
+        self.max_ack_retries = max_retries;
     }
 
     /// Pin a service to a mode without the switch protocol — used for
@@ -227,7 +276,13 @@ impl HybridEngine {
         match target {
             DeployMode::Serverless => {
                 if self.prewarm_enabled {
-                    r.transition = Transition::Preparing { target };
+                    r.transition = Transition::Preparing {
+                        target,
+                        prewarm: prewarm_count,
+                        load,
+                        requested_at: now,
+                        retries: 0,
+                    };
                     emit_phase(
                         sink,
                         now,
@@ -258,7 +313,13 @@ impl HybridEngine {
                 }
             }
             DeployMode::Iaas => {
-                r.transition = Transition::Preparing { target };
+                r.transition = Transition::Preparing {
+                    target,
+                    prewarm: 0,
+                    load,
+                    requested_at: now,
+                    retries: 0,
+                };
                 emit_phase(
                     sink,
                     now,
@@ -292,7 +353,7 @@ impl HybridEngine {
         sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
         let r = &mut self.routes[service.raw() as usize];
-        let Transition::Preparing { target } = r.transition else {
+        let Transition::Preparing { target, .. } = r.transition else {
             return Vec::new();
         };
         if target != side {
@@ -326,7 +387,13 @@ impl HybridEngine {
         sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
         let r = &mut self.routes[service.raw() as usize];
-        let Transition::Preparing { target } = r.transition else {
+        let Transition::Preparing {
+            target,
+            prewarm,
+            load,
+            ..
+        } = r.transition
+        else {
             return Vec::new();
         };
         r.transition = Transition::Steady;
@@ -337,12 +404,74 @@ impl HybridEngine {
             r.mode,
             target,
             SwitchPhase::Aborted,
-            0,
-            0.0,
+            prewarm,
+            load,
         );
         match target {
             DeployMode::Serverless => vec![EngineAction::ReleaseContainers { service }],
             DeployMode::Iaas => vec![EngineAction::ReleaseVms { service }],
+        }
+    }
+
+    /// Enforce the ack deadline for a service's in-flight transition.
+    ///
+    /// Call periodically (the runtime does so on every controller
+    /// tick). While the ack is within its deadline — `ack_timeout`
+    /// doubled per retry already taken — this returns `None` and
+    /// changes nothing, so fault-free runs are byte-identical with or
+    /// without the polling. Once overdue, the prepare signal is
+    /// re-issued up to `max_ack_retries` times; after that the
+    /// transition aborts: the prepared side is released, the router
+    /// stays on the old (still serving) platform, and the open switch
+    /// span closes as `Aborted`.
+    pub fn poll_deadline(
+        &mut self,
+        service: ServiceId,
+        now: SimTime,
+        sink: &mut dyn TelemetrySink,
+    ) -> Option<DeadlineAction> {
+        let r = &mut self.routes[service.raw() as usize];
+        let Transition::Preparing {
+            target,
+            prewarm,
+            load,
+            requested_at,
+            retries,
+        } = r.transition
+        else {
+            return None;
+        };
+        let deadline = requested_at + self.ack_timeout.mul_f64((1u64 << retries.min(32)) as f64);
+        if now < deadline {
+            return None;
+        }
+        if retries < self.max_ack_retries {
+            r.transition = Transition::Preparing {
+                target,
+                prewarm,
+                load,
+                requested_at: now,
+                retries: retries + 1,
+            };
+            let actions = match target {
+                DeployMode::Serverless => vec![EngineAction::Prewarm {
+                    service,
+                    count: prewarm,
+                }],
+                DeployMode::Iaas => vec![EngineAction::ActivateVms { service }],
+            };
+            Some(DeadlineAction::Retried {
+                actions,
+                attempt: retries + 1,
+                prewarm,
+            })
+        } else {
+            let actions = self.abort_transition(service, now, sink);
+            Some(DeadlineAction::Aborted {
+                actions,
+                prewarm,
+                requested_at,
+            })
         }
     }
 }
@@ -514,6 +643,98 @@ mod tests {
         assert_eq!(spans[0].aborted, Some(t(2)));
         assert!(!spans[0].completed());
         assert_eq!(spans[0].flip, None);
+    }
+
+    #[test]
+    fn overdue_ack_retries_with_backoff_then_aborts() {
+        let mut sink = MemorySink::new();
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.set_ack_policy(SimDuration::from_secs(10), 2);
+        e.begin_switch(S, DeployMode::Serverless, 4, 6.0, t(0), &mut sink);
+        // Within the first deadline: nothing happens.
+        assert_eq!(e.poll_deadline(S, t(9), &mut sink), None);
+        // First deadline (10 s): retry 1 re-issues the prewarm.
+        match e.poll_deadline(S, t(10), &mut sink) {
+            Some(DeadlineAction::Retried {
+                actions,
+                attempt,
+                prewarm,
+            }) => {
+                assert_eq!(
+                    actions,
+                    vec![EngineAction::Prewarm {
+                        service: S,
+                        count: 4
+                    }]
+                );
+                assert_eq!(attempt, 1);
+                assert_eq!(prewarm, 4);
+            }
+            other => panic!("expected first retry, got {other:?}"),
+        }
+        // Backoff: the second deadline is 20 s after the retry.
+        assert_eq!(e.poll_deadline(S, t(29), &mut sink), None);
+        assert!(matches!(
+            e.poll_deadline(S, t(30), &mut sink),
+            Some(DeadlineAction::Retried { attempt: 2, .. })
+        ));
+        // Third deadline (40 s later): retries exhausted — abort.
+        assert_eq!(e.poll_deadline(S, t(69), &mut sink), None);
+        match e.poll_deadline(S, t(70), &mut sink) {
+            Some(DeadlineAction::Aborted {
+                actions, prewarm, ..
+            }) => {
+                assert_eq!(
+                    actions,
+                    vec![EngineAction::ReleaseContainers { service: S }]
+                );
+                assert_eq!(prewarm, 4);
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        // The satellite invariant: the router never left the old
+        // platform — queries kept flowing to IaaS the whole time.
+        assert_eq!(e.route(S), RouteTarget::Iaas);
+        assert!(!e.in_transition(S));
+        assert_eq!(e.history(S), &[], "no mode change was recorded");
+        let spans = sink.into_trace().switch_spans();
+        assert_eq!(spans.len(), 1, "retries do not open new spans");
+        assert_eq!(spans[0].aborted, Some(t(70)));
+        assert!(!spans[0].completed());
+    }
+
+    #[test]
+    fn late_ack_after_a_retry_still_completes_the_switch() {
+        let mut sink = MemorySink::new();
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.set_ack_policy(SimDuration::from_secs(10), 2);
+        e.begin_switch(S, DeployMode::Serverless, 3, 2.0, t(0), &mut sink);
+        assert!(matches!(
+            e.poll_deadline(S, t(11), &mut sink),
+            Some(DeadlineAction::Retried { attempt: 1, .. })
+        ));
+        // The retry's ack lands: normal flip, no abort.
+        let actions = e.on_ready(S, DeployMode::Serverless, 2.0, t(14), &mut sink);
+        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
+        assert_eq!(e.poll_deadline(S, t(1000), &mut sink), None, "steady");
+        let spans = sink.into_trace().switch_spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].completed());
+    }
+
+    #[test]
+    fn deadline_never_fires_for_prompt_acks() {
+        // The default policy is far beyond real ack latencies; polling
+        // is a no-op for a healthy switch at every plausible tick time.
+        let mut sink = NoopSink;
+        let mut e = HybridEngine::new(1, DeployMode::Iaas, true);
+        e.begin_switch(S, DeployMode::Serverless, 2, 1.0, t(100), &mut sink);
+        for dt in [1, 5, 15, 29] {
+            assert_eq!(e.poll_deadline(S, t(100 + dt), &mut sink), None);
+        }
+        e.on_ready(S, DeployMode::Serverless, 1.0, t(105), &mut sink);
+        assert_eq!(e.route(S), RouteTarget::Serverless);
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub struct MonitorConfig {
     pub pca_window: usize,
     /// Minimum samples before PCA replaces the initial weights.
     pub pca_min_samples: usize,
+    /// Median filter over the last `median_window` raw meter samples
+    /// before the EWMA sees them: a dropped/corrupted meter sample
+    /// (GC pause, scheduling stall, chaos-injected outlier) then
+    /// cannot yank the pressure estimate or the PCA weight update.
+    /// `1` (the default) disables the filter and reproduces the
+    /// plain-EWMA behaviour bit for bit.
+    pub median_window: usize,
 }
 
 impl Default for MonitorConfig {
@@ -62,7 +69,30 @@ impl Default for MonitorConfig {
             use_pca: true,
             pca_window: 240,
             pca_min_samples: 12,
+            median_window: 1,
         }
+    }
+}
+
+/// Median of the last `window` raw samples in `buf` after pushing
+/// `raw` (the shared pre-EWMA filter of both monitor variants; even
+/// counts average the middle pair). `window <= 1` bypasses the buffer
+/// entirely.
+pub(crate) fn median_filter(buf: &mut Vec<f64>, window: usize, raw: f64) -> f64 {
+    if window <= 1 {
+        return raw;
+    }
+    buf.push(raw);
+    if buf.len() > window {
+        buf.remove(0);
+    }
+    let mut sorted = buf.clone();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
     }
 }
 
@@ -74,6 +104,9 @@ pub struct ContentionMonitor {
     curves: [ProfileCurve; 3],
     /// Smoothed meter latencies [cpu, io, net], seconds.
     smoothed_latency: [Option<f64>; 3],
+    /// Raw samples per meter for the pre-EWMA median filter (empty
+    /// while `median_window <= 1`).
+    recent: [Vec<f64>; 3],
     /// Heartbeat window of pressure samples (rows).
     heartbeats: Vec<[f64; 3]>,
     /// Current Eq. 6 weights.
@@ -93,6 +126,7 @@ impl ContentionMonitor {
             cfg,
             curves,
             smoothed_latency: [None; 3],
+            recent: [Vec::new(), Vec::new(), Vec::new()],
             heartbeats: Vec::new(),
             weights: [1.0; 3],
         }
@@ -105,10 +139,15 @@ impl ContentionMonitor {
         if !(latency_s.is_finite() && latency_s > 0.0) {
             return;
         }
+        let filtered = median_filter(
+            &mut self.recent[resource],
+            self.cfg.median_window,
+            latency_s,
+        );
         let s = &mut self.smoothed_latency[resource];
         *s = Some(match *s {
-            None => latency_s,
-            Some(prev) => prev + self.cfg.ewma_alpha * (latency_s - prev),
+            None => filtered,
+            Some(prev) => prev + self.cfg.ewma_alpha * (filtered - prev),
         });
     }
 
@@ -246,6 +285,67 @@ mod tests {
         }
         let p = m.pressures();
         assert!(p[0] < 0.1, "EWMA must recover after the outlier: {p:?}");
+    }
+
+    #[test]
+    fn median_filter_rejects_a_single_outlier_outright() {
+        let cfg = MonitorConfig {
+            median_window: 3,
+            ..Default::default()
+        };
+        let mut filtered = ContentionMonitor::new(cfg, curves());
+        let mut plain = ContentionMonitor::new(MonitorConfig::default(), curves());
+        for _ in 0..50 {
+            filtered.observe_meter_latency(0, 0.05);
+            plain.observe_meter_latency(0, 0.05);
+        }
+        // One corrupted sample (chaos outlier, 25× the idle latency).
+        filtered.observe_meter_latency(0, 0.05 * 25.0);
+        plain.observe_meter_latency(0, 0.05 * 25.0);
+        // The median over {0.05, 0.05, 1.25} is 0.05: the outlier never
+        // reaches the EWMA, whereas the plain monitor absorbs a bite.
+        let pf = filtered.pressures()[0];
+        let pp = plain.pressures()[0];
+        assert!(pf < 1e-9, "median-filtered pressure moved: {pf}");
+        assert!(pp > 0.1, "plain EWMA should have absorbed it: {pp}");
+    }
+
+    #[test]
+    fn median_window_one_is_bit_identical_to_the_plain_path() {
+        let explicit = MonitorConfig {
+            median_window: 1,
+            ..Default::default()
+        };
+        let mut a = ContentionMonitor::new(explicit, curves());
+        let mut b = ContentionMonitor::new(MonitorConfig::default(), curves());
+        for i in 0..200 {
+            let l = 0.05 * (1.0 + (i % 13) as f64 * 0.07);
+            a.observe_meter_latency(i % 3, l);
+            b.observe_meter_latency(i % 3, l);
+            if i % 4 == 0 {
+                a.heartbeat();
+                b.heartbeat();
+            }
+        }
+        assert_eq!(a.pressures(), b.pressures());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn median_filter_still_tracks_sustained_contention() {
+        // A real pressure shift is not an outlier: after `window`
+        // consecutive high samples the median follows the shift and the
+        // EWMA converges as usual.
+        let cfg = MonitorConfig {
+            median_window: 5,
+            ..Default::default()
+        };
+        let mut m = ContentionMonitor::new(cfg, curves());
+        for _ in 0..60 {
+            m.observe_meter_latency(0, 0.05 * 1.8); // pressure 0.6 latency
+        }
+        let p = m.pressures();
+        assert!((p[0] - 0.6).abs() < 0.01, "{p:?}");
     }
 
     #[test]

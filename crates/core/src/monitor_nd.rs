@@ -10,7 +10,7 @@
 //! pressure inversion, and PCA weight merging over an arbitrary number
 //! of dimensions.
 
-use crate::monitor::MonitorConfig;
+use crate::monitor::{median_filter, MonitorConfig};
 use amoeba_linalg::{Matrix, Pca};
 use amoeba_meters::ProfileCurve;
 
@@ -20,6 +20,7 @@ pub struct NdContentionMonitor {
     curves: Vec<ProfileCurve>,
     names: Vec<String>,
     smoothed_latency: Vec<Option<f64>>,
+    recent: Vec<Vec<f64>>,
     heartbeats: Vec<Vec<f64>>,
     weights: Vec<f64>,
 }
@@ -36,6 +37,7 @@ impl NdContentionMonitor {
             curves,
             names,
             smoothed_latency: vec![None; r],
+            recent: vec![Vec::new(); r],
             heartbeats: Vec::new(),
             weights: vec![1.0; r],
         }
@@ -57,10 +59,11 @@ impl NdContentionMonitor {
         if !(latency_s.is_finite() && latency_s > 0.0) {
             return;
         }
+        let filtered = median_filter(&mut self.recent[r], self.cfg.median_window, latency_s);
         let s = &mut self.smoothed_latency[r];
         *s = Some(match *s {
-            None => latency_s,
-            Some(prev) => prev + self.cfg.ewma_alpha * (latency_s - prev),
+            None => filtered,
+            Some(prev) => prev + self.cfg.ewma_alpha * (filtered - prev),
         });
     }
 
@@ -245,6 +248,42 @@ mod tests {
         let pn = nd.pressures();
         for r in 0..3 {
             assert!((pf[r] - pn[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_filter_is_mirrored_from_the_fixed_monitor() {
+        use crate::monitor::ContentionMonitor;
+        let cfg = MonitorConfig {
+            median_window: 3,
+            ..Default::default()
+        };
+        let fixed_curves = [curve(0.05), curve(0.06), curve(0.07)];
+        let mut fixed = ContentionMonitor::new(cfg, fixed_curves.clone());
+        let mut nd = NdContentionMonitor::new(
+            cfg,
+            fixed_curves
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (format!("r{i}"), c.clone()))
+                .collect(),
+        );
+        for i in 0..90 {
+            // Every 11th sample is a wild outlier both filters must drop.
+            let l = if i % 11 == 0 {
+                2.5
+            } else {
+                lat(0.05, (i % 6) as f64 / 6.0 * 0.5)
+            };
+            for r in 0..3 {
+                fixed.observe_meter_latency(r, l);
+                nd.observe_meter_latency(r, l);
+            }
+        }
+        let pf = fixed.pressures();
+        let pn = nd.pressures();
+        for r in 0..3 {
+            assert!((pf[r] - pn[r]).abs() < 1e-12, "{pf:?} vs {pn:?}");
         }
     }
 

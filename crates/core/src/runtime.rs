@@ -16,8 +16,11 @@ use crate::controller::{
     prewarm_count, ControllerConfig, Decision, DecisionTrace, DeployMode, DeploymentController,
     ProactiveConfig, ServiceModel,
 };
-use crate::engine::{dispatch_actions, HybridEngine, PlatformCommands, RouteTarget};
+use crate::engine::{
+    dispatch_actions, DeadlineAction, EngineAction, HybridEngine, PlatformCommands, RouteTarget,
+};
 use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
+use amoeba_chaos::{BootOutcome, FaultInjector, FaultPlan, TimedFault};
 use amoeba_forecast::HoltWintersDiurnal;
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve, METER_QPS};
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter, UsageSummary};
@@ -27,16 +30,28 @@ use amoeba_platform::{
 };
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{
-    ForecastRecord, HeartbeatRecord, MemorySink, NoopSink, ServiceInfo, SwitchPhase, SwitchRecord,
-    TelemetryEvent, TelemetrySink, TickReason, TickRecord, Trace, ViolationCause, ViolationRecord,
-    WarmSampleRecord,
+    FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, MemorySink, NoopSink, RecoveryKind,
+    RecoveryRecord, ServiceInfo, SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink,
+    TickReason, TickRecord, Trace, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals};
+use std::collections::BTreeMap;
 
 /// Shadow queries (§III step 1: queries mirrored to the serverless
 /// platform while a service runs on IaaS, to keep the calibration fed)
 /// carry this bit in their id and are excluded from QoS accounting.
 const SHADOW_BIT: u64 = 1 << 63;
+
+/// Chaos-injected pressure-spike queries carry this marker in bits
+/// 48..56 of their id (shadow calibration traffic uses `0xFF` there).
+/// They exist only to load the shared pool and are excluded from every
+/// account, calibration included.
+const SPIKE_MARK: u64 = 0xFE;
+
+/// How long the runtime waits for the old IaaS side's `IaasDrained`
+/// ack after a switch completes before forcibly reclaiming the group.
+/// The §V shutdown step must terminate even if completions are lost.
+const DRAIN_TIMEOUT_S: f64 = 60.0;
 
 /// Emit the tick's forecast as a telemetry event, when the decision
 /// carried one (proactive variants with an attached forecaster only).
@@ -101,6 +116,16 @@ pub struct Experiment {
     /// too few containers → cold-start violations, too many → wasted
     /// resources).
     pub prewarm_factor: f64,
+    /// Optional deterministic fault plan. `None` (the default) runs
+    /// fault-free and is bit-identical to a run without the chaos
+    /// subsystem: the injector draws from its own RNG stream, so it
+    /// never perturbs arrival or platform randomness.
+    pub fault_plan: Option<FaultPlan>,
+    /// How long the engine waits for a prewarm/boot ack before its
+    /// first retry (the per-retry deadline doubles).
+    pub ack_timeout: SimDuration,
+    /// Ack retries before a switch is rolled back as `Aborted`.
+    pub max_ack_retries: u32,
 }
 
 impl Experiment {
@@ -130,6 +155,9 @@ impl Experiment {
                 usage_sample_period: SimDuration::from_millis(500),
                 run_meters: true,
                 prewarm_factor: 1.0,
+                fault_plan: None,
+                ack_timeout: SimDuration::from_secs(30),
+                max_ack_retries: 2,
             },
         }
     }
@@ -209,6 +237,21 @@ impl ExperimentBuilder {
     /// Multiplier on the Eq. 7 prewarm count.
     pub fn prewarm_factor(mut self, factor: f64) -> Self {
         self.inner.prewarm_factor = factor;
+        self
+    }
+
+    /// Attach a deterministic fault plan (see [`amoeba_chaos`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the switch-protocol ack deadline policy: the first
+    /// retry fires `timeout` after the request (doubling per retry),
+    /// and after `max_retries` retries the switch is rolled back.
+    pub fn ack_policy(mut self, timeout: SimDuration, max_retries: u32) -> Self {
+        self.inner.ack_timeout = timeout;
+        self.inner.max_ack_retries = max_retries;
         self
     }
 
@@ -306,6 +349,11 @@ pub struct ServiceResult {
     pub submitted: usize,
     /// Queries completed (post-warmup submissions).
     pub completed: usize,
+    /// Queries explicitly lost to injected faults (post-warmup): a
+    /// container crash whose in-flight query was dropped rather than
+    /// re-queued. Always zero without a fault plan; conservation is
+    /// `submitted == completed + failed`.
+    pub failed: usize,
     /// Completed queries that executed on the serverless platform.
     pub serverless_queries: usize,
     /// Serverless-executed queries over the QoS target — where cold
@@ -365,16 +413,31 @@ pub struct RunResult {
     pub final_gains: Vec<f64>,
     /// The simulated horizon.
     pub horizon: SimDuration,
+    /// Prewarmed containers thrown away by ack-deadline retries and
+    /// rollbacks (each retry re-issues the full prewarm).
+    pub wasted_prewarms: u64,
+    /// Switches rolled back (`Aborted`) after exhausting ack retries.
+    pub failed_switches: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Platform(ClusterEvent),
-    Arrival { idx: usize },
-    MeterArrival { meter: usize },
+    Arrival {
+        idx: usize,
+    },
+    MeterArrival {
+        meter: usize,
+    },
     ControlTick,
     Heartbeat,
     UsageSample,
+    /// A scheduled fault fires (only present when a plan is attached).
+    Chaos(TimedFault),
+    /// One query of an injected pressure spike arrives.
+    SpikeQuery {
+        sid: ServiceId,
+    },
 }
 
 struct ServiceRt {
@@ -392,10 +455,79 @@ struct ServiceRt {
     breakdown: BreakdownMeans,
     submitted: usize,
     completed: usize,
+    failed: usize,
     serverless_queries: usize,
     serverless_violations: usize,
     billable: BillableUsage,
     next_query_id: u64,
+}
+
+/// Mutable chaos bookkeeping for one run, present only when a
+/// [`FaultPlan`] is attached. Everything here is driven by the
+/// injector's private RNG stream, so attaching a no-op plan leaves the
+/// run bit-identical to a plan-free one.
+struct ChaosRt {
+    injector: FaultInjector,
+    /// Meter heartbeats completing before this time are silently lost.
+    meter_outage_until: [SimTime; 3],
+    /// Pending one-shot latency corruptions per meter.
+    meter_outlier_pending: [u32; 3],
+    /// Queries re-queued after a container crash, keyed by
+    /// (service, query id) — per-service query ids collide across
+    /// services — with the time of the first crash, for recovery-time
+    /// accounting.
+    crash_requeued: BTreeMap<(u32, u64), SimTime>,
+    /// First failed/slow boot per service since the last healthy one.
+    boot_fault_since: Vec<Option<SimTime>>,
+    /// Id counter for injected spike queries.
+    spike_next_id: u64,
+}
+
+/// Handle the chaos-owned completions: spike traffic (swallowed
+/// whole), meter heartbeats lost in an outage window, and meter
+/// samples corrupted by a pending outlier. Returns true when the
+/// outcome must not reach the normal accounting path.
+fn chaos_completion(
+    ch: &mut ChaosRt,
+    outcome: &amoeba_platform::QueryOutcome,
+    now: SimTime,
+    meter_ids: &[ServiceId; 3],
+    monitor: &mut ContentionMonitor,
+) -> bool {
+    let raw = outcome.query.id.raw();
+    if raw & SHADOW_BIT != 0 && (raw >> 48) & 0xFF == SPIKE_MARK {
+        return true;
+    }
+    if let Some(m) = meter_ids.iter().position(|&x| x == outcome.query.service) {
+        if now < ch.meter_outage_until[m] {
+            return true; // heartbeat lost in the blackout
+        }
+        if ch.meter_outlier_pending[m] > 0 {
+            ch.meter_outlier_pending[m] -= 1;
+            let factor = ch.injector.plan().outlier_factor;
+            monitor.observe_meter_latency(m, outcome.latency().as_secs_f64() * factor);
+            return true;
+        }
+    }
+    false
+}
+
+/// Arm the drain watchdog for every `ReleaseVms` among `actions`: if
+/// the group's `IaasDrained` ack never arrives, the first control tick
+/// past the deadline reclaims it forcibly.
+fn note_vm_releases(
+    actions: &[EngineAction],
+    now: SimTime,
+    drain_deadline: &mut [Option<SimTime>],
+) {
+    for a in actions {
+        if let EngineAction::ReleaseVms { service } = a {
+            let idx = service.raw() as usize;
+            if idx < drain_deadline.len() {
+                drain_deadline[idx] = Some(now + SimDuration::from_secs_f64(DRAIN_TIMEOUT_S));
+            }
+        }
+    }
 }
 
 impl Experiment {
@@ -531,6 +663,7 @@ impl Experiment {
                 breakdown: BreakdownMeans::default(),
                 submitted: 0,
                 completed: 0,
+                failed: 0,
                 serverless_queries: 0,
                 serverless_violations: 0,
                 billable: BillableUsage::default(),
@@ -583,6 +716,7 @@ impl Experiment {
         };
         let mut engine =
             HybridEngine::new(services.len(), initial_fg_mode, self.variant.prewarms());
+        engine.set_ack_policy(self.ack_timeout, self.max_ack_retries);
 
         if sink.enabled() {
             sink.record(TelemetryEvent::RunStarted {
@@ -672,6 +806,30 @@ impl Experiment {
         queue.push(t0 + heartbeat_period, Ev::Heartbeat);
         queue.push(t0 + self.usage_sample_period, Ev::UsageSample);
 
+        // Fault injection: pre-draw the whole timed-fault calendar from
+        // the injector's independent RNG stream, so the runtime RNG
+        // fork order is untouched whether or not a plan is attached.
+        let mut chaos: Option<ChaosRt> = self.fault_plan.clone().map(|plan| {
+            let mut injector = FaultInjector::new(plan, self.seed);
+            for (t, f) in injector.schedule(self.horizon, 3) {
+                queue.push(t, Ev::Chaos(f));
+            }
+            ChaosRt {
+                injector,
+                meter_outage_until: [t0; 3],
+                meter_outlier_pending: [0; 3],
+                crash_requeued: BTreeMap::new(),
+                boot_fault_since: vec![None; services.len()],
+                spike_next_id: 0,
+            }
+        });
+
+        // Resilience accounting and the drain watchdog (armed whenever
+        // a `ReleaseVms` goes out; disarmed by its `IaasDrained` ack).
+        let mut wasted_prewarms: u64 = 0;
+        let mut failed_switches: u64 = 0;
+        let mut drain_deadline: Vec<Option<SimTime>> = vec![None; services.len()];
+
         // Meter usage accounting.
         let mut meter_core_seconds = 0.0f64;
         let mut last_usage_sample = t0;
@@ -739,6 +897,38 @@ impl Experiment {
                     }
                 }
                 Ev::ControlTick => {
+                    // Drain watchdog: a released IaaS group whose
+                    // drained ack is overdue is reclaimed forcibly and
+                    // its in-flight queries re-queued on serverless.
+                    for idx in 0..services.len() {
+                        let overdue = matches!(drain_deadline[idx], Some(dl) if now >= dl);
+                        if !overdue {
+                            continue;
+                        }
+                        drain_deadline[idx] = None;
+                        let sid = services[idx].sid;
+                        let (eff, displaced) = iaas.force_drain(sid, now);
+                        effects.extend(eff);
+                        if sink.enabled() {
+                            sink.record(TelemetryEvent::Fault(FaultRecord {
+                                t: now,
+                                kind: FaultKind::DrainTimeout,
+                                service: Some(idx),
+                                queries_displaced: displaced.len() as u64,
+                                queries_dropped: 0,
+                            }));
+                            sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                                t: now,
+                                kind: RecoveryKind::DrainForced,
+                                service: Some(idx),
+                                after_s: DRAIN_TIMEOUT_S,
+                            }));
+                        }
+                        for q in displaced {
+                            serverless.resume_service(q.service);
+                            effects.extend(serverless.submit(q, now, &mut platform_rng));
+                        }
+                    }
                     let pressures = monitor.pressures();
                     pressure_sum[0] += pressures[0];
                     pressure_sum[1] += pressures[1];
@@ -771,6 +961,60 @@ impl Experiment {
                             let sid = services[idx].sid;
                             let mode = engine.mode(sid);
                             if engine.in_transition(sid) {
+                                // Ack deadline: a lost prewarm/boot ack
+                                // must not park the switch forever — retry
+                                // with backoff, then roll back (the router
+                                // keeps serving from the old platform
+                                // throughout, so nothing is dropped).
+                                if let Some(act) = engine.poll_deadline(sid, now, sink) {
+                                    let (actions, prewarm, rolled_back_after) = match act {
+                                        DeadlineAction::Retried {
+                                            actions, prewarm, ..
+                                        } => (actions, prewarm, None),
+                                        DeadlineAction::Aborted {
+                                            actions,
+                                            prewarm,
+                                            requested_at,
+                                        } => {
+                                            failed_switches += 1;
+                                            (
+                                                actions,
+                                                prewarm,
+                                                Some(now.duration_since(requested_at)),
+                                            )
+                                        }
+                                    };
+                                    wasted_prewarms += prewarm as u64;
+                                    if sink.enabled() {
+                                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                                            t: now,
+                                            kind: FaultKind::AckTimeout,
+                                            service: Some(idx),
+                                            queries_displaced: 0,
+                                            queries_dropped: 0,
+                                        }));
+                                        if let Some(after) = rolled_back_after {
+                                            sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                                                t: now,
+                                                kind: RecoveryKind::SwitchRolledBack,
+                                                service: Some(idx),
+                                                after_s: after.as_secs_f64(),
+                                            }));
+                                        }
+                                    }
+                                    note_vm_releases(&actions, now, &mut drain_deadline);
+                                    dispatch_actions(
+                                        actions,
+                                        now,
+                                        &mut SimPlatforms {
+                                            serverless: &mut serverless,
+                                            iaas: &mut iaas,
+                                            rng: &mut platform_rng,
+                                            effects: &mut effects,
+                                        },
+                                    );
+                                    continue;
+                                }
                                 // The controller is not consulted while a
                                 // switch is in flight, but the tick is
                                 // still recorded (decide_explained is
@@ -853,6 +1097,7 @@ impl Experiment {
                                     engine.begin_switch(sid, DeployMode::Iaas, 0, load, now, sink)
                                 }
                             };
+                            note_vm_releases(&actions, now, &mut drain_deadline);
                             dispatch_actions(
                                 actions,
                                 now,
@@ -962,11 +1207,226 @@ impl Experiment {
                         | ClusterEvent::ContainerExpire { .. } => {
                             serverless.handle(ev, now, &mut platform_rng)
                         }
-                        ClusterEvent::VmBootDone { .. } | ClusterEvent::IaasExecDone { .. } => {
-                            iaas.handle(ev, now, &mut iaas_rng)
+                        ClusterEvent::VmBootDone { service } => {
+                            // Chaos may fail or delay a boot in flight;
+                            // past the horizon boots always land so the
+                            // calendar drains.
+                            let mut fate = match chaos.as_mut() {
+                                Some(ch) if now < horizon_t && iaas.is_booting(service) => {
+                                    ch.injector.vm_boot_outcome()
+                                }
+                                _ => BootOutcome::Healthy,
+                            };
+                            let mult = chaos
+                                .as_ref()
+                                .map_or(1.0, |c| c.injector.plan().slow_boot_multiplier);
+                            if fate == BootOutcome::Slow && mult <= 1.0 {
+                                fate = BootOutcome::Healthy;
+                            }
+                            let idx = service.raw() as usize;
+                            match fate {
+                                BootOutcome::Fail => {
+                                    if let Some(ch) = chaos.as_mut() {
+                                        if idx < ch.boot_fault_since.len()
+                                            && ch.boot_fault_since[idx].is_none()
+                                        {
+                                            ch.boot_fault_since[idx] = Some(now);
+                                        }
+                                    }
+                                    if sink.enabled() {
+                                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                                            t: now,
+                                            kind: FaultKind::VmBootFailure,
+                                            service: Some(idx),
+                                            queries_displaced: 0,
+                                            queries_dropped: 0,
+                                        }));
+                                    }
+                                    iaas.fail_boot(service, now)
+                                }
+                                BootOutcome::Slow => {
+                                    let extra = self.iaas_cfg.boot_time_s * (mult - 1.0);
+                                    queue.push(
+                                        now + SimDuration::from_secs_f64(extra),
+                                        Ev::Platform(ev),
+                                    );
+                                    if sink.enabled() {
+                                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                                            t: now,
+                                            kind: FaultKind::VmSlowBoot,
+                                            service: Some(idx),
+                                            queries_displaced: 0,
+                                            queries_dropped: 0,
+                                        }));
+                                    }
+                                    Vec::new()
+                                }
+                                BootOutcome::Healthy => {
+                                    if let Some(ch) = chaos.as_mut() {
+                                        if idx < ch.boot_fault_since.len() {
+                                            if let Some(since) = ch.boot_fault_since[idx].take() {
+                                                if sink.enabled() {
+                                                    sink.record(TelemetryEvent::Recovery(
+                                                        RecoveryRecord {
+                                                            t: now,
+                                                            kind: RecoveryKind::VmBootSucceeded,
+                                                            service: Some(idx),
+                                                            after_s: now
+                                                                .duration_since(since)
+                                                                .as_secs_f64(),
+                                                        },
+                                                    ));
+                                                }
+                                            }
+                                        }
+                                    }
+                                    iaas.handle(ev, now, &mut iaas_rng)
+                                }
+                            }
                         }
+                        ClusterEvent::IaasExecDone { .. } => iaas.handle(ev, now, &mut iaas_rng),
                     };
                     effects.extend(eff);
+                }
+                Ev::Chaos(fault) => {
+                    if let Some(ch) = chaos.as_mut() {
+                        match fault {
+                            TimedFault::ContainerCrash => {
+                                let total = serverless.total_containers() as usize;
+                                let report = if total > 0 {
+                                    let victim = ch.injector.pick(total);
+                                    let (eff, report) =
+                                        serverless.crash_container(victim, now, &mut platform_rng);
+                                    effects.extend(eff);
+                                    report
+                                } else {
+                                    None // empty pool: the crash is a no-op
+                                };
+                                if let Some(rep) = report {
+                                    let idx = rep.service.raw() as usize;
+                                    let mut displaced = 0u64;
+                                    let mut dropped = 0u64;
+                                    if let Some(q) = rep.displaced {
+                                        if q.id.raw() & SHADOW_BIT != 0 {
+                                            // Shadow, meter or spike work:
+                                            // nothing waits on it.
+                                        } else if ch.injector.drop_crashed_query() {
+                                            dropped = 1;
+                                            if idx < services.len() && q.submitted >= warmup_t {
+                                                services[idx].failed += 1;
+                                            }
+                                        } else {
+                                            // Re-queue on the current route,
+                                            // keeping the original submit time
+                                            // so the lost work shows up as
+                                            // latency, not as a vanished query.
+                                            displaced = 1;
+                                            ch.crash_requeued
+                                                .entry((q.service.raw(), q.id.raw()))
+                                                .or_insert(now);
+                                            let target = if idx < services.len()
+                                                && !services[idx].background
+                                            {
+                                                engine.route(q.service)
+                                            } else {
+                                                RouteTarget::Serverless
+                                            };
+                                            match target {
+                                                RouteTarget::Serverless => {
+                                                    serverless.resume_service(q.service);
+                                                    effects.extend(serverless.submit(
+                                                        q,
+                                                        now,
+                                                        &mut platform_rng,
+                                                    ));
+                                                }
+                                                RouteTarget::Iaas => {
+                                                    effects.extend(iaas.submit(
+                                                        q,
+                                                        now,
+                                                        &mut iaas_rng,
+                                                    ));
+                                                }
+                                            }
+                                        }
+                                    }
+                                    if sink.enabled() {
+                                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                                            t: now,
+                                            kind: FaultKind::ContainerCrash,
+                                            service: (idx < services.len()).then_some(idx),
+                                            queries_displaced: displaced,
+                                            queries_dropped: dropped,
+                                        }));
+                                    }
+                                }
+                            }
+                            TimedFault::MeterOutage => {
+                                let m = ch.injector.pick(3);
+                                ch.meter_outage_until[m] = now
+                                    + SimDuration::from_secs_f64(
+                                        ch.injector.plan().meter_outage_duration_s,
+                                    );
+                                if sink.enabled() {
+                                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                                        t: now,
+                                        kind: FaultKind::MeterOutage,
+                                        service: None,
+                                        queries_displaced: 0,
+                                        queries_dropped: 0,
+                                    }));
+                                }
+                            }
+                            TimedFault::MeterOutlier { meter } => {
+                                if meter < 3 {
+                                    ch.meter_outlier_pending[meter] += 1;
+                                }
+                                if sink.enabled() {
+                                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                                        t: now,
+                                        kind: FaultKind::MeterOutlier,
+                                        service: None,
+                                        queries_displaced: 0,
+                                        queries_dropped: 0,
+                                    }));
+                                }
+                            }
+                            TimedFault::PressureSpike if !services.is_empty() => {
+                                let victim = ch.injector.pick(services.len());
+                                let sid = services[victim].sid;
+                                let plan = ch.injector.plan();
+                                let n = (plan.spike_qps * plan.spike_duration_s).ceil() as u64;
+                                let qps = plan.spike_qps.max(1e-9);
+                                for i in 0..n {
+                                    queue.push(
+                                        now + SimDuration::from_secs_f64(i as f64 / qps),
+                                        Ev::SpikeQuery { sid },
+                                    );
+                                }
+                                if sink.enabled() {
+                                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                                        t: now,
+                                        kind: FaultKind::PressureSpike,
+                                        service: Some(victim),
+                                        queries_displaced: 0,
+                                        queries_dropped: 0,
+                                    }));
+                                }
+                            }
+                            TimedFault::PressureSpike => {}
+                        }
+                    }
+                }
+                Ev::SpikeQuery { sid } => {
+                    if let Some(ch) = chaos.as_mut() {
+                        let q = Query {
+                            id: QueryId(SHADOW_BIT | (SPIKE_MARK << 48) | ch.spike_next_id),
+                            service: sid,
+                            submitted: now,
+                        };
+                        ch.spike_next_id += 1;
+                        effects.extend(serverless.submit(q, now, &mut platform_rng));
+                    }
                 }
             }
 
@@ -980,20 +1440,56 @@ impl Experiment {
                             queue.push(now + after, Ev::Platform(event));
                         }
                         Effect::Completed(outcome) => {
-                            self.on_completion(
-                                outcome,
-                                now,
-                                warmup_t,
-                                &meter_ids,
-                                &mut services,
-                                &mut controller,
-                                &mut monitor,
-                                sink,
-                            );
+                            let mut swallowed = false;
+                            if let Some(ch) = chaos.as_mut() {
+                                swallowed =
+                                    chaos_completion(ch, &outcome, now, &meter_ids, &mut monitor);
+                                let key = (outcome.query.service.raw(), outcome.query.id.raw());
+                                if let Some(t_crash) = ch.crash_requeued.remove(&key) {
+                                    if sink.enabled() {
+                                        sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                                            t: now,
+                                            kind: RecoveryKind::RequeuedQueryCompleted,
+                                            service: Some(outcome.query.service.raw() as usize),
+                                            after_s: now.duration_since(t_crash).as_secs_f64(),
+                                        }));
+                                    }
+                                }
+                            }
+                            if !swallowed {
+                                self.on_completion(
+                                    outcome,
+                                    now,
+                                    warmup_t,
+                                    &meter_ids,
+                                    &mut services,
+                                    &mut controller,
+                                    &mut monitor,
+                                    sink,
+                                );
+                            }
                         }
                         Effect::PrewarmReady { service } => {
                             if (service.raw() as usize) < services.len() {
                                 let idx = service.raw() as usize;
+                                // Chaos can lose the ack on the wire; the
+                                // engine's deadline retry recovers it.
+                                if let Some(ch) = chaos.as_mut() {
+                                    if engine.in_transition(service)
+                                        && ch.injector.drop_prewarm_ack()
+                                    {
+                                        if sink.enabled() {
+                                            sink.record(TelemetryEvent::Fault(FaultRecord {
+                                                t: now,
+                                                kind: FaultKind::AckDropped,
+                                                service: Some(idx),
+                                                queries_displaced: 0,
+                                                queries_dropped: 0,
+                                            }));
+                                        }
+                                        continue;
+                                    }
+                                }
                                 let load = controller.estimated_load(idx, now);
                                 let actions = engine.on_ready(
                                     service,
@@ -1002,6 +1498,7 @@ impl Experiment {
                                     now,
                                     sink,
                                 );
+                                note_vm_releases(&actions, now, &mut drain_deadline);
                                 dispatch_actions(
                                     actions,
                                     now,
@@ -1020,6 +1517,7 @@ impl Experiment {
                                 let load = controller.estimated_load(idx, now);
                                 let actions =
                                     engine.on_ready(service, DeployMode::Iaas, load, now, sink);
+                                note_vm_releases(&actions, now, &mut drain_deadline);
                                 dispatch_actions(
                                     actions,
                                     now,
@@ -1035,6 +1533,9 @@ impl Experiment {
                         Effect::IaasDrained { service } => {
                             // The old IaaS side has finished its in-flight
                             // queries: the span's terminal step.
+                            if (service.raw() as usize) < services.len() {
+                                drain_deadline[service.raw() as usize] = None;
+                            }
                             if sink.enabled() && (service.raw() as usize) < services.len() {
                                 let idx = service.raw() as usize;
                                 sink.record(TelemetryEvent::Switch(SwitchRecord {
@@ -1083,6 +1584,7 @@ impl Experiment {
                 breakdown: s.breakdown,
                 submitted: s.submitted,
                 completed: s.completed,
+                failed: s.failed,
                 serverless_queries: s.serverless_queries,
                 serverless_violations: s.serverless_violations,
                 billable: BillableUsage {
@@ -1101,6 +1603,8 @@ impl Experiment {
             cold_starts: serverless.cold_start_count(),
             final_gains,
             horizon: self.horizon,
+            wasted_prewarms,
+            failed_switches,
         }
     }
 
@@ -1340,9 +1844,60 @@ pub(crate) mod tests {
         let r = run(SystemVariant::Amoeba, 240.0, 11);
         for s in &r.services {
             // Everything submitted post-warmup eventually completes (the
-            // loop drains all events past the horizon).
+            // loop drains all events past the horizon), and nothing can
+            // fail without an injected fault.
             assert_eq!(s.submitted, s.completed, "{}", s.name);
+            assert_eq!(s.failed, 0, "{}", s.name);
         }
+        assert_eq!(r.failed_switches, 0);
+        assert_eq!(r.wasted_prewarms, 0);
+    }
+
+    fn run_with_plan(
+        variant: SystemVariant,
+        day_s: f64,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) -> RunResult {
+        let services = scenario(benchmarks::float(), day_s);
+        let horizon = SimDuration::from_secs_f64(day_s);
+        let mut b = Experiment::builder(variant, horizon, seed).services(services);
+        if let Some(p) = plan {
+            b = b.fault_plan(p);
+        }
+        b.build().run()
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical_to_no_plan() {
+        // A zero-rate plan builds the injector (which draws only from
+        // its private stream) but schedules nothing: the run must match
+        // a plan-free run exactly.
+        let bare = run_with_plan(SystemVariant::Amoeba, 240.0, 23, None);
+        let noop = run_with_plan(SystemVariant::Amoeba, 240.0, 23, Some(FaultPlan::default()));
+        for (a, b) in bare.services.iter().zip(&noop.services) {
+            assert_eq!(a.submitted, b.submitted, "{}", a.name);
+            assert_eq!(a.completed, b.completed, "{}", a.name);
+        }
+        assert_eq!(bare.cold_starts, noop.cold_starts);
+        assert_eq!(bare.final_weights, noop.final_weights);
+    }
+
+    #[test]
+    fn chaos_runs_conserve_queries_and_stay_deterministic() {
+        let plan = FaultPlan::mixed();
+        let a = run_with_plan(SystemVariant::Amoeba, 240.0, 29, Some(plan.clone()));
+        for s in &a.services {
+            assert_eq!(s.submitted, s.completed + s.failed, "{}", s.name);
+        }
+        let b = run_with_plan(SystemVariant::Amoeba, 240.0, 29, Some(plan));
+        for (x, y) in a.services.iter().zip(&b.services) {
+            assert_eq!(x.completed, y.completed, "{}", x.name);
+            assert_eq!(x.failed, y.failed, "{}", x.name);
+        }
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.failed_switches, b.failed_switches);
+        assert_eq!(a.wasted_prewarms, b.wasted_prewarms);
     }
 
     #[test]

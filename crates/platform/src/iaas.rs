@@ -131,6 +131,11 @@ impl IaasPlatform {
         self.groups[service.raw() as usize].state == GroupState::Active
     }
 
+    /// Is the group mid-boot (activated, not yet ready)?
+    pub fn is_booting(&self, service: ServiceId) -> bool {
+        self.groups[service.raw() as usize].state == GroupState::Booting
+    }
+
     /// Currently allocated (cores, memory MB); zero when inactive.
     /// Booting and draining groups still hold their resources.
     pub fn allocation(&self, service: ServiceId) -> (f64, f64) {
@@ -198,6 +203,46 @@ impl IaasPlatform {
             return vec![Effect::IaasDrained { service }];
         }
         Vec::new()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the chaos layer's levers)
+    // ------------------------------------------------------------------
+
+    /// A boot attempt failed: the group stays `Booting` and pays the
+    /// full boot time again. The caller consumes the original
+    /// `VmBootDone` event (it must *not* be forwarded to
+    /// [`Self::handle`]) and schedules the replacement returned here.
+    /// No-op for groups that are not booting.
+    pub fn fail_boot(&mut self, service: ServiceId, _now: SimTime) -> Vec<Effect> {
+        let g = &self.groups[service.raw() as usize];
+        if g.state != GroupState::Booting {
+            return Vec::new();
+        }
+        vec![Effect::Schedule {
+            after: SimDuration::from_secs_f64(self.cfg.boot_time_s),
+            event: ClusterEvent::VmBootDone { service },
+        }]
+    }
+
+    /// Forcibly terminate the group *now*, cancelling queued and
+    /// in-flight queries instead of waiting for them — the engine's
+    /// drain-deadline hammer for a drain that overran. Returns the
+    /// displaced queries (queued first, then running, in deterministic
+    /// order) for the caller to re-route; pending `IaasExecDone` events
+    /// for cancelled queries become stale no-ops.
+    pub fn force_drain(&mut self, service: ServiceId, _now: SimTime) -> (Vec<Effect>, Vec<Query>) {
+        let g = &mut self.groups[service.raw() as usize];
+        if g.state == GroupState::Inactive {
+            return (Vec::new(), Vec::new());
+        }
+        let mut displaced: Vec<Query> = g.queue.drain(..).collect();
+        displaced.extend(g.running.values().map(|r| r.query));
+        g.running.clear();
+        g.busy = 0;
+        g.state = GroupState::Inactive;
+        g.draining = false;
+        (vec![Effect::IaasDrained { service }], displaced)
     }
 
     /// Submit a query. Queries submitted while booting queue up and run
@@ -558,6 +603,70 @@ mod tests {
             (lat_a_mixed - lat_a_solo).abs() / lat_a_solo < 0.25,
             "dedicated VM latency moved: {lat_a_solo} -> {lat_a_mixed}"
         );
+    }
+
+    #[test]
+    fn failed_boot_reboots_and_eventually_acks() {
+        let (mut p, sid, mut rng) = setup(benchmarks::float());
+        let eff = p.activate(sid, SimTime::ZERO);
+        assert!(p.is_booting(sid));
+        // Intercept the first VmBootDone and fail it; the group must
+        // stay booting and schedule a fresh boot completion.
+        let retry = p.fail_boot(sid, SimTime::from_secs(5));
+        assert!(p.is_booting(sid));
+        assert!(
+            matches!(
+                retry[0],
+                Effect::Schedule {
+                    event: ClusterEvent::VmBootDone { service },
+                    ..
+                } if service == sid
+            ),
+            "failed boot must schedule a retry"
+        );
+        // Drop the original event (consumed by the interceptor), drive
+        // the retry to completion.
+        drop(eff);
+        let (_, other) = drain(&mut p, &mut rng, retry, SimTime::from_secs(5));
+        assert!(other
+            .iter()
+            .any(|e| matches!(e, Effect::VmGroupReady { service } if *service == sid)));
+        assert!(p.is_active(sid));
+    }
+
+    #[test]
+    fn fail_boot_on_non_booting_group_is_a_noop() {
+        let (mut p, sid, mut rng) = setup(benchmarks::float());
+        assert!(p.fail_boot(sid, SimTime::ZERO).is_empty());
+        let eff = p.activate(sid, SimTime::ZERO);
+        drain(&mut p, &mut rng, eff, SimTime::ZERO);
+        assert!(p.fail_boot(sid, SimTime::from_secs(30)).is_empty());
+    }
+
+    #[test]
+    fn force_drain_cancels_in_flight_and_returns_them() {
+        let (mut p, sid, mut rng) = setup(benchmarks::linpack());
+        let eff = p.activate(sid, SimTime::ZERO);
+        drain(&mut p, &mut rng, eff, SimTime::ZERO);
+        let t1 = SimTime::from_secs(30);
+        let mut eff = Vec::new();
+        let n = p.vm_count(sid) * p.config().cores_per_vm + 3; // saturate + queue
+        for i in 0..n as u64 {
+            eff.extend(p.submit(q(i, sid, t1), t1, &mut rng));
+        }
+        p.release(sid, t1);
+        let (drained_eff, displaced) = p.force_drain(sid, t1 + SimDuration::from_secs(1));
+        assert!(matches!(drained_eff[0], Effect::IaasDrained { .. }));
+        assert_eq!(displaced.len(), n as usize, "every query handed back");
+        assert!(!p.is_active(sid));
+        assert_eq!(p.allocation(sid), (0.0, 0.0));
+        assert_eq!(p.in_flight(sid), 0);
+        // The stale IaasExecDone events must be ignored.
+        let (outcomes, other) = drain(&mut p, &mut rng, eff, t1);
+        assert!(outcomes.is_empty(), "cancelled queries must not complete");
+        assert!(!other
+            .iter()
+            .any(|e| matches!(e, Effect::IaasDrained { .. })));
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use ids::{ContainerId, QueryId, ServiceId};
 pub use multinode::{MultiNodePool, Placement};
 pub use query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
 pub use resources::SharedResources;
-pub use serverless::ServerlessPlatform;
+pub use serverless::{CrashReport, ServerlessPlatform};

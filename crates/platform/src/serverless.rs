@@ -51,6 +51,20 @@ struct Container {
     epoch: u64,
 }
 
+/// What one injected container crash hit (see
+/// [`ServerlessPlatform::crash_container`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashReport {
+    /// The service whose container died.
+    pub service: ServiceId,
+    /// The in-flight query that was executing (or riding the cold
+    /// start) when the container died, if any.
+    pub displaced: Option<Query>,
+    /// The victim was a prewarm still warming up — its readiness ack
+    /// will never arrive.
+    pub was_prewarm: bool,
+}
+
 /// The serverless computing platform.
 pub struct ServerlessPlatform {
     cfg: ServerlessConfig,
@@ -382,7 +396,10 @@ impl ServerlessPlatform {
         };
         self.resources.acquire(&held);
 
-        let c = self.containers.get_mut(&cid).unwrap();
+        let c = self
+            .containers
+            .get_mut(&cid)
+            .expect("start_execution requires a live container: caller just looked it up");
         c.epoch += 1;
         c.state = ContainerState::Busy {
             query,
@@ -503,7 +520,10 @@ impl ServerlessPlatform {
     }
 
     fn make_idle(&mut self, cid: ContainerId, _now: SimTime, effects: &mut Vec<Effect>) {
-        let c = self.containers.get_mut(&cid).unwrap();
+        let c = self
+            .containers
+            .get_mut(&cid)
+            .expect("make_idle requires a live container: callers transition existing state");
         c.epoch += 1;
         let epoch = c.epoch;
         let service = c.service;
@@ -560,7 +580,10 @@ impl ServerlessPlatform {
                 }
             }
             let Some(i) = placed_idx else { break };
-            let q = self.queue.remove(i).unwrap();
+            let q = self
+                .queue
+                .remove(i)
+                .expect("queue index from the enumeration above is in bounds");
             let ok = self.try_place(q, now, rng, effects);
             debug_assert!(ok, "placement decided above must succeed");
         }
@@ -626,6 +649,71 @@ impl ServerlessPlatform {
     /// no prewarm, which is the other path that ends a drain).
     pub fn resume_service(&mut self, service: ServiceId) {
         self.draining[service.raw() as usize] = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the chaos layer's lever)
+    // ------------------------------------------------------------------
+
+    /// Kill the `victim_idx`-th live container (by ascending container
+    /// id, `victim_idx < total_containers()`), modelling a container
+    /// crash. The caller picks the index — typically uniformly from a
+    /// fault-injection RNG stream — so the platform itself stays
+    /// deterministic and RNG-free on this path.
+    ///
+    /// Held resources are released, stale scheduled events for the
+    /// container become no-ops (the pool ignores events for unknown
+    /// ids), and any in-flight query is handed back in the
+    /// [`CrashReport`] for the caller to re-queue or fail. A crashed
+    /// prewarm decrements the outstanding prewarm count *without*
+    /// emitting [`Effect::PrewarmReady`] — the ack is simply lost,
+    /// which is what the engine's ack-timeout machinery exists for.
+    pub fn crash_container(
+        &mut self,
+        victim_idx: usize,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (Vec<Effect>, Option<CrashReport>) {
+        let mut effects = Vec::new();
+        let Some(&cid) = self.containers.keys().nth(victim_idx) else {
+            return (effects, None);
+        };
+        let c = self
+            .containers
+            .remove(&cid)
+            .expect("victim container exists: id was just enumerated from the live map");
+        let sid = c.service.raw() as usize;
+        let mut displaced = None;
+        let mut was_prewarm = false;
+        match c.state {
+            ContainerState::Busy { query, load, .. } => {
+                self.resources.release(&load);
+                displaced = Some(query);
+            }
+            ContainerState::Warming {
+                query: Some((q, _)),
+                ..
+            } => {
+                displaced = Some(q);
+            }
+            ContainerState::Warming { query: None, .. } => {
+                was_prewarm = true;
+                if self.prewarm_pending[sid] > 0 {
+                    self.prewarm_pending[sid] -= 1;
+                }
+            }
+            ContainerState::Idle { .. } => {
+                self.idle[sid].retain(|&x| x != cid);
+            }
+        }
+        // The freed memory slot may unblock queued queries.
+        self.dispatch_queue(now, rng, &mut effects);
+        let report = CrashReport {
+            service: c.service,
+            displaced,
+            was_prewarm,
+        };
+        (effects, Some(report))
     }
 
     /// Drop all idle containers of `service` immediately (the shutdown
@@ -717,6 +805,88 @@ mod tests {
             absorb(effects, ev.time, &mut queue, &mut outcomes);
         }
         outcomes
+    }
+
+    #[test]
+    fn crashing_a_busy_container_releases_resources_and_hands_back_the_query() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let eff = p.submit(q(1, sid, t0), t0, &mut rng);
+        let outcomes = run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+        let t1 = outcomes[0].completed + SimDuration::from_secs(1);
+        let eff = p.submit(q(2, sid, t1), t1, &mut rng); // warm hit -> Busy
+        assert_eq!(p.busy_count(sid), 1);
+        assert!(p.utilization()[0] > 0.0, "busy container holds resources");
+        let (_, report) = p.crash_container(0, t1, &mut rng);
+        let report = report.expect("one live container to crash");
+        assert_eq!(report.service, sid);
+        assert_eq!(report.displaced.expect("in-flight query").id, QueryId(2));
+        assert!(!report.was_prewarm);
+        assert_eq!(p.total_containers(), 0);
+        assert_eq!(p.utilization(), [0.0; 3], "held load released on crash");
+        // The pending exec-done event for the dead container is stale.
+        let outcomes = run_effects(&mut p, &mut rng, eff, t1);
+        assert!(outcomes.is_empty(), "crashed query must not complete");
+    }
+
+    #[test]
+    fn crashing_a_prewarm_swallows_the_ack() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let eff = p.prewarm(sid, 1, t0, &mut rng);
+        assert!(
+            !eff.iter().any(|e| matches!(e, Effect::PrewarmReady { .. })),
+            "prewarm of a cold pool cannot ack synchronously"
+        );
+        let (_, report) = p.crash_container(0, t0, &mut rng);
+        let report = report.expect("the warming prewarm exists");
+        assert!(report.was_prewarm);
+        assert!(report.displaced.is_none());
+        // Driving the stale cold-start event must not produce the ack.
+        let mut queue = amoeba_sim::EventQueue::new();
+        for e in eff {
+            if let Effect::Schedule { after, event } = e {
+                queue.push(t0 + after, event);
+            }
+        }
+        while let Some(ev) = queue.pop() {
+            for e in p.handle(ev.payload, ev.time, &mut rng) {
+                assert!(
+                    !matches!(e, Effect::PrewarmReady { .. }),
+                    "ack must be lost with the crashed prewarm"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crashing_an_idle_container_forgets_it() {
+        let (mut p, mut rng) = setup();
+        let sid = p.register(benchmarks::float());
+        let t0 = SimTime::from_secs(1);
+        let eff = p.submit(q(1, sid, t0), t0, &mut rng);
+        run_effects_keep_warm(&mut p, &mut rng, eff, t0);
+        assert_eq!(p.total_containers(), 1);
+        let t1 = SimTime::from_secs(20);
+        let (_, report) = p.crash_container(0, t1, &mut rng);
+        assert!(report.expect("idle victim").displaced.is_none());
+        assert_eq!(p.total_containers(), 0);
+        // Next query cold-starts instead of touching the dead idle slot.
+        let eff = p.submit(q(2, sid, t1), t1, &mut rng);
+        assert_eq!(p.cold_start_count(), 2);
+        let outcomes = run_effects(&mut p, &mut rng, eff, t1);
+        assert_eq!(outcomes.len(), 1);
+    }
+
+    #[test]
+    fn crash_on_an_empty_pool_is_a_noop() {
+        let (mut p, mut rng) = setup();
+        let _sid = p.register(benchmarks::float());
+        let (eff, report) = p.crash_container(0, SimTime::ZERO, &mut rng);
+        assert!(eff.is_empty());
+        assert!(report.is_none());
     }
 
     #[test]

@@ -198,6 +198,100 @@ impl ViolationCause {
     }
 }
 
+/// The class of an injected (or injector-induced) fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A serverless container died; in-flight work was displaced.
+    ContainerCrash,
+    /// A VM boot failed and the group re-booted from scratch.
+    VmBootFailure,
+    /// A VM boot straggled past its nominal boot time.
+    VmSlowBoot,
+    /// A prewarm ack was lost between platform and engine.
+    AckDropped,
+    /// The engine's ack deadline expired for an in-flight switch.
+    AckTimeout,
+    /// An IaaS drain overran its deadline and was forced.
+    DrainTimeout,
+    /// A meter blackout window began: observations discarded.
+    MeterOutage,
+    /// One meter latency sample was corrupted by a large factor.
+    MeterOutlier,
+    /// A transient co-tenant pressure spike hit the shared pool.
+    PressureSpike,
+}
+
+impl FaultKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultKind::ContainerCrash => "container_crash",
+            FaultKind::VmBootFailure => "vm_boot_failure",
+            FaultKind::VmSlowBoot => "vm_slow_boot",
+            FaultKind::AckDropped => "ack_dropped",
+            FaultKind::AckTimeout => "ack_timeout",
+            FaultKind::DrainTimeout => "drain_timeout",
+            FaultKind::MeterOutage => "meter_outage",
+            FaultKind::MeterOutlier => "meter_outlier",
+            FaultKind::PressureSpike => "pressure_spike",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "container_crash" => Ok(FaultKind::ContainerCrash),
+            "vm_boot_failure" => Ok(FaultKind::VmBootFailure),
+            "vm_slow_boot" => Ok(FaultKind::VmSlowBoot),
+            "ack_dropped" => Ok(FaultKind::AckDropped),
+            "ack_timeout" => Ok(FaultKind::AckTimeout),
+            "drain_timeout" => Ok(FaultKind::DrainTimeout),
+            "meter_outage" => Ok(FaultKind::MeterOutage),
+            "meter_outlier" => Ok(FaultKind::MeterOutlier),
+            "pressure_spike" => Ok(FaultKind::PressureSpike),
+            _ => Err(DecodeError::new(format!("unknown fault kind '{s}'"))),
+        }
+    }
+}
+
+/// How the system got back on its feet after a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A crash-displaced query was re-queued and completed.
+    RequeuedQueryCompleted,
+    /// A VM group finished booting after at least one failed attempt.
+    VmBootSucceeded,
+    /// A prewarm ack landed after at least one deadline retry.
+    AckReceived,
+    /// An un-ackable switch was rolled back; the old platform kept
+    /// serving throughout.
+    SwitchRolledBack,
+    /// An overdue IaaS drain was forced; stragglers were re-queued on
+    /// the serverless side.
+    DrainForced,
+}
+
+impl RecoveryKind {
+    fn tag(self) -> &'static str {
+        match self {
+            RecoveryKind::RequeuedQueryCompleted => "requeued_query_completed",
+            RecoveryKind::VmBootSucceeded => "vm_boot_succeeded",
+            RecoveryKind::AckReceived => "ack_received",
+            RecoveryKind::SwitchRolledBack => "switch_rolled_back",
+            RecoveryKind::DrainForced => "drain_forced",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, DecodeError> {
+        match s {
+            "requeued_query_completed" => Ok(RecoveryKind::RequeuedQueryCompleted),
+            "vm_boot_succeeded" => Ok(RecoveryKind::VmBootSucceeded),
+            "ack_received" => Ok(RecoveryKind::AckReceived),
+            "switch_rolled_back" => Ok(RecoveryKind::SwitchRolledBack),
+            "drain_forced" => Ok(RecoveryKind::DrainForced),
+            _ => Err(DecodeError::new(format!("unknown recovery kind '{s}'"))),
+        }
+    }
+}
+
 /// One service's identity in the run header.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceInfo {
@@ -326,6 +420,36 @@ pub struct ForecastRecord {
     pub realized_qps: Option<f64>,
 }
 
+/// One injected fault landing (or an induced failure being detected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// When the fault fired / was detected.
+    pub t: SimTime,
+    /// What kind of fault.
+    pub kind: FaultKind,
+    /// Affected service index, when the fault is attributable to one
+    /// (e.g. boot failures, ack losses); `None` for pool-wide faults.
+    pub service: Option<usize>,
+    /// In-flight queries displaced by the fault (crashes, forced
+    /// drains).
+    pub queries_displaced: u64,
+    /// Of those, queries lost outright instead of re-queued.
+    pub queries_dropped: u64,
+}
+
+/// The system recovering from an earlier fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRecord {
+    /// When the recovery completed.
+    pub t: SimTime,
+    /// What kind of recovery.
+    pub kind: RecoveryKind,
+    /// Affected service index, when attributable to one.
+    pub service: Option<usize>,
+    /// Seconds from the triggering fault to this recovery.
+    pub after_s: f64,
+}
+
 /// The event stream's alphabet.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
@@ -353,6 +477,10 @@ pub enum TelemetryEvent {
     WarmSample(WarmSampleRecord),
     /// Proactive-controller forecast (Amoeba-Pro runs only).
     Forecast(ForecastRecord),
+    /// An injected fault landed (chaos runs only).
+    Fault(FaultRecord),
+    /// The system recovered from an earlier fault (chaos runs only).
+    Recovery(RecoveryRecord),
 }
 
 /// A malformed trace line.
@@ -510,6 +638,21 @@ impl TelemetryEvent {
                 "hi_qps": r.hi_qps,
                 "realized_qps": (Value::from(r.realized_qps)),
             }),
+            TelemetryEvent::Fault(r) => json!({
+                "type": "fault",
+                "t_us": r.t.as_micros(),
+                "kind": r.kind.tag(),
+                "service": (Value::from(r.service)),
+                "queries_displaced": r.queries_displaced,
+                "queries_dropped": r.queries_dropped,
+            }),
+            TelemetryEvent::Recovery(r) => json!({
+                "type": "recovery",
+                "t_us": r.t.as_micros(),
+                "kind": r.kind.tag(),
+                "service": (Value::from(r.service)),
+                "after_s": r.after_s,
+            }),
         }
     }
 
@@ -603,6 +746,19 @@ impl TelemetryEvent {
                 hi_qps: get_f64(v, "hi_qps")?,
                 realized_qps: v["realized_qps"].as_f64(),
             })),
+            "fault" => Ok(TelemetryEvent::Fault(FaultRecord {
+                t: get_time(v)?,
+                kind: FaultKind::from_tag(get_str(v, "kind")?)?,
+                service: v["service"].as_u64().map(|s| s as usize),
+                queries_displaced: get_u64(v, "queries_displaced")?,
+                queries_dropped: get_u64(v, "queries_dropped")?,
+            })),
+            "recovery" => Ok(TelemetryEvent::Recovery(RecoveryRecord {
+                t: get_time(v)?,
+                kind: RecoveryKind::from_tag(get_str(v, "kind")?)?,
+                service: v["service"].as_u64().map(|s| s as usize),
+                after_s: get_f64(v, "after_s")?,
+            })),
             other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
         }
     }
@@ -617,6 +773,8 @@ impl TelemetryEvent {
             TelemetryEvent::Violation(r) => r.t,
             TelemetryEvent::WarmSample(r) => r.t,
             TelemetryEvent::Forecast(r) => r.t,
+            TelemetryEvent::Fault(r) => r.t,
+            TelemetryEvent::Recovery(r) => r.t,
         }
     }
 }

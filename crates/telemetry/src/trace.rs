@@ -7,8 +7,8 @@ use std::fmt;
 use amoeba_sim::{SimDuration, SimTime};
 
 use crate::event::{
-    DecodeError, ForecastRecord, HeartbeatRecord, Mode, SwitchPhase, SwitchRecord, TelemetryEvent,
-    TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, RecoveryRecord, SwitchPhase,
+    SwitchRecord, TelemetryEvent, TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 
 /// An ordered, append-only stream of [`TelemetryEvent`]s for one run.
@@ -199,6 +199,22 @@ impl Trace {
     pub fn forecasts(&self) -> impl Iterator<Item = &ForecastRecord> {
         self.events.iter().filter_map(|e| match e {
             TelemetryEvent::Forecast(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Injected-fault records, in order (chaos runs only).
+    pub fn faults(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Fault(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Recovery records, in order (chaos runs only).
+    pub fn recoveries(&self) -> impl Iterator<Item = &RecoveryRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Recovery(r) => Some(r),
             _ => None,
         })
     }
@@ -562,6 +578,61 @@ mod tests {
         // Iaas: [0, 32) and [74, 100) = 58 s; serverless: [32, 74) = 42 s.
         assert!((svc.time_in_iaas.as_secs_f64() - 58.0).abs() < 1e-9);
         assert!((svc.time_in_serverless.as_secs_f64() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_and_recovery_events_round_trip() {
+        use crate::event::{FaultKind, FaultRecord, RecoveryKind, RecoveryRecord};
+        let kinds = [
+            (FaultKind::ContainerCrash, Some(1)),
+            (FaultKind::VmBootFailure, Some(0)),
+            (FaultKind::VmSlowBoot, Some(0)),
+            (FaultKind::AckDropped, Some(2)),
+            (FaultKind::AckTimeout, Some(2)),
+            (FaultKind::DrainTimeout, Some(0)),
+            (FaultKind::MeterOutage, None),
+            (FaultKind::MeterOutlier, None),
+            (FaultKind::PressureSpike, None),
+        ];
+        let mut events: Vec<TelemetryEvent> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, service))| {
+                TelemetryEvent::Fault(FaultRecord {
+                    t: t(i as f64),
+                    kind,
+                    service,
+                    queries_displaced: i as u64,
+                    queries_dropped: (i / 2) as u64,
+                })
+            })
+            .collect();
+        for (i, (kind, service)) in [
+            (RecoveryKind::RequeuedQueryCompleted, Some(1)),
+            (RecoveryKind::VmBootSucceeded, Some(0)),
+            (RecoveryKind::AckReceived, Some(2)),
+            (RecoveryKind::SwitchRolledBack, Some(2)),
+            (RecoveryKind::DrainForced, None),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            events.push(TelemetryEvent::Recovery(RecoveryRecord {
+                t: t(20.0 + i as f64),
+                kind,
+                service,
+                after_s: 0.5 * i as f64,
+            }));
+        }
+        let trace = Trace::from_events(events);
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.to_jsonl(), text);
+        assert_eq!(back.faults().count(), 9);
+        assert_eq!(back.recoveries().count(), 5);
+        assert_eq!(back.faults().next().unwrap().service, Some(1));
+        assert!(back.recoveries().last().unwrap().service.is_none());
     }
 
     #[test]

@@ -7,18 +7,20 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+# --locked everywhere below: the gate must build exactly what Cargo.lock
+# pins, never silently update it (cargo fmt takes no such flag).
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --locked --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
-cargo build --workspace --release
+cargo build --locked --workspace --release
 
 # Vendored dev-harness stand-ins (vendor/*) are not held to the doc gate.
 echo "== cargo doc --no-deps =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+RUSTDOCFLAGS="-D warnings" cargo doc --locked --workspace --no-deps --quiet \
   --exclude proptest --exclude criterion
 
 echo "== cargo test --workspace =="
-cargo test --workspace -q
+cargo test --locked --workspace -q
 
 echo "tier1: all green"

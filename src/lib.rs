@@ -5,6 +5,7 @@
 //! users can `use amoeba::...` without tracking the workspace layout.
 
 pub use amoeba_bench as bench;
+pub use amoeba_chaos as chaos;
 pub use amoeba_core as core;
 pub use amoeba_forecast as forecast;
 pub use amoeba_linalg as linalg;
