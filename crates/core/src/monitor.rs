@@ -12,7 +12,7 @@
 //!   serverless latencies so `μₙ` "converges to the real processing
 //!   capacity of containers" (§VI-A).
 
-use amoeba_linalg::{Matrix, Pca};
+use crate::monitor_nd::NdContentionMonitor;
 use amoeba_meters::ProfileCurve;
 
 /// Eq. 8: the lower bound on the sample period so that one accidental
@@ -74,11 +74,34 @@ impl Default for MonitorConfig {
     }
 }
 
+/// The common surface of the contention monitors: the paper's fixed
+/// three-meter [`ContentionMonitor`] and the production-oriented
+/// [`NdContentionMonitor`] over arbitrary dimensions. Everything the
+/// runtime plumbs through a monitor — meter observations, heartbeat
+/// sample periods, pressure and weight readout — goes through here, so
+/// new monitor variants slot in without touching the kernel.
+pub trait Monitor {
+    /// Number of metered resource dimensions.
+    fn dimensions(&self) -> usize;
+    /// Record one observed meter-query latency for dimension `resource`.
+    fn observe_meter_latency(&mut self, resource: usize, latency_s: f64);
+    /// Deliver one heartbeat package (end of an Eq. 8 sample period):
+    /// append the current pressure vector to the PCA window and refresh
+    /// the Eq. 6 weights.
+    fn heartbeat(&mut self);
+    /// Current pressure estimate, one entry per dimension.
+    fn pressure_vec(&self) -> Vec<f64>;
+    /// Current Eq. 6 weights, one entry per dimension.
+    fn weight_vec(&self) -> Vec<f64>;
+    /// Number of heartbeat samples currently in the PCA window.
+    fn heartbeat_count(&self) -> usize;
+}
+
 /// Median of the last `window` raw samples in `buf` after pushing
 /// `raw` (the shared pre-EWMA filter of both monitor variants; even
 /// counts average the middle pair). `window <= 1` bypasses the buffer
 /// entirely.
-pub(crate) fn median_filter(buf: &mut Vec<f64>, window: usize, raw: f64) -> f64 {
+pub fn median_filter(buf: &mut Vec<f64>, window: usize, raw: f64) -> f64 {
     if window <= 1 {
         return raw;
     }
@@ -96,22 +119,22 @@ pub(crate) fn median_filter(buf: &mut Vec<f64>, window: usize, raw: f64) -> f64 
     }
 }
 
-/// The monitor. One instance serves the whole platform (pressures are
-/// global); the per-service calibration gain lives in the controller's
-/// per-service state.
+/// The paper's monitor: exactly the three Fig. 8 meters `[cpu, io,
+/// net]`, with fixed-size array accessors for the controller. One
+/// instance serves the whole platform (pressures are global); the
+/// per-service calibration gain lives in the controller's per-service
+/// state.
+///
+/// All the actual plumbing — median pre-filter, EWMA, curve inversion,
+/// PCA weight refresh — is the dimension-generic
+/// [`NdContentionMonitor`]; this type only pins the dimension count to
+/// three and narrows the vector readouts back to `[f64; 3]`.
 pub struct ContentionMonitor {
-    cfg: MonitorConfig,
-    curves: [ProfileCurve; 3],
-    /// Smoothed meter latencies [cpu, io, net], seconds.
-    smoothed_latency: [Option<f64>; 3],
-    /// Raw samples per meter for the pre-EWMA median filter (empty
-    /// while `median_window <= 1`).
-    recent: [Vec<f64>; 3],
-    /// Heartbeat window of pressure samples (rows).
-    heartbeats: Vec<[f64; 3]>,
-    /// Current Eq. 6 weights.
-    weights: [f64; 3],
+    inner: NdContentionMonitor,
 }
+
+/// The fixed meter names, in id order (§IV-B).
+const METER_NAMES: [&str; 3] = ["cpu", "io", "net"];
 
 impl ContentionMonitor {
     /// A monitor with the given profiled curves `[cpu, io, net]`.
@@ -122,94 +145,75 @@ impl ContentionMonitor {
     /// at the pessimistic prior (which is also exactly the Amoeba-NoM
     /// behaviour when PCA is disabled).
     pub fn new(cfg: MonitorConfig, curves: [ProfileCurve; 3]) -> Self {
+        let meters = METER_NAMES
+            .iter()
+            .zip(curves)
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
         ContentionMonitor {
-            cfg,
-            curves,
-            smoothed_latency: [None; 3],
-            recent: [Vec::new(), Vec::new(), Vec::new()],
-            heartbeats: Vec::new(),
-            weights: [1.0; 3],
+            inner: NdContentionMonitor::new(cfg, meters),
         }
     }
 
     /// Record one observed meter query latency for the `resource`-th
     /// meter (0 = cpu, 1 = io, 2 = net).
     pub fn observe_meter_latency(&mut self, resource: usize, latency_s: f64) {
-        assert!(resource < 3);
-        if !(latency_s.is_finite() && latency_s > 0.0) {
-            return;
-        }
-        let filtered = median_filter(
-            &mut self.recent[resource],
-            self.cfg.median_window,
-            latency_s,
-        );
-        let s = &mut self.smoothed_latency[resource];
-        *s = Some(match *s {
-            None => filtered,
-            Some(prev) => prev + self.cfg.ewma_alpha * (filtered - prev),
-        });
+        self.inner.observe_meter_latency(resource, latency_s);
     }
 
     /// Current pressure estimate `P = {P_cpu, P_io, P_net}` — observed
     /// meter latencies inverted through the Fig. 8 curves. Resources
     /// with no observation yet read as zero pressure.
     pub fn pressures(&self) -> [f64; 3] {
-        let mut p = [0.0; 3];
-        for (r, lat) in self.smoothed_latency.iter().enumerate() {
-            if let Some(l) = lat {
-                p[r] = self.curves[r].pressure_at(*l);
-            }
-        }
-        p
+        let p = self.inner.pressures();
+        [p[0], p[1], p[2]]
     }
 
     /// Deliver one heartbeat package (end of a sample period): the
     /// current pressure vector is appended to the PCA window and the
     /// weights are refreshed (§VI-A).
     pub fn heartbeat(&mut self) {
-        let p = self.pressures();
-        self.heartbeats.push(p);
-        if self.heartbeats.len() > self.cfg.pca_window {
-            let excess = self.heartbeats.len() - self.cfg.pca_window;
-            self.heartbeats.drain(0..excess);
-        }
-        self.refresh_weights();
-    }
-
-    fn refresh_weights(&mut self) {
-        if !self.cfg.use_pca {
-            self.weights = [1.0; 3];
-            return;
-        }
-        if self.heartbeats.len() < self.cfg.pca_min_samples {
-            return;
-        }
-        let rows: Vec<Vec<f64>> = self.heartbeats.iter().map(|r| r.to_vec()).collect();
-        let data = Matrix::from_nested(&rows);
-        if let Some(model) = Pca::default().fit(&data) {
-            let imp = model.variable_importance();
-            // variable_importance sums to 1, which is the calibrated (not
-            // pessimistically accumulated) normalisation for Eq. 6.
-            self.weights = [imp[0], imp[1], imp[2]];
-        }
+        self.inner.heartbeat();
     }
 
     /// The current Eq. 6 weights `w = (w_cpu, w_io, w_net)`.
     pub fn weights(&self) -> [f64; 3] {
-        self.weights
+        let w = self.inner.weights();
+        [w[0], w[1], w[2]]
     }
 
     /// The smoothed meter latencies `[cpu, io, net]` in seconds (`None`
     /// where a meter has not reported yet). These are the raw inputs the
     /// pressure inversion reads; telemetry heartbeats record them.
     pub fn smoothed_latencies(&self) -> [Option<f64>; 3] {
-        self.smoothed_latency
+        let s = self.inner.smoothed_latencies();
+        [s[0], s[1], s[2]]
     }
 
     /// Number of heartbeat samples currently in the PCA window.
     pub fn heartbeat_count(&self) -> usize {
-        self.heartbeats.len()
+        self.inner.heartbeat_count()
+    }
+}
+
+impl Monitor for ContentionMonitor {
+    fn dimensions(&self) -> usize {
+        3
+    }
+    fn observe_meter_latency(&mut self, resource: usize, latency_s: f64) {
+        ContentionMonitor::observe_meter_latency(self, resource, latency_s);
+    }
+    fn heartbeat(&mut self) {
+        ContentionMonitor::heartbeat(self);
+    }
+    fn pressure_vec(&self) -> Vec<f64> {
+        self.pressures().to_vec()
+    }
+    fn weight_vec(&self) -> Vec<f64> {
+        self.weights().to_vec()
+    }
+    fn heartbeat_count(&self) -> usize {
+        ContentionMonitor::heartbeat_count(self)
     }
 }
 
@@ -346,6 +350,72 @@ mod tests {
         }
         let p = m.pressures();
         assert!((p[0] - 0.6).abs() < 0.01, "{p:?}");
+    }
+
+    #[test]
+    fn median_filter_window_one_is_a_pass_through() {
+        let mut buf = Vec::new();
+        assert_eq!(median_filter(&mut buf, 1, 0.42), 0.42);
+        assert_eq!(median_filter(&mut buf, 0, 7.0), 7.0);
+        assert!(buf.is_empty(), "window <= 1 must not buffer samples");
+    }
+
+    #[test]
+    fn median_filter_odd_window_takes_the_middle() {
+        let mut buf = Vec::new();
+        median_filter(&mut buf, 3, 0.1);
+        median_filter(&mut buf, 3, 9.0); // outlier
+        assert_eq!(median_filter(&mut buf, 3, 0.2), 0.2);
+        // Window slides: {9.0, 0.2, 0.3} → median 0.3.
+        assert_eq!(median_filter(&mut buf, 3, 0.3), 0.3);
+    }
+
+    #[test]
+    fn median_filter_even_count_averages_the_middle_pair() {
+        let mut buf = Vec::new();
+        median_filter(&mut buf, 4, 0.1);
+        let m = median_filter(&mut buf, 4, 0.3);
+        assert!((m - 0.2).abs() < 1e-12, "median of {{0.1, 0.3}}: {m}");
+    }
+
+    #[test]
+    fn median_filter_evicts_oldest_sample_first() {
+        let mut buf = Vec::new();
+        for x in [1.0, 2.0, 3.0] {
+            median_filter(&mut buf, 3, x);
+        }
+        median_filter(&mut buf, 3, 4.0);
+        assert_eq!(buf, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn monitor_trait_objects_unify_fixed_and_nd() {
+        use crate::monitor_nd::NdContentionMonitor;
+        let nd_meters = curves()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (format!("r{i}"), c.clone()))
+            .collect();
+        let mut monitors: Vec<Box<dyn Monitor>> = vec![
+            Box::new(ContentionMonitor::new(MonitorConfig::default(), curves())),
+            Box::new(NdContentionMonitor::new(
+                MonitorConfig::default(),
+                nd_meters,
+            )),
+        ];
+        for m in &mut monitors {
+            assert_eq!(m.dimensions(), 3);
+            for _ in 0..50 {
+                m.observe_meter_latency(0, 0.05 * 1.8);
+            }
+            m.heartbeat();
+        }
+        // Same inputs through either implementation: same readouts.
+        let p0 = monitors[0].pressure_vec();
+        let p1 = monitors[1].pressure_vec();
+        assert_eq!(p0, p1);
+        assert_eq!(monitors[0].weight_vec(), monitors[1].weight_vec());
+        assert_eq!(monitors[0].heartbeat_count(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! pressure inversion, and PCA weight merging over an arbitrary number
 //! of dimensions.
 
-use crate::monitor::{median_filter, MonitorConfig};
+use crate::monitor::{median_filter, Monitor, MonitorConfig};
 use amoeba_linalg::{Matrix, Pca};
 use amoeba_meters::ProfileCurve;
 
@@ -109,6 +109,17 @@ impl NdContentionMonitor {
         &self.weights
     }
 
+    /// The smoothed meter latencies in seconds, one per dimension
+    /// (`None` where a meter has not reported yet).
+    pub fn smoothed_latencies(&self) -> &[Option<f64>] {
+        &self.smoothed_latency
+    }
+
+    /// Number of heartbeat samples currently in the PCA window.
+    pub fn heartbeat_count(&self) -> usize {
+        self.heartbeats.len()
+    }
+
     /// How many principal components the last PCA retained — the
     /// "merge correlated variables into as few new variables as
     /// possible" count. `None` before enough heartbeats arrived.
@@ -118,6 +129,27 @@ impl NdContentionMonitor {
         }
         let data = Matrix::from_nested(&self.heartbeats);
         Pca::default().fit(&data).map(|m| m.retained)
+    }
+}
+
+impl Monitor for NdContentionMonitor {
+    fn dimensions(&self) -> usize {
+        NdContentionMonitor::dimensions(self)
+    }
+    fn observe_meter_latency(&mut self, resource: usize, latency_s: f64) {
+        NdContentionMonitor::observe_meter_latency(self, resource, latency_s);
+    }
+    fn heartbeat(&mut self) {
+        NdContentionMonitor::heartbeat(self);
+    }
+    fn pressure_vec(&self) -> Vec<f64> {
+        self.pressures()
+    }
+    fn weight_vec(&self) -> Vec<f64> {
+        self.weights().to_vec()
+    }
+    fn heartbeat_count(&self) -> usize {
+        NdContentionMonitor::heartbeat_count(self)
     }
 }
 

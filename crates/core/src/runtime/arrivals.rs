@@ -1,0 +1,62 @@
+//! Arrival handling: one user query enters the system.
+
+use super::{Ev, SimWorld};
+use crate::engine::RouteTarget;
+use amoeba_platform::{Query, QueryId};
+use amoeba_sim::SimTime;
+use amoeba_workload::ArrivalProcess;
+
+/// A real query of service `idx` arrives: record it with the
+/// controller's load estimator, route it via the engine (background
+/// services are pinned serverless), submit it to the chosen platform
+/// and re-arm the service's next arrival.
+pub(crate) fn on_arrival(world: &mut SimWorld, idx: usize, now: SimTime) {
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        iaas_rng,
+        bus,
+        queue,
+        warmup_t,
+        ..
+    } = world;
+    let sid = services[idx].sid;
+    controller.record_arrival(idx, now);
+    let qid = QueryId::user(services[idx].next_query_id);
+    services[idx].next_query_id += 1;
+    if now >= *warmup_t {
+        services[idx].submitted += 1;
+    }
+    let query = Query {
+        id: qid,
+        service: sid,
+        submitted: now,
+    };
+    let target = if services[idx].background {
+        RouteTarget::Serverless
+    } else {
+        engine.route(sid)
+    };
+    match target {
+        RouteTarget::Serverless => {
+            // Real traffic ends any drain (the NoP path
+            // switches with no prewarm ack).
+            serverless.resume_service(sid);
+            bus.extend(serverless.submit(query, now, platform_rng));
+        }
+        RouteTarget::Iaas => {
+            bus.extend(iaas.submit(query, now, iaas_rng));
+        }
+    }
+    if !services[idx].exhausted {
+        if let Some(t) = services[idx].arrivals.next_after(now) {
+            queue.push(t, Ev::Arrival { idx });
+        } else {
+            services[idx].exhausted = true;
+        }
+    }
+}

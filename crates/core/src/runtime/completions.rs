@@ -1,0 +1,146 @@
+//! Completion accounting: every query outcome — user, shadow, meter or
+//! injected — funnels through here off the effect bus.
+
+use super::faults::chaos_completion;
+use super::world::ServiceRt;
+use super::{Experiment, SimWorld};
+use crate::controller::{DeployMode, DeploymentController};
+use crate::monitor::ContentionMonitor;
+use amoeba_platform::{ExecutedOn, QueryOutcome, ServiceId};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::{
+    RecoveryKind, RecoveryRecord, TelemetryEvent, TelemetrySink, ViolationCause, ViolationRecord,
+    WarmSampleRecord,
+};
+
+/// One query finished. Chaos gets first refusal (spike traffic, meter
+/// blackouts and outliers are swallowed there); re-queued crash
+/// victims log their recovery; everything else is accounted normally.
+pub(crate) fn on_completed(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    outcome: QueryOutcome,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        monitor,
+        chaos,
+        meter_ids,
+        warmup_t,
+        ..
+    } = world;
+    let mut swallowed = false;
+    if let Some(ch) = chaos.as_mut() {
+        swallowed = chaos_completion(ch, &outcome, now, meter_ids, monitor);
+        let key = (outcome.query.service.raw(), outcome.query.id.raw());
+        if let Some(t_crash) = ch.crash_requeued.remove(&key) {
+            if sink.enabled() {
+                sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                    t: now,
+                    kind: RecoveryKind::RequeuedQueryCompleted,
+                    service: Some(outcome.query.service.raw() as usize),
+                    after_s: now.duration_since(t_crash).as_secs_f64(),
+                }));
+            }
+        }
+    }
+    if !swallowed {
+        account(
+            exp, outcome, now, *warmup_t, meter_ids, services, controller, monitor, sink,
+        );
+    }
+}
+
+/// The normal accounting path: meters feed the monitor, serverless
+/// executions calibrate the controller (§III), and post-warmup user
+/// queries land in the latency recorder with QoS-violation and
+/// warm-breakdown attribution.
+#[allow(clippy::too_many_arguments)]
+fn account(
+    exp: &Experiment,
+    outcome: QueryOutcome,
+    now: SimTime,
+    warmup_t: SimTime,
+    meter_ids: &[ServiceId; 3],
+    services: &mut [ServiceRt],
+    controller: &mut DeploymentController,
+    monitor: &mut ContentionMonitor,
+    sink: &mut dyn TelemetrySink,
+) {
+    let sid = outcome.query.service;
+    // Meter completion: feed the monitor.
+    if let Some(m) = meter_ids.iter().position(|&x| x == sid) {
+        monitor.observe_meter_latency(m, outcome.latency().as_secs_f64());
+        return;
+    }
+    let idx = sid.raw() as usize;
+    if idx >= services.len() {
+        return;
+    }
+    let is_shadow = outcome.query.id.is_shadow();
+    // Serverless executions calibrate the controller (real and
+    // shadow alike); the service time excludes queueing and cold
+    // start.
+    if outcome.executed_on == ExecutedOn::Serverless && exp.variant.uses_pca() {
+        let b = &outcome.breakdown;
+        let service_time = (b.auth + b.code_load + b.result_post + b.exec).as_secs_f64();
+        let pressures = monitor.pressures();
+        let weights = monitor.weights();
+        controller.observe_service_time(idx, service_time, pressures, weights);
+    }
+    if is_shadow {
+        return;
+    }
+    if outcome.query.submitted < warmup_t {
+        return;
+    }
+    let s = &mut services[idx];
+    s.recorder.record(outcome.latency());
+    s.completed += 1;
+    let target = exp.services[idx].spec.qos_target_s;
+    let latency_s = outcome.latency().as_secs_f64();
+    if outcome.executed_on == ExecutedOn::Serverless {
+        s.serverless_queries += 1;
+        if latency_s > target {
+            s.serverless_violations += 1;
+        }
+    }
+    if sink.enabled() && latency_s > target {
+        let cold_start_s = outcome.breakdown.cold_start.as_secs_f64();
+        let queue_wait_s = outcome.breakdown.queue_wait.as_secs_f64();
+        sink.record(TelemetryEvent::Violation(ViolationRecord {
+            t: now,
+            service: idx,
+            platform: match outcome.executed_on {
+                ExecutedOn::Serverless => DeployMode::Serverless,
+                ExecutedOn::Iaas => DeployMode::Iaas,
+            }
+            .into(),
+            latency_s,
+            target_s: target,
+            cold_start_s,
+            queue_wait_s,
+            cause: ViolationCause::attribute(cold_start_s, queue_wait_s),
+        }));
+    }
+    if outcome.executed_on == ExecutedOn::Serverless
+        && outcome.breakdown.cold_start == SimDuration::ZERO
+        && outcome.breakdown.queue_wait == SimDuration::ZERO
+    {
+        s.breakdown.add(&outcome.breakdown);
+        if sink.enabled() {
+            let b = &outcome.breakdown;
+            sink.record(TelemetryEvent::WarmSample(WarmSampleRecord {
+                t: now,
+                service: idx,
+                auth_s: b.auth.as_secs_f64(),
+                code_load_s: b.code_load.as_secs_f64(),
+                result_post_s: b.result_post.as_secs_f64(),
+                exec_s: b.exec.as_secs_f64(),
+            }));
+        }
+    }
+}

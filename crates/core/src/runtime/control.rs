@@ -1,0 +1,266 @@
+//! The control tick (§IV): drain watchdog, per-service deployment
+//! decisions through the controller/engine pair, and the shadow
+//! calibration traffic.
+
+use super::switching::{apply_engine_actions, DRAIN_TIMEOUT_S};
+use super::{record_forecast, Ev, Experiment, SimWorld};
+use crate::controller::{prewarm_count, Decision, DeployMode};
+use crate::engine::DeadlineAction;
+use amoeba_platform::{Query, QueryId};
+use amoeba_sim::SimTime;
+use amoeba_telemetry::{
+    FaultKind, FaultRecord, RecoveryKind, RecoveryRecord, TelemetryEvent, TelemetrySink,
+    TickReason, TickRecord,
+};
+
+/// One control period elapsed: reclaim overdue drains, snapshot the
+/// monitor, let the controller decide per unpinned service (riding out
+/// in-flight switches via the ack-deadline machinery), and mirror one
+/// shadow query per IaaS-mode service to keep calibration fed (§III).
+pub(crate) fn on_control_tick(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        monitor,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        bus,
+        queue,
+        drain_deadline,
+        wasted_prewarms,
+        failed_switches,
+        pressure_sum,
+        pressure_samples,
+        horizon_t,
+        n_max,
+        ..
+    } = world;
+    // Drain watchdog: a released IaaS group whose
+    // drained ack is overdue is reclaimed forcibly and
+    // its in-flight queries re-queued on serverless.
+    for idx in 0..services.len() {
+        let overdue = matches!(drain_deadline[idx], Some(dl) if now >= dl);
+        if !overdue {
+            continue;
+        }
+        drain_deadline[idx] = None;
+        let sid = services[idx].sid;
+        let (eff, displaced) = iaas.force_drain(sid, now);
+        bus.extend(eff);
+        if sink.enabled() {
+            sink.record(TelemetryEvent::Fault(FaultRecord {
+                t: now,
+                kind: FaultKind::DrainTimeout,
+                service: Some(idx),
+                queries_displaced: displaced.len() as u64,
+                queries_dropped: 0,
+            }));
+            sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                t: now,
+                kind: RecoveryKind::DrainForced,
+                service: Some(idx),
+                after_s: DRAIN_TIMEOUT_S,
+            }));
+        }
+        for q in displaced {
+            serverless.resume_service(q.service);
+            bus.extend(serverless.submit(q, now, platform_rng));
+        }
+    }
+    let pressures = monitor.pressures();
+    pressure_sum[0] += pressures[0];
+    pressure_sum[1] += pressures[1];
+    pressure_sum[2] += pressures[2];
+    *pressure_samples += 1;
+    let weights = monitor.weights();
+    if exp.variant.switches() {
+        // Feed each unpinned service's forecaster before
+        // any decision this tick. Unconditional (not
+        // sink-gated): the forecast is control-plane
+        // state, so traced and untraced runs stay
+        // bit-identical. A no-op for reactive variants.
+        for idx in 0..services.len() {
+            if !services[idx].pinned {
+                controller.observe_load(idx, now);
+            }
+        }
+        // Current serverless co-tenants with their loads.
+        let others: Vec<(usize, f64)> = (0..services.len())
+            .filter(|&j| {
+                services[j].background || engine.mode(services[j].sid) == DeployMode::Serverless
+            })
+            .map(|j| (j, controller.estimated_load(j, now)))
+            .collect();
+        for idx in 0..services.len() {
+            if services[idx].pinned {
+                continue;
+            }
+            let sid = services[idx].sid;
+            let mode = engine.mode(sid);
+            if engine.in_transition(sid) {
+                // Ack deadline: a lost prewarm/boot ack
+                // must not park the switch forever — retry
+                // with backoff, then roll back (the router
+                // keeps serving from the old platform
+                // throughout, so nothing is dropped).
+                if let Some(act) = engine.poll_deadline(sid, now, sink) {
+                    let (actions, prewarm, rolled_back_after) = match act {
+                        DeadlineAction::Retried {
+                            actions, prewarm, ..
+                        } => (actions, prewarm, None),
+                        DeadlineAction::Aborted {
+                            actions,
+                            prewarm,
+                            requested_at,
+                        } => {
+                            *failed_switches += 1;
+                            (actions, prewarm, Some(now.duration_since(requested_at)))
+                        }
+                    };
+                    *wasted_prewarms += prewarm as u64;
+                    if sink.enabled() {
+                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                            t: now,
+                            kind: FaultKind::AckTimeout,
+                            service: Some(idx),
+                            queries_displaced: 0,
+                            queries_dropped: 0,
+                        }));
+                        if let Some(after) = rolled_back_after {
+                            sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                                t: now,
+                                kind: RecoveryKind::SwitchRolledBack,
+                                service: Some(idx),
+                                after_s: after.as_secs_f64(),
+                            }));
+                        }
+                    }
+                    apply_engine_actions(
+                        actions,
+                        now,
+                        serverless,
+                        iaas,
+                        platform_rng,
+                        bus,
+                        drain_deadline,
+                    );
+                    continue;
+                }
+                // The controller is not consulted while a
+                // switch is in flight, but the tick is
+                // still recorded (decide_explained is
+                // pure, so this costs nothing when the
+                // sink is disabled).
+                if sink.enabled() {
+                    let (_, tr) = controller.decide_explained(
+                        idx,
+                        mode,
+                        now,
+                        engine.last_switch(sid),
+                        pressures,
+                        weights,
+                        &others,
+                    );
+                    sink.record(TelemetryEvent::Tick(TickRecord {
+                        t: now,
+                        service: idx,
+                        mode: mode.into(),
+                        load_qps: tr.load_qps,
+                        mu: tr.mu,
+                        lambda_max: tr.lambda_max,
+                        pressures: tr.pressures,
+                        weights,
+                        decision: Decision::Stay.into(),
+                        reason: TickReason::InTransition,
+                    }));
+                    record_forecast(sink, now, idx, &tr);
+                }
+                continue;
+            }
+            let (decision, tr) = controller.decide_explained(
+                idx,
+                mode,
+                now,
+                engine.last_switch(sid),
+                pressures,
+                weights,
+                &others,
+            );
+            if sink.enabled() {
+                sink.record(TelemetryEvent::Tick(TickRecord {
+                    t: now,
+                    service: idx,
+                    mode: mode.into(),
+                    load_qps: tr.load_qps,
+                    mu: tr.mu,
+                    lambda_max: tr.lambda_max,
+                    pressures: tr.pressures,
+                    weights,
+                    decision: decision.into(),
+                    reason: tr.reason,
+                }));
+                record_forecast(sink, now, idx, &tr);
+            }
+            let load = tr.load_qps;
+            let actions = match decision {
+                Decision::Stay => Vec::new(),
+                Decision::SwitchToServerless => {
+                    let spec = &controller.model(idx).spec;
+                    // Prewarm for the load the decision
+                    // was evaluated at — in proactive
+                    // mode the forecast upper bound, so
+                    // the pool is sized for the load
+                    // arriving by the time it is warm.
+                    let n = prewarm_count(tr.eval_qps, spec.qos_target_s);
+                    let n = ((n as f64 * exp.prewarm_factor).ceil() as u32)
+                        .max(1)
+                        .min(*n_max);
+                    engine.begin_switch(sid, DeployMode::Serverless, n, load, now, sink)
+                }
+                Decision::SwitchToIaas => {
+                    engine.begin_switch(sid, DeployMode::Iaas, 0, load, now, sink)
+                }
+            };
+            apply_engine_actions(
+                actions,
+                now,
+                serverless,
+                iaas,
+                platform_rng,
+                bus,
+                drain_deadline,
+            );
+        }
+        // Shadow traffic: one mirrored query per IaaS-mode
+        // service per tick keeps calibration fed (§III).
+        if exp.variant.uses_pca() {
+            for idx in 0..services.len() {
+                let sid = services[idx].sid;
+                if services[idx].background
+                    || engine.mode(sid) != DeployMode::Iaas
+                    || controller.estimated_load(idx, now) <= 0.0
+                {
+                    continue;
+                }
+                let query = Query {
+                    id: QueryId::shadow_probe(services[idx].next_query_id),
+                    service: sid,
+                    submitted: now,
+                };
+                services[idx].next_query_id += 1;
+                bus.extend(serverless.submit(query, now, platform_rng));
+            }
+        }
+    }
+    let next = now + exp.control_period;
+    if next < *horizon_t {
+        queue.push(next, Ev::ControlTick);
+    }
+}

@@ -1,0 +1,323 @@
+//! Chaos bookkeeping and fault-domain event handlers: the platform
+//! event feed (whose VM boots chaos may fail or delay), the timed
+//! fault calendar, and injected pressure-spike traffic.
+
+use super::{Ev, Experiment, SimWorld};
+use crate::engine::RouteTarget;
+use crate::monitor::ContentionMonitor;
+use amoeba_chaos::{BootOutcome, FaultInjector, TimedFault};
+use amoeba_platform::{ClusterEvent, Query, QueryId, ServiceId};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::{
+    FaultKind, FaultRecord, RecoveryKind, RecoveryRecord, TelemetryEvent, TelemetrySink,
+};
+use std::collections::BTreeMap;
+
+/// Mutable chaos bookkeeping for one run, present only when a
+/// [`FaultPlan`] is attached. Everything here is driven by the
+/// injector's private RNG stream, so attaching a no-op plan leaves the
+/// run bit-identical to a plan-free one.
+///
+/// [`FaultPlan`]: amoeba_chaos::FaultPlan
+pub(crate) struct ChaosRt {
+    pub(crate) injector: FaultInjector,
+    /// Meter heartbeats completing before this time are silently lost.
+    pub(crate) meter_outage_until: [SimTime; 3],
+    /// Pending one-shot latency corruptions per meter.
+    pub(crate) meter_outlier_pending: [u32; 3],
+    /// Queries re-queued after a container crash, keyed by
+    /// (service, query id) — per-service query ids collide across
+    /// services — with the time of the first crash, for recovery-time
+    /// accounting.
+    pub(crate) crash_requeued: BTreeMap<(u32, u64), SimTime>,
+    /// First failed/slow boot per service since the last healthy one.
+    pub(crate) boot_fault_since: Vec<Option<SimTime>>,
+    /// Id counter for injected spike queries.
+    pub(crate) spike_next_id: u64,
+}
+
+/// Handle the chaos-owned completions: spike traffic (swallowed
+/// whole), meter heartbeats lost in an outage window, and meter
+/// samples corrupted by a pending outlier. Returns true when the
+/// outcome must not reach the normal accounting path.
+pub(crate) fn chaos_completion(
+    ch: &mut ChaosRt,
+    outcome: &amoeba_platform::QueryOutcome,
+    now: SimTime,
+    meter_ids: &[ServiceId; 3],
+    monitor: &mut ContentionMonitor,
+) -> bool {
+    if outcome.query.id.is_spike() {
+        return true;
+    }
+    if let Some(m) = meter_ids.iter().position(|&x| x == outcome.query.service) {
+        if now < ch.meter_outage_until[m] {
+            return true; // heartbeat lost in the blackout
+        }
+        if ch.meter_outlier_pending[m] > 0 {
+            ch.meter_outlier_pending[m] -= 1;
+            let factor = ch.injector.plan().outlier_factor;
+            monitor.observe_meter_latency(m, outcome.latency().as_secs_f64() * factor);
+            return true;
+        }
+    }
+    false
+}
+
+/// Deliver one platform-internal event. Serverless events pass
+/// straight through; `VmBootDone` first runs the chaos boot gauntlet —
+/// a boot in flight may fail outright or land late by the plan's
+/// slow-boot multiplier (§V resilience).
+pub(crate) fn on_platform_event(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    ev: ClusterEvent,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        serverless,
+        iaas,
+        platform_rng,
+        iaas_rng,
+        bus,
+        queue,
+        chaos,
+        horizon_t,
+        ..
+    } = world;
+    let eff = match ev {
+        ClusterEvent::ColdStartDone { .. }
+        | ClusterEvent::ServerlessExecDone { .. }
+        | ClusterEvent::ContainerExpire { .. } => serverless.handle(ev, now, platform_rng),
+        ClusterEvent::VmBootDone { service } => {
+            // Chaos may fail or delay a boot in flight;
+            // past the horizon boots always land so the
+            // calendar drains.
+            let mut fate = match chaos.as_mut() {
+                Some(ch) if now < *horizon_t && iaas.is_booting(service) => {
+                    ch.injector.vm_boot_outcome()
+                }
+                _ => BootOutcome::Healthy,
+            };
+            let mult = chaos
+                .as_ref()
+                .map_or(1.0, |c| c.injector.plan().slow_boot_multiplier);
+            if fate == BootOutcome::Slow && mult <= 1.0 {
+                fate = BootOutcome::Healthy;
+            }
+            let idx = service.raw() as usize;
+            match fate {
+                BootOutcome::Fail => {
+                    if let Some(ch) = chaos.as_mut() {
+                        if idx < ch.boot_fault_since.len() && ch.boot_fault_since[idx].is_none() {
+                            ch.boot_fault_since[idx] = Some(now);
+                        }
+                    }
+                    if sink.enabled() {
+                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                            t: now,
+                            kind: FaultKind::VmBootFailure,
+                            service: Some(idx),
+                            queries_displaced: 0,
+                            queries_dropped: 0,
+                        }));
+                    }
+                    iaas.fail_boot(service, now)
+                }
+                BootOutcome::Slow => {
+                    let extra = exp.iaas_cfg.boot_time_s * (mult - 1.0);
+                    queue.push(now + SimDuration::from_secs_f64(extra), Ev::Platform(ev));
+                    if sink.enabled() {
+                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                            t: now,
+                            kind: FaultKind::VmSlowBoot,
+                            service: Some(idx),
+                            queries_displaced: 0,
+                            queries_dropped: 0,
+                        }));
+                    }
+                    Vec::new()
+                }
+                BootOutcome::Healthy => {
+                    if let Some(ch) = chaos.as_mut() {
+                        if idx < ch.boot_fault_since.len() {
+                            if let Some(since) = ch.boot_fault_since[idx].take() {
+                                if sink.enabled() {
+                                    sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                                        t: now,
+                                        kind: RecoveryKind::VmBootSucceeded,
+                                        service: Some(idx),
+                                        after_s: now.duration_since(since).as_secs_f64(),
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                    iaas.handle(ev, now, iaas_rng)
+                }
+            }
+        }
+        ClusterEvent::IaasExecDone { .. } => iaas.handle(ev, now, iaas_rng),
+    };
+    bus.extend(eff);
+}
+
+/// A scheduled fault fires. Container crashes displace or drop the
+/// victim's in-flight query; meter faults poison the monitor's inputs;
+/// pressure spikes schedule a burst of synthetic queries.
+pub(crate) fn on_chaos(
+    world: &mut SimWorld,
+    fault: TimedFault,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        iaas_rng,
+        bus,
+        queue,
+        chaos,
+        warmup_t,
+        ..
+    } = world;
+    if let Some(ch) = chaos.as_mut() {
+        match fault {
+            TimedFault::ContainerCrash => {
+                let total = serverless.total_containers() as usize;
+                let report = if total > 0 {
+                    let victim = ch.injector.pick(total);
+                    let (eff, report) = serverless.crash_container(victim, now, platform_rng);
+                    bus.extend(eff);
+                    report
+                } else {
+                    None // empty pool: the crash is a no-op
+                };
+                if let Some(rep) = report {
+                    let idx = rep.service.raw() as usize;
+                    let mut displaced = 0u64;
+                    let mut dropped = 0u64;
+                    if let Some(q) = rep.displaced {
+                        if q.id.is_shadow() {
+                            // Shadow, meter or spike work:
+                            // nothing waits on it.
+                        } else if ch.injector.drop_crashed_query() {
+                            dropped = 1;
+                            if idx < services.len() && q.submitted >= *warmup_t {
+                                services[idx].failed += 1;
+                            }
+                        } else {
+                            // Re-queue on the current route,
+                            // keeping the original submit time
+                            // so the lost work shows up as
+                            // latency, not as a vanished query.
+                            displaced = 1;
+                            ch.crash_requeued
+                                .entry((q.service.raw(), q.id.raw()))
+                                .or_insert(now);
+                            let target = if idx < services.len() && !services[idx].background {
+                                engine.route(q.service)
+                            } else {
+                                RouteTarget::Serverless
+                            };
+                            match target {
+                                RouteTarget::Serverless => {
+                                    serverless.resume_service(q.service);
+                                    bus.extend(serverless.submit(q, now, platform_rng));
+                                }
+                                RouteTarget::Iaas => {
+                                    bus.extend(iaas.submit(q, now, iaas_rng));
+                                }
+                            }
+                        }
+                    }
+                    if sink.enabled() {
+                        sink.record(TelemetryEvent::Fault(FaultRecord {
+                            t: now,
+                            kind: FaultKind::ContainerCrash,
+                            service: (idx < services.len()).then_some(idx),
+                            queries_displaced: displaced,
+                            queries_dropped: dropped,
+                        }));
+                    }
+                }
+            }
+            TimedFault::MeterOutage => {
+                let m = ch.injector.pick(3);
+                ch.meter_outage_until[m] =
+                    now + SimDuration::from_secs_f64(ch.injector.plan().meter_outage_duration_s);
+                if sink.enabled() {
+                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                        t: now,
+                        kind: FaultKind::MeterOutage,
+                        service: None,
+                        queries_displaced: 0,
+                        queries_dropped: 0,
+                    }));
+                }
+            }
+            TimedFault::MeterOutlier { meter } => {
+                if meter < 3 {
+                    ch.meter_outlier_pending[meter] += 1;
+                }
+                if sink.enabled() {
+                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                        t: now,
+                        kind: FaultKind::MeterOutlier,
+                        service: None,
+                        queries_displaced: 0,
+                        queries_dropped: 0,
+                    }));
+                }
+            }
+            TimedFault::PressureSpike if !services.is_empty() => {
+                let victim = ch.injector.pick(services.len());
+                let sid = services[victim].sid;
+                let plan = ch.injector.plan();
+                let n = (plan.spike_qps * plan.spike_duration_s).ceil() as u64;
+                let qps = plan.spike_qps.max(1e-9);
+                for i in 0..n {
+                    queue.push(
+                        now + SimDuration::from_secs_f64(i as f64 / qps),
+                        Ev::SpikeQuery { sid },
+                    );
+                }
+                if sink.enabled() {
+                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                        t: now,
+                        kind: FaultKind::PressureSpike,
+                        service: Some(victim),
+                        queries_displaced: 0,
+                        queries_dropped: 0,
+                    }));
+                }
+            }
+            TimedFault::PressureSpike => {}
+        }
+    }
+}
+
+/// One query of an injected pressure spike arrives: pure synthetic
+/// load on the shared pool, excluded from every account.
+pub(crate) fn on_spike_query(world: &mut SimWorld, sid: ServiceId, now: SimTime) {
+    let SimWorld {
+        serverless,
+        platform_rng,
+        bus,
+        chaos,
+        ..
+    } = world;
+    if let Some(ch) = chaos.as_mut() {
+        let q = Query {
+            id: QueryId::spike(ch.spike_next_id),
+            service: sid,
+            submitted: now,
+        };
+        ch.spike_next_id += 1;
+        bus.extend(serverless.submit(q, now, platform_rng));
+    }
+}

@@ -1,0 +1,346 @@
+// Indexing `0..3` over the fixed [cpu, io, net] resource axes reads
+// better than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+//! The experiment runtime: a staged event-dispatch kernel that wires
+//! the controller, engine and monitor to the simulated platforms and
+//! runs a full workload.
+//!
+//! One [`Experiment`] describes a scenario — which services run, their
+//! diurnal traces, which [`SystemVariant`] manages them — and
+//! [`Experiment::run`] executes it deterministically for the given seed,
+//! producing per-service latency recordings, resource-usage integrals
+//! and the timelines behind the paper's figures.
+//!
+//! # Kernel structure
+//!
+//! The run is a thin loop over three stages (see DESIGN.md §12):
+//!
+//! ```text
+//! queue.pop() → dispatch(&mut world, ev) → effects::apply(...)
+//! ```
+//!
+//! `world::SimWorld` owns every piece of mutable run state; each
+//! event class is handled by its own module (`arrivals`, `control`,
+//! `metering`, `faults`); platform effects are carried on the
+//! `effects::EffectBus` and applied by `effects::apply`, which
+//! routes completions to `completions` and switch-protocol acks to
+//! `switching`. Handlers never mutate platforms behind the engine's
+//! back: engine decisions go through the `PlatformCommands` trait and
+//! every platform response returns as an effect on the bus.
+
+mod arrivals;
+mod completions;
+mod control;
+mod effects;
+mod faults;
+mod metering;
+mod results;
+mod switching;
+mod world;
+
+pub use results::{BreakdownMeans, RunResult, ServiceResult};
+
+use crate::baselines::SystemVariant;
+use crate::controller::{ControllerConfig, DecisionTrace};
+use crate::monitor::MonitorConfig;
+use amoeba_chaos::{FaultPlan, TimedFault};
+use amoeba_platform::{ClusterEvent, IaasConfig, ServerlessConfig, ServiceId};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::{
+    ForecastRecord, MemorySink, NoopSink, TelemetryEvent, TelemetrySink, Trace,
+};
+use amoeba_workload::{LoadTrace, MicroserviceSpec};
+
+// Re-imports for the submodules and the test module (which glob-import
+// `super::*`): the kernel's shared vocabulary.
+pub(crate) use world::SimWorld;
+
+/// Emit the tick's forecast as a telemetry event, when the decision
+/// carried one (proactive variants with an attached forecaster only).
+/// `realized_qps` stays `None` here — only the report layer, replaying
+/// the trace after the fact, knows what λ turned out to be.
+fn record_forecast(sink: &mut dyn TelemetrySink, now: SimTime, idx: usize, tr: &DecisionTrace) {
+    if let Some(fc) = tr.forecast {
+        sink.record(TelemetryEvent::Forecast(ForecastRecord {
+            t: now,
+            service: idx,
+            horizon_s: fc.horizon.as_secs_f64(),
+            mean_qps: fc.mean,
+            lo_qps: fc.lo,
+            hi_qps: fc.hi,
+            realized_qps: None,
+        }));
+    }
+}
+
+/// One service in an experiment.
+pub struct ServiceSetup {
+    /// The microservice.
+    pub spec: MicroserviceSpec,
+    /// Its load trace.
+    pub trace: LoadTrace,
+    /// Background services are pinned to the serverless platform and
+    /// exist to create contention (§VII-A: float, dd and cloud_stor run
+    /// "with a lower peak load as the background service").
+    pub background: bool,
+}
+
+/// A full experiment description.
+pub struct Experiment {
+    /// Serverless platform configuration.
+    pub serverless_cfg: ServerlessConfig,
+    /// IaaS platform configuration.
+    pub iaas_cfg: IaasConfig,
+    /// Controller tuning.
+    pub controller_cfg: ControllerConfig,
+    /// Monitor tuning.
+    pub monitor_cfg: MonitorConfig,
+    /// Which system manages the services.
+    pub variant: SystemVariant,
+    /// The services and their traces.
+    pub services: Vec<ServiceSetup>,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// Time at the start excluded from latency/QoS accounting (VM boot
+    /// and calibration transients).
+    pub warmup: SimDuration,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Controller tick period.
+    pub control_period: SimDuration,
+    /// Usage/timeline sampling period.
+    pub usage_sample_period: SimDuration,
+    /// Run the background contention meters (disable to measure their
+    /// overhead by difference).
+    pub run_meters: bool,
+    /// Multiplier on the Eq. 7 prewarm count (1.0 = the paper's rule;
+    /// the prewarm ablation sweeps this to expose §V-A's tradeoff:
+    /// too few containers → cold-start violations, too many → wasted
+    /// resources).
+    pub prewarm_factor: f64,
+    /// Optional deterministic fault plan. `None` (the default) runs
+    /// fault-free and is bit-identical to a run without the chaos
+    /// subsystem: the injector draws from its own RNG stream, so it
+    /// never perturbs arrival or platform randomness.
+    pub fault_plan: Option<FaultPlan>,
+    /// How long the engine waits for a prewarm/boot ack before its
+    /// first retry (the per-retry deadline doubles).
+    pub ack_timeout: SimDuration,
+    /// Ack retries before a switch is rolled back as `Aborted`.
+    pub max_ack_retries: u32,
+}
+
+impl Experiment {
+    /// Start describing an experiment. The three arguments every run
+    /// needs are taken up front; everything else defaults and can be
+    /// overridden fluently:
+    ///
+    /// ```ignore
+    /// let exp = Experiment::builder(SystemVariant::Amoeba, horizon, 42)
+    ///     .service(setup)
+    ///     .prewarm_factor(1.5)
+    ///     .build();
+    /// ```
+    pub fn builder(variant: SystemVariant, horizon: SimDuration, seed: u64) -> ExperimentBuilder {
+        ExperimentBuilder {
+            inner: Experiment {
+                serverless_cfg: ServerlessConfig::default(),
+                iaas_cfg: IaasConfig::default(),
+                controller_cfg: ControllerConfig::default(),
+                monitor_cfg: MonitorConfig::default(),
+                variant,
+                services: Vec::new(),
+                horizon,
+                warmup: SimDuration::from_secs(20),
+                seed,
+                control_period: SimDuration::from_secs(1),
+                usage_sample_period: SimDuration::from_millis(500),
+                run_meters: true,
+                prewarm_factor: 1.0,
+                fault_plan: None,
+                ack_timeout: SimDuration::from_secs(30),
+                max_ack_retries: 2,
+            },
+        }
+    }
+
+    /// Execute the experiment with telemetry disabled. Identical to
+    /// [`Experiment::run_with_sink`] with a [`NoopSink`] — same seeds,
+    /// same decisions, same results.
+    pub fn run(&self) -> RunResult {
+        self.run_with_sink(&mut NoopSink)
+    }
+
+    /// Execute the experiment recording the full telemetry stream in
+    /// memory, returning it as a [`Trace`] alongside the results.
+    pub fn run_traced(&self) -> (RunResult, Trace) {
+        let mut sink = MemorySink::new();
+        let result = self.run_with_sink(&mut sink);
+        (result, sink.into_trace())
+    }
+
+    /// Execute the experiment, streaming telemetry events into `sink`.
+    ///
+    /// Every emission is guarded by [`TelemetrySink::enabled`], so a
+    /// disabled sink costs one inlined boolean check per site and no
+    /// allocation; the event stream never feeds back into the run, so
+    /// results are bit-identical whatever sink is attached.
+    ///
+    /// This is the whole kernel: build the `SimWorld`, then pop →
+    /// dispatch → apply-effects until the calendar drains.
+    pub fn run_with_sink(&self, sink: &mut dyn TelemetrySink) -> RunResult {
+        let mut world = world::setup(self, sink);
+        while let Some(fired) = world.queue.pop() {
+            let now = fired.time;
+            dispatch(self, &mut world, fired.payload, now, sink);
+            effects::apply(self, &mut world, now, sink);
+        }
+        results::finish(self, world)
+    }
+}
+
+/// Route one calendar event to its domain handler. Pure fan-out: every
+/// state change happens inside the handler modules, and anything a
+/// platform wants done comes back as an effect on the bus.
+fn dispatch(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    ev: Ev,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    match ev {
+        Ev::Arrival { idx } => arrivals::on_arrival(world, idx, now),
+        Ev::MeterArrival { meter } => metering::on_meter_arrival(world, meter, now),
+        Ev::ControlTick => control::on_control_tick(exp, world, now, sink),
+        Ev::Heartbeat => metering::on_heartbeat(world, now, sink),
+        Ev::UsageSample => metering::on_usage_sample(exp, world, now),
+        Ev::Platform(pe) => faults::on_platform_event(exp, world, pe, now, sink),
+        Ev::Chaos(fault) => faults::on_chaos(world, fault, now, sink),
+        Ev::SpikeQuery { sid } => faults::on_spike_query(world, sid, now),
+    }
+}
+
+/// The calendar's event vocabulary. Platform-internal progress arrives
+/// as [`Ev::Platform`]; everything else is runtime-scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ev {
+    Platform(ClusterEvent),
+    Arrival {
+        idx: usize,
+    },
+    MeterArrival {
+        meter: usize,
+    },
+    ControlTick,
+    Heartbeat,
+    UsageSample,
+    /// A scheduled fault fires (only present when a plan is attached).
+    Chaos(TimedFault),
+    /// One query of an injected pressure spike arrives.
+    SpikeQuery {
+        sid: ServiceId,
+    },
+}
+
+/// Fluent constructor for [`Experiment`], from [`Experiment::builder`].
+///
+/// Field-by-field struct updates made every new experiment knob a
+/// breaking change at each call site; the builder keeps construction
+/// stable as knobs accrue. Setters may be called in any order and
+/// later calls win.
+pub struct ExperimentBuilder {
+    inner: Experiment,
+}
+
+impl ExperimentBuilder {
+    /// Add one service to the scenario (in registration order).
+    pub fn service(mut self, setup: ServiceSetup) -> Self {
+        self.inner.services.push(setup);
+        self
+    }
+
+    /// Add a batch of services (appended after any added so far).
+    pub fn services(mut self, setups: Vec<ServiceSetup>) -> Self {
+        self.inner.services.extend(setups);
+        self
+    }
+
+    /// Override the serverless platform configuration.
+    pub fn serverless_cfg(mut self, cfg: ServerlessConfig) -> Self {
+        self.inner.serverless_cfg = cfg;
+        self
+    }
+
+    /// Override the IaaS platform configuration.
+    pub fn iaas_cfg(mut self, cfg: IaasConfig) -> Self {
+        self.inner.iaas_cfg = cfg;
+        self
+    }
+
+    /// Override the controller tuning.
+    pub fn controller_cfg(mut self, cfg: ControllerConfig) -> Self {
+        self.inner.controller_cfg = cfg;
+        self
+    }
+
+    /// Override the monitor tuning.
+    pub fn monitor_cfg(mut self, cfg: MonitorConfig) -> Self {
+        self.inner.monitor_cfg = cfg;
+        self
+    }
+
+    /// Time at the start excluded from latency/QoS accounting.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.inner.warmup = warmup;
+        self
+    }
+
+    /// Controller tick period.
+    pub fn control_period(mut self, period: SimDuration) -> Self {
+        self.inner.control_period = period;
+        self
+    }
+
+    /// Usage/timeline sampling period.
+    pub fn usage_sample_period(mut self, period: SimDuration) -> Self {
+        self.inner.usage_sample_period = period;
+        self
+    }
+
+    /// Run (or disable) the background contention meters.
+    pub fn run_meters(mut self, run: bool) -> Self {
+        self.inner.run_meters = run;
+        self
+    }
+
+    /// Multiplier on the Eq. 7 prewarm count.
+    pub fn prewarm_factor(mut self, factor: f64) -> Self {
+        self.inner.prewarm_factor = factor;
+        self
+    }
+
+    /// Attach a deterministic fault plan (see [`amoeba_chaos`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the switch-protocol ack deadline policy: the first
+    /// retry fires `timeout` after the request (doubling per retry),
+    /// and after `max_retries` retries the switch is rolled back.
+    pub fn ack_policy(mut self, timeout: SimDuration, max_retries: u32) -> Self {
+        self.inner.ack_timeout = timeout;
+        self.inner.max_ack_retries = max_retries;
+        self
+    }
+
+    /// Finish: the described experiment, ready to [`Experiment::run`].
+    pub fn build(self) -> Experiment {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests;

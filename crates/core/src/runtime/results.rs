@@ -1,0 +1,239 @@
+//! Result assembly: the public result types and the fold from a
+//! drained [`SimWorld`] into a [`RunResult`].
+
+use super::{Experiment, SimWorld};
+use crate::baselines::SystemVariant;
+use crate::controller::DeployMode;
+use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageSummary};
+use amoeba_platform::LatencyBreakdown;
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::WarmSampleRecord;
+
+/// Mean serverless latency breakdown (warm executions only) — Fig. 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BreakdownMeans {
+    /// Samples aggregated.
+    pub count: usize,
+    /// Mean auth/processing overhead, s.
+    pub auth_s: f64,
+    /// Mean code-loading overhead, s.
+    pub code_load_s: f64,
+    /// Mean result-posting overhead, s.
+    pub result_post_s: f64,
+    /// Mean execution time, s.
+    pub exec_s: f64,
+    /// Mean queueing time, s.
+    pub queue_s: f64,
+}
+
+impl BreakdownMeans {
+    pub(crate) fn add(&mut self, b: &LatencyBreakdown) {
+        let n = self.count as f64;
+        let upd = |mean: &mut f64, v: f64| *mean = (*mean * n + v) / (n + 1.0);
+        upd(&mut self.auth_s, b.auth.as_secs_f64());
+        upd(&mut self.code_load_s, b.code_load.as_secs_f64());
+        upd(&mut self.result_post_s, b.result_post.as_secs_f64());
+        upd(&mut self.exec_s, b.exec.as_secs_f64());
+        upd(&mut self.queue_s, b.queue_wait.as_secs_f64());
+        self.count += 1;
+    }
+
+    /// Rebuild the Fig. 4 means from a telemetry trace's warm samples.
+    /// Uses the same incremental fold as the in-run accumulation, so for
+    /// a full-run trace the values are bit-identical to
+    /// [`ServiceResult::breakdown`].
+    pub fn from_warm_samples<'a>(samples: impl Iterator<Item = &'a WarmSampleRecord>) -> Self {
+        let mut out = BreakdownMeans::default();
+        for s in samples {
+            let n = out.count as f64;
+            let upd = |mean: &mut f64, v: f64| *mean = (*mean * n + v) / (n + 1.0);
+            upd(&mut out.auth_s, s.auth_s);
+            upd(&mut out.code_load_s, s.code_load_s);
+            upd(&mut out.result_post_s, s.result_post_s);
+            upd(&mut out.exec_s, s.exec_s);
+            out.count += 1;
+        }
+        out
+    }
+
+    /// The Fig. 4 overhead share: (auth + code load + post) / total
+    /// (queueing excluded, as in the paper's breakdown experiment).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.auth_s + self.code_load_s + self.result_post_s + self.exec_s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.auth_s + self.code_load_s + self.result_post_s) / total
+    }
+}
+
+/// Per-service results of a run.
+pub struct ServiceResult {
+    /// Service name.
+    pub name: String,
+    /// Was it a background service?
+    pub background: bool,
+    /// QoS target, seconds.
+    pub qos_target_s: f64,
+    /// QoS percentile.
+    pub qos_percentile: f64,
+    /// All end-to-end latencies (post-warmup).
+    pub latency: LatencyRecorder,
+    /// Resource usage integrals.
+    pub usage: UsageSummary,
+    /// Deploy-mode switches: (time, new mode, load at switch) — Fig. 12.
+    pub switch_history: Vec<(SimTime, DeployMode, f64)>,
+    /// Estimated load over time.
+    pub load_timeline: TimeSeries<f64>,
+    /// Allocated cores over time — Fig. 13.
+    pub cores_timeline: TimeSeries<f64>,
+    /// Allocated memory (MB) over time — Fig. 13.
+    pub mem_timeline: TimeSeries<f64>,
+    /// Deploy mode over time (0 = IaaS, 1 = serverless).
+    pub mode_timeline: TimeSeries<f64>,
+    /// Mean serverless warm-execution breakdown — Fig. 4.
+    pub breakdown: BreakdownMeans,
+    /// Queries submitted (post-warmup).
+    pub submitted: usize,
+    /// Queries completed (post-warmup submissions).
+    pub completed: usize,
+    /// Queries explicitly lost to injected faults (post-warmup): a
+    /// container crash whose in-flight query was dropped rather than
+    /// re-queued. Always zero without a fault plan; conservation is
+    /// `submitted == completed + failed`.
+    pub failed: usize,
+    /// Completed queries that executed on the serverless platform.
+    pub serverless_queries: usize,
+    /// Serverless-executed queries over the QoS target — where cold
+    /// starts and pool contention land (Fig. 16's effect lives here).
+    pub serverless_violations: usize,
+    /// Billing-relevant aggregates split by platform (IaaS rent vs
+    /// per-invocation serverless), for the maintainer-cost experiments.
+    pub billable: BillableUsage,
+}
+
+impl ServiceResult {
+    /// Fraction of queries over the QoS target.
+    pub fn violation_ratio(&self) -> f64 {
+        self.latency
+            .violation_ratio(SimDuration::from_secs_f64(self.qos_target_s))
+    }
+
+    /// Violation ratio among serverless-executed queries only.
+    pub fn serverless_violation_ratio(&self) -> f64 {
+        if self.serverless_queries == 0 {
+            return 0.0;
+        }
+        self.serverless_violations as f64 / self.serverless_queries as f64
+    }
+
+    /// The r-ile latency in seconds (r = the spec's QoS percentile).
+    pub fn qos_latency(&mut self) -> Option<f64> {
+        let q = self.qos_percentile;
+        self.latency.quantile(q).map(|d| d.as_secs_f64())
+    }
+
+    /// Does the run meet the paper's QoS definition (r-ile ≤ target)?
+    pub fn qos_met(&mut self) -> bool {
+        match self.qos_latency() {
+            Some(l) => l <= self.qos_target_s,
+            None => true,
+        }
+    }
+}
+
+/// The result of one experiment run.
+pub struct RunResult {
+    /// Which system ran.
+    pub variant: SystemVariant,
+    /// Per-service results, in the order of [`Experiment::services`].
+    pub services: Vec<ServiceResult>,
+    /// Mean CPU fraction of the node consumed by the three contention
+    /// meters (§VII-E overhead accounting).
+    pub meter_cpu_overhead: f64,
+    /// Final Eq. 6 weights.
+    pub final_weights: [f64; 3],
+    /// Mean measured pressures over the run.
+    pub mean_pressures: [f64; 3],
+    /// Total cold starts on the serverless platform.
+    pub cold_starts: u64,
+    /// Final per-service calibration gains (diagnostics).
+    pub final_gains: Vec<f64>,
+    /// The simulated horizon.
+    pub horizon: SimDuration,
+    /// Prewarmed containers thrown away by ack-deadline retries and
+    /// rollbacks (each retry re-issues the full prewarm).
+    pub wasted_prewarms: u64,
+    /// Switches rolled back (`Aborted`) after exhausting ack retries.
+    pub failed_switches: u64,
+}
+
+/// The calendar has drained: fold the world's accumulated state into
+/// the public result types.
+pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
+    let SimWorld {
+        serverless,
+        controller,
+        monitor,
+        engine,
+        services,
+        wasted_prewarms,
+        failed_switches,
+        meter_core_seconds,
+        pressure_sum,
+        pressure_samples,
+        horizon_t,
+        ..
+    } = world;
+    let final_weights = monitor.weights();
+    let mean_pressures = if pressure_samples > 0 {
+        [
+            pressure_sum[0] / pressure_samples as f64,
+            pressure_sum[1] / pressure_samples as f64,
+            pressure_sum[2] / pressure_samples as f64,
+        ]
+    } else {
+        [0.0; 3]
+    };
+    let node_core_seconds = exp.serverless_cfg.node.cores * exp.horizon.as_secs_f64();
+    let results: Vec<ServiceResult> = services
+        .into_iter()
+        .enumerate()
+        .map(|(idx, s)| ServiceResult {
+            name: exp.services[idx].spec.name.clone(),
+            background: s.background,
+            qos_target_s: exp.services[idx].spec.qos_target_s,
+            qos_percentile: exp.services[idx].spec.qos_percentile,
+            latency: s.recorder,
+            usage: s.usage.finish(horizon_t),
+            switch_history: engine.history(s.sid).to_vec(),
+            load_timeline: s.load_timeline,
+            cores_timeline: s.cores_timeline,
+            mem_timeline: s.mem_timeline,
+            mode_timeline: s.mode_timeline,
+            breakdown: s.breakdown,
+            submitted: s.submitted,
+            completed: s.completed,
+            failed: s.failed,
+            serverless_queries: s.serverless_queries,
+            serverless_violations: s.serverless_violations,
+            billable: BillableUsage {
+                invocations: s.serverless_queries as u64,
+                ..s.billable
+            },
+        })
+        .collect();
+    let final_gains = (0..results.len()).map(|i| controller.gain(i)).collect();
+    RunResult {
+        variant: exp.variant,
+        services: results,
+        meter_cpu_overhead: meter_core_seconds / node_core_seconds,
+        final_weights,
+        mean_pressures,
+        cold_starts: serverless.cold_start_count(),
+        final_gains,
+        horizon: exp.horizon,
+        wasted_prewarms,
+        failed_switches,
+    }
+}

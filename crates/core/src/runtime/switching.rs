@@ -1,0 +1,184 @@
+//! The switch protocol's effect-side handlers (§V-B): prewarm and VM
+//! boot acknowledgements flip the router through the engine, and the
+//! drained ack (or its watchdog) reclaims the old side.
+
+use super::effects::EffectBus;
+use super::world::SimPlatforms;
+use super::SimWorld;
+use crate::controller::DeployMode;
+use crate::engine::{dispatch_actions, EngineAction};
+use amoeba_platform::{IaasPlatform, ServerlessPlatform, ServiceId};
+use amoeba_sim::{SimDuration, SimRng, SimTime};
+use amoeba_telemetry::{
+    FaultKind, FaultRecord, SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink,
+};
+
+/// How long the runtime waits for the old IaaS side's `IaasDrained`
+/// ack after a switch completes before forcibly reclaiming the group.
+/// The §V shutdown step must terminate even if completions are lost.
+pub(crate) const DRAIN_TIMEOUT_S: f64 = 60.0;
+
+/// Arm the drain watchdog for every `ReleaseVms` among `actions`: if
+/// the group's `IaasDrained` ack never arrives, the first control tick
+/// past the deadline reclaims it forcibly.
+pub(crate) fn note_vm_releases(
+    actions: &[EngineAction],
+    now: SimTime,
+    drain_deadline: &mut [Option<SimTime>],
+) {
+    for a in actions {
+        if let EngineAction::ReleaseVms { service } = a {
+            let idx = service.raw() as usize;
+            if idx < drain_deadline.len() {
+                drain_deadline[idx] = Some(now + SimDuration::from_secs_f64(DRAIN_TIMEOUT_S));
+            }
+        }
+    }
+}
+
+/// Carry one batch of engine actions to the platforms: arm the drain
+/// watchdog for releases, then dispatch through [`PlatformCommands`]
+/// with responses landing on the effect bus. This is the *only* path
+/// from an engine decision to platform state.
+///
+/// [`PlatformCommands`]: crate::engine::PlatformCommands
+pub(crate) fn apply_engine_actions(
+    actions: Vec<EngineAction>,
+    now: SimTime,
+    serverless: &mut ServerlessPlatform,
+    iaas: &mut IaasPlatform,
+    platform_rng: &mut SimRng,
+    bus: &mut EffectBus,
+    drain_deadline: &mut [Option<SimTime>],
+) {
+    note_vm_releases(&actions, now, drain_deadline);
+    dispatch_actions(
+        actions,
+        now,
+        &mut SimPlatforms {
+            serverless,
+            iaas,
+            rng: platform_rng,
+            effects: bus.pending_mut(),
+        },
+    );
+}
+
+/// The serverless side acked a prewarm: unless chaos eats the ack on
+/// the wire, the engine completes the switch-down and the old IaaS
+/// side is released (watchdogged).
+pub(crate) fn on_prewarm_ready(
+    world: &mut SimWorld,
+    service: ServiceId,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        bus,
+        chaos,
+        drain_deadline,
+        ..
+    } = world;
+    if (service.raw() as usize) < services.len() {
+        let idx = service.raw() as usize;
+        // Chaos can lose the ack on the wire; the
+        // engine's deadline retry recovers it.
+        if let Some(ch) = chaos.as_mut() {
+            if engine.in_transition(service) && ch.injector.drop_prewarm_ack() {
+                if sink.enabled() {
+                    sink.record(TelemetryEvent::Fault(FaultRecord {
+                        t: now,
+                        kind: FaultKind::AckDropped,
+                        service: Some(idx),
+                        queries_displaced: 0,
+                        queries_dropped: 0,
+                    }));
+                }
+                return;
+            }
+        }
+        let load = controller.estimated_load(idx, now);
+        let actions = engine.on_ready(service, DeployMode::Serverless, load, now, sink);
+        apply_engine_actions(
+            actions,
+            now,
+            serverless,
+            iaas,
+            platform_rng,
+            bus,
+            drain_deadline,
+        );
+    }
+}
+
+/// The IaaS side acked its VM group boot: the engine completes the
+/// switch-up and releases the serverless pool.
+pub(crate) fn on_vm_group_ready(
+    world: &mut SimWorld,
+    service: ServiceId,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        bus,
+        drain_deadline,
+        ..
+    } = world;
+    if (service.raw() as usize) < services.len() {
+        let idx = service.raw() as usize;
+        let load = controller.estimated_load(idx, now);
+        let actions = engine.on_ready(service, DeployMode::Iaas, load, now, sink);
+        apply_engine_actions(
+            actions,
+            now,
+            serverless,
+            iaas,
+            platform_rng,
+            bus,
+            drain_deadline,
+        );
+    }
+}
+
+/// The old IaaS side has finished its in-flight queries: the span's
+/// terminal step. Disarms the drain watchdog.
+pub(crate) fn on_iaas_drained(
+    world: &mut SimWorld,
+    service: ServiceId,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        drain_deadline,
+        ..
+    } = world;
+    if (service.raw() as usize) < services.len() {
+        drain_deadline[service.raw() as usize] = None;
+    }
+    if sink.enabled() && (service.raw() as usize) < services.len() {
+        let idx = service.raw() as usize;
+        sink.record(TelemetryEvent::Switch(SwitchRecord {
+            t: now,
+            service: idx,
+            from: DeployMode::Iaas.into(),
+            to: DeployMode::Serverless.into(),
+            phase: SwitchPhase::Drained,
+            prewarm_count: 0,
+            load_qps: controller.estimated_load(idx, now),
+        }));
+    }
+}

@@ -1,0 +1,256 @@
+use super::*;
+use amoeba_workload::{benchmarks, DiurnalPattern};
+
+/// The standard scenario: one foreground benchmark plus the paper's
+/// three background services at low peak (§VII-A), on a compressed
+/// day.
+fn scenario(fg: MicroserviceSpec, day_s: f64) -> Vec<ServiceSetup> {
+    let fg_trace = LoadTrace::new(DiurnalPattern::didi(), fg.peak_qps, day_s);
+    let mut setups = vec![ServiceSetup {
+        spec: fg,
+        trace: fg_trace,
+        background: false,
+    }];
+    for (spec, frac) in [
+        (benchmarks::float(), 0.2),
+        (benchmarks::dd(), 0.15),
+        (benchmarks::cloud_stor(), 0.2),
+    ] {
+        let peak = spec.peak_qps * frac;
+        let mut bg = spec;
+        bg.name = format!("bg_{}", bg.name);
+        setups.push(ServiceSetup {
+            trace: LoadTrace::new(DiurnalPattern::didi(), peak, day_s),
+            spec: bg,
+            background: true,
+        });
+    }
+    setups
+}
+
+fn run(variant: SystemVariant, day_s: f64, seed: u64) -> RunResult {
+    run_pub(variant, day_s, seed)
+}
+
+pub(crate) fn run_pub(variant: SystemVariant, day_s: f64, seed: u64) -> RunResult {
+    let services = scenario(benchmarks::float(), day_s);
+    let horizon = SimDuration::from_secs_f64(day_s);
+    Experiment::builder(variant, horizon, seed)
+        .services(services)
+        .build()
+        .run()
+}
+
+#[test]
+fn nameko_meets_qos_and_never_switches() {
+    let mut r = run(SystemVariant::Nameko, 240.0, 1);
+    let fg = &mut r.services[0];
+    assert!(fg.completed > 1000, "completed {}", fg.completed);
+    assert!(
+        fg.qos_met(),
+        "p95 {:?} target {}",
+        fg.qos_latency(),
+        fg.qos_target_s
+    );
+    assert!(fg.switch_history.is_empty());
+    // All queries ran on IaaS => no serverless breakdown samples.
+    assert_eq!(fg.breakdown.count, 0);
+}
+
+#[test]
+fn openwhisk_runs_everything_serverless() {
+    let mut r = run(SystemVariant::OpenWhisk, 240.0, 2);
+    let fg = &mut r.services[0];
+    assert!(fg.completed > 1000);
+    assert!(fg.breakdown.count > 0, "serverless executions recorded");
+    assert!(fg.switch_history.is_empty());
+    // OpenWhisk allocates no IaaS cores for the foreground service;
+    // usage must be far below the Nameko run.
+    let mut nameko = run(SystemVariant::Nameko, 240.0, 2);
+    let ratio = fg.usage.cpu_relative_to(&nameko.services[0].usage);
+    assert!(ratio < 0.6, "openwhisk/nameko cpu ratio {ratio}");
+    let _ = &mut nameko;
+}
+
+#[test]
+fn amoeba_switches_and_saves_resources_while_meeting_qos() {
+    let mut amoeba = run(SystemVariant::Amoeba, 360.0, 3);
+    let mut nameko = run(SystemVariant::Nameko, 360.0, 3);
+    let fg = &mut amoeba.services[0];
+    assert!(
+        !fg.switch_history.is_empty(),
+        "Amoeba should switch at least once on a diurnal day"
+    );
+    assert!(
+        fg.qos_met(),
+        "p95 {:?} target {}",
+        fg.qos_latency(),
+        fg.qos_target_s
+    );
+    let nk = &mut nameko.services[0];
+    assert!(nk.qos_met());
+    let cpu_ratio = fg.usage.cpu_relative_to(&nk.usage);
+    let mem_ratio = fg.usage.mem_relative_to(&nk.usage);
+    assert!(cpu_ratio < 0.95, "Amoeba cpu ratio vs Nameko: {cpu_ratio}");
+    assert!(mem_ratio < 0.95, "Amoeba mem ratio vs Nameko: {mem_ratio}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(SystemVariant::Amoeba, 120.0, 7);
+    let b = run(SystemVariant::Amoeba, 120.0, 7);
+    assert_eq!(a.services[0].completed, b.services[0].completed);
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert_eq!(
+        a.services[0].switch_history.len(),
+        b.services[0].switch_history.len()
+    );
+    let c = run(SystemVariant::Amoeba, 120.0, 8);
+    // Different seed: almost surely different counts.
+    assert_ne!(a.services[0].completed, c.services[0].completed);
+}
+
+#[test]
+fn conservation_of_queries() {
+    let r = run(SystemVariant::Amoeba, 240.0, 11);
+    for s in &r.services {
+        // Everything submitted post-warmup eventually completes (the
+        // loop drains all events past the horizon), and nothing can
+        // fail without an injected fault.
+        assert_eq!(s.submitted, s.completed, "{}", s.name);
+        assert_eq!(s.failed, 0, "{}", s.name);
+    }
+    assert_eq!(r.failed_switches, 0);
+    assert_eq!(r.wasted_prewarms, 0);
+}
+
+fn run_with_plan(
+    variant: SystemVariant,
+    day_s: f64,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> RunResult {
+    let services = scenario(benchmarks::float(), day_s);
+    let horizon = SimDuration::from_secs_f64(day_s);
+    let mut b = Experiment::builder(variant, horizon, seed).services(services);
+    if let Some(p) = plan {
+        b = b.fault_plan(p);
+    }
+    b.build().run()
+}
+
+#[test]
+fn noop_fault_plan_is_bit_identical_to_no_plan() {
+    // A zero-rate plan builds the injector (which draws only from
+    // its private stream) but schedules nothing: the run must match
+    // a plan-free run exactly.
+    let bare = run_with_plan(SystemVariant::Amoeba, 240.0, 23, None);
+    let noop = run_with_plan(SystemVariant::Amoeba, 240.0, 23, Some(FaultPlan::default()));
+    for (a, b) in bare.services.iter().zip(&noop.services) {
+        assert_eq!(a.submitted, b.submitted, "{}", a.name);
+        assert_eq!(a.completed, b.completed, "{}", a.name);
+    }
+    assert_eq!(bare.cold_starts, noop.cold_starts);
+    assert_eq!(bare.final_weights, noop.final_weights);
+}
+
+#[test]
+fn chaos_runs_conserve_queries_and_stay_deterministic() {
+    let plan = FaultPlan::mixed();
+    let a = run_with_plan(SystemVariant::Amoeba, 240.0, 29, Some(plan.clone()));
+    for s in &a.services {
+        assert_eq!(s.submitted, s.completed + s.failed, "{}", s.name);
+    }
+    let b = run_with_plan(SystemVariant::Amoeba, 240.0, 29, Some(plan));
+    for (x, y) in a.services.iter().zip(&b.services) {
+        assert_eq!(x.completed, y.completed, "{}", x.name);
+        assert_eq!(x.failed, y.failed, "{}", x.name);
+    }
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert_eq!(a.failed_switches, b.failed_switches);
+    assert_eq!(a.wasted_prewarms, b.wasted_prewarms);
+}
+
+#[test]
+fn meter_overhead_is_small() {
+    let r = run(SystemVariant::Amoeba, 240.0, 13);
+    assert!(
+        r.meter_cpu_overhead < 0.02,
+        "meter overhead {} should be ~1% as in §VII-E",
+        r.meter_cpu_overhead
+    );
+    assert!(r.meter_cpu_overhead > 0.0, "meters did run");
+}
+
+#[test]
+fn weights_depart_from_uniform_with_pca() {
+    let r = run(SystemVariant::Amoeba, 240.0, 17);
+    let w = r.final_weights;
+    assert!(
+        (w.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+        "PCA weights normalised: {w:?}"
+    );
+    let nom = run(SystemVariant::AmoebaNoM, 240.0, 17);
+    assert_eq!(nom.final_weights, [1.0; 3], "NoM keeps uniform weights");
+}
+
+#[test]
+fn nop_violates_qos_via_cold_starts() {
+    // The NoP ablation routes queries to serverless with no prewarm;
+    // right after each switch a batch of queries eats 1-3 s cold
+    // starts, which a 0.2 s QoS target cannot absorb.
+    let mut nop = run(SystemVariant::AmoebaNoP, 360.0, 19);
+    let mut amoeba = run(SystemVariant::Amoeba, 360.0, 19);
+    let v_nop = nop.services[0].violation_ratio();
+    let v_amoeba = amoeba.services[0].violation_ratio();
+    let sw = nop.services[0].switch_history.len();
+    if sw > 0 {
+        assert!(
+            v_nop > v_amoeba,
+            "NoP ({v_nop}) must violate more than Amoeba ({v_amoeba})"
+        );
+    }
+    let _ = (&mut nop, &mut amoeba);
+}
+
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn dump_amoeba_run() {
+        let mut r = run_pub(SystemVariant::Amoeba, 360.0, 3);
+        let nameko = run_pub(SystemVariant::Nameko, 360.0, 3);
+        let fg = &mut r.services[0];
+        println!("switches: {:?}", fg.switch_history);
+        println!(
+            "weights: {:?}, pressures: {:?}",
+            r.final_weights, r.mean_pressures
+        );
+        println!("violations: {}", fg.violation_ratio());
+        println!("p95: {:?} target {}", fg.qos_latency(), fg.qos_target_s);
+        println!("cold starts: {}", r.cold_starts);
+        for (t, m) in fg.mode_timeline.samples().iter().step_by(20) {
+            let c = fg.cores_timeline.at(*t).copied().unwrap_or(0.0);
+            let mem = fg.mem_timeline.at(*t).copied().unwrap_or(0.0);
+            let l = fg.load_timeline.at(*t).copied().unwrap_or(0.0);
+            println!(
+                "t={:>8} mode={} cores={:>6.1} mem={:>8.0} load={:>6.1}",
+                format!("{t}"),
+                m,
+                c,
+                mem,
+                l
+            );
+        }
+        println!(
+            "amoeba core-s {} mem-s {}",
+            fg.usage.core_seconds, fg.usage.mem_mb_seconds
+        );
+        let nk = &nameko.services[0];
+        println!(
+            "nameko core-s {} mem-s {}",
+            nk.usage.core_seconds, nk.usage.mem_mb_seconds
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! [`SimWorld`]: the mutable state of one run, plus its construction.
+//!
+//! Every event handler receives `&mut SimWorld` and destructures the
+//! fields it needs, so the borrow checker sees disjoint field borrows
+//! instead of one opaque blob — the property that lets the kernel's
+//! match arms live in separate modules without cloning state around.
+
+use super::effects::EffectBus;
+use super::faults::ChaosRt;
+use super::{Ev, Experiment};
+use crate::baselines::SystemVariant;
+use crate::controller::{DeployMode, DeploymentController, ProactiveConfig, ServiceModel};
+use crate::engine::{HybridEngine, PlatformCommands};
+use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
+use crate::runtime::results::BreakdownMeans;
+use amoeba_chaos::FaultInjector;
+use amoeba_forecast::HoltWintersDiurnal;
+use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve};
+use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter};
+use amoeba_platform::{Effect, IaasPlatform, ServerlessPlatform, ServiceId};
+use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba_telemetry::{ServiceInfo, TelemetryEvent, TelemetrySink};
+use amoeba_workload::{ArrivalProcess, PoissonArrivals};
+use std::collections::BTreeMap;
+
+/// Per-service mutable run state: arrival stream, recorders, counters.
+pub(crate) struct ServiceRt {
+    pub(crate) sid: ServiceId,
+    pub(crate) background: bool,
+    pub(crate) pinned: bool,
+    pub(crate) arrivals: PoissonArrivals,
+    pub(crate) exhausted: bool,
+    pub(crate) recorder: LatencyRecorder,
+    pub(crate) usage: UsageMeter,
+    pub(crate) load_timeline: TimeSeries<f64>,
+    pub(crate) cores_timeline: TimeSeries<f64>,
+    pub(crate) mem_timeline: TimeSeries<f64>,
+    pub(crate) mode_timeline: TimeSeries<f64>,
+    pub(crate) breakdown: BreakdownMeans,
+    pub(crate) submitted: usize,
+    pub(crate) completed: usize,
+    pub(crate) failed: usize,
+    pub(crate) serverless_queries: usize,
+    pub(crate) serverless_violations: usize,
+    pub(crate) billable: BillableUsage,
+    pub(crate) next_query_id: u64,
+}
+
+/// All mutable state of one experiment run. Built by [`setup`],
+/// consumed by `results::finish`.
+pub(crate) struct SimWorld {
+    pub(crate) serverless: ServerlessPlatform,
+    pub(crate) iaas: IaasPlatform,
+    pub(crate) controller: DeploymentController,
+    pub(crate) monitor: ContentionMonitor,
+    pub(crate) engine: HybridEngine,
+    pub(crate) services: Vec<ServiceRt>,
+    pub(crate) meter_ids: [ServiceId; 3],
+    /// The event calendar driving the run.
+    pub(crate) queue: EventQueue<Ev>,
+    /// Pending platform effects, drained after every dispatched event.
+    pub(crate) bus: EffectBus,
+    pub(crate) platform_rng: SimRng,
+    pub(crate) iaas_rng: SimRng,
+    /// Chaos bookkeeping, present only when a fault plan is attached.
+    pub(crate) chaos: Option<ChaosRt>,
+    /// Drain watchdog deadlines, armed per `ReleaseVms`.
+    pub(crate) drain_deadline: Vec<Option<SimTime>>,
+    pub(crate) wasted_prewarms: u64,
+    pub(crate) failed_switches: u64,
+    pub(crate) meter_core_seconds: f64,
+    pub(crate) last_usage_sample: SimTime,
+    pub(crate) pressure_sum: [f64; 3],
+    pub(crate) pressure_samples: usize,
+    pub(crate) meter_next_id: u64,
+    /// End of the simulated horizon (no periodic event re-arms past it).
+    pub(crate) horizon_t: SimTime,
+    /// Outcomes of queries submitted before this are not recorded.
+    pub(crate) warmup_t: SimTime,
+    pub(crate) heartbeat_period: SimDuration,
+    /// The per-tenant container cap, for the Eq. 7 prewarm clamp.
+    pub(crate) n_max: u32,
+}
+
+/// Build the world: fork the RNG streams, register services and meters
+/// on both platforms, construct controller/monitor/engine, seed the
+/// event calendar and pre-draw the chaos fault calendar. The RNG fork
+/// and registration order here is part of the determinism contract —
+/// reordering anything reshuffles every downstream draw.
+pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld {
+    let mut master_rng = SimRng::seed_from_u64(exp.seed);
+    let platform_rng = master_rng.fork();
+    let iaas_rng = master_rng.fork();
+
+    let mut serverless = ServerlessPlatform::new(exp.serverless_cfg);
+    let mut iaas = IaasPlatform::new(exp.iaas_cfg);
+    // Proactive variants look ahead by exactly the switch latency in
+    // each direction: a switch up waits on the VM boot, a switch
+    // down on the container prewarm, and either decision lands one
+    // control period after it is made.
+    let mut controller_cfg = exp.controller_cfg;
+    if exp.variant.proactive() && controller_cfg.proactive.is_none() {
+        controller_cfg.proactive = Some(ProactiveConfig {
+            up_horizon: SimDuration::from_secs_f64(exp.iaas_cfg.boot_time_s) + exp.control_period,
+            down_horizon: SimDuration::from_secs_f64(exp.serverless_cfg.cold_start_median_s)
+                + exp.control_period,
+        });
+    }
+    let mut controller = DeploymentController::new(controller_cfg);
+
+    let n_max = exp
+        .serverless_cfg
+        .tenant_container_cap
+        .min(exp.serverless_cfg.memory_container_cap());
+    let caps = [
+        exp.serverless_cfg.node.cores,
+        exp.serverless_cfg.node.disk_bw_mbps,
+        exp.serverless_cfg.node.nic_bw_mbps,
+    ];
+
+    // Register every service on both platforms (ids must align) and
+    // build its controller model from analytic profiling.
+    let mut services: Vec<ServiceRt> = Vec::new();
+    for setup in &exp.services {
+        let sid = serverless.register(setup.spec.clone());
+        let iid = iaas.register(setup.spec.clone());
+        assert_eq!(sid, iid, "platform id mismatch");
+        let phases = serverless.service_phases(sid);
+        let overhead = serverless.overhead_seconds(sid);
+        let l0 = serverless.solo_latency_seconds(sid);
+        let rates = serverless.service_rates(sid);
+        let rate_arr = [rates.cpu_cores, rates.io_mbps, rates.net_mbps];
+        let mut loads: Vec<f64> = vec![
+            0.5,
+            setup.spec.peak_qps * 0.25,
+            setup.spec.peak_qps * 0.5,
+            setup.spec.peak_qps * 0.75,
+            setup.spec.peak_qps,
+            setup.spec.peak_qps * 1.25,
+        ];
+        loads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let pressures = vec![0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9];
+        let surfaces: [LatencySurface; 3] = [0, 1, 2].map(|r| {
+            LatencySurface::analytic(
+                phases,
+                overhead,
+                r,
+                exp.serverless_cfg.slowdown_kappa[r],
+                n_max,
+                setup.spec.qos_percentile,
+                loads.clone(),
+                pressures.clone(),
+            )
+        });
+        let util_per_qps = [0, 1, 2].map(|r| l0 * rate_arr[r] / caps[r]);
+        let idx = controller.register(ServiceModel {
+            spec: setup.spec.clone(),
+            l0_s: l0,
+            surfaces,
+            util_per_qps,
+            n_max,
+        });
+        if exp.variant.proactive() && !setup.background {
+            // Seasonal buckets at roughly half the tick cadence keep
+            // several observations per bucket while still resolving
+            // the diurnal shoulders.
+            let day_s = setup.trace.day_seconds();
+            let control_s = exp.control_period.as_secs_f64().max(1e-3);
+            let buckets = ((day_s / control_s / 2.0).round() as usize).clamp(24, 240);
+            controller.attach_forecaster(
+                idx,
+                Box::new(HoltWintersDiurnal::new(
+                    SimDuration::from_secs_f64(day_s),
+                    buckets,
+                )),
+            );
+        }
+        let arrivals = PoissonArrivals::from_trace(
+            setup.trace.clone(),
+            SimTime::ZERO + exp.horizon,
+            master_rng.fork(),
+        );
+        let pinned = setup.background || !exp.variant.switches();
+        services.push(ServiceRt {
+            sid,
+            background: setup.background,
+            pinned,
+            arrivals,
+            exhausted: false,
+            recorder: LatencyRecorder::new(),
+            usage: UsageMeter::new(10.0),
+            load_timeline: TimeSeries::new(),
+            cores_timeline: TimeSeries::new(),
+            mem_timeline: TimeSeries::new(),
+            mode_timeline: TimeSeries::new(),
+            breakdown: BreakdownMeans::default(),
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            serverless_queries: 0,
+            serverless_violations: 0,
+            billable: BillableUsage::default(),
+            next_query_id: 0,
+        });
+    }
+
+    // Register the three contention meters (serverless only — they
+    // never run on IaaS, and their ids come after all services).
+    let meter_specs = [cpu_meter(), io_meter(), net_meter()];
+    let meter_ids: [ServiceId; 3] = [
+        serverless.register(meter_specs[0].clone()),
+        serverless.register(meter_specs[1].clone()),
+        serverless.register(meter_specs[2].clone()),
+    ];
+    let meter_curves: [ProfileCurve; 3] = [0, 1, 2].map(|r| {
+        let m = &meter_specs[r];
+        let phases = [
+            m.demand.cpu_s,
+            m.demand.io_mb / exp.serverless_cfg.per_flow_io_mbps,
+            m.demand.net_mb / exp.serverless_cfg.per_flow_net_mbps,
+        ];
+        let overhead = exp.serverless_cfg.auth_s
+            + exp.serverless_cfg.code_load_base_s
+            + exp.serverless_cfg.code_load_s_per_mb * m.demand.mem_mb
+            + exp.serverless_cfg.result_post_s;
+        ProfileCurve::analytic(
+            phases,
+            r,
+            overhead,
+            exp.serverless_cfg.slowdown_kappa[r],
+            exp.serverless_cfg.max_utilization,
+            40,
+        )
+    });
+    let monitor = ContentionMonitor::new(
+        MonitorConfig {
+            use_pca: exp.variant.uses_pca(),
+            ..exp.monitor_cfg
+        },
+        meter_curves,
+    );
+
+    // Initial modes: background pinned serverless; foreground starts
+    // on IaaS (Amoeba's safe default, §III) except under OpenWhisk.
+    let initial_fg_mode = if exp.variant == SystemVariant::OpenWhisk {
+        DeployMode::Serverless
+    } else {
+        DeployMode::Iaas
+    };
+    let mut engine = HybridEngine::new(services.len(), initial_fg_mode, exp.variant.prewarms());
+    engine.set_ack_policy(exp.ack_timeout, exp.max_ack_retries);
+
+    if sink.enabled() {
+        sink.record(TelemetryEvent::RunStarted {
+            variant: exp.variant.label().to_string(),
+            seed: exp.seed,
+            horizon_s: exp.horizon.as_secs_f64(),
+            services: exp
+                .services
+                .iter()
+                .map(|setup| ServiceInfo {
+                    name: setup.spec.name.clone(),
+                    background: setup.background,
+                    initial_mode: if setup.background {
+                        DeployMode::Serverless
+                    } else {
+                        initial_fg_mode
+                    }
+                    .into(),
+                })
+                .collect(),
+        });
+    }
+
+    // Event calendar.
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let t0 = SimTime::ZERO;
+    let horizon_t = t0 + exp.horizon;
+
+    // Heartbeat period per Eq. 8 (worst case over foreground specs).
+    let mut hb_s: f64 = 2.0;
+    for setup in &exp.services {
+        let t_exec = setup.spec.demand.solo_exec_seconds(
+            exp.serverless_cfg.per_flow_io_mbps,
+            exp.serverless_cfg.per_flow_net_mbps,
+        );
+        let lb = sample_period_lower_bound(
+            exp.serverless_cfg.cold_start_median_s,
+            setup.spec.qos_target_s,
+            t_exec,
+            0.1,
+        );
+        hb_s = hb_s.max(lb * 1.1);
+    }
+    let heartbeat_period = SimDuration::from_secs_f64(hb_s.clamp(2.0, 30.0));
+
+    // Pending effects worklist shared across the run.
+    let mut bus = EffectBus::new();
+
+    // Boot IaaS groups for services starting there; pin background
+    // to serverless (engine rows exist for them but are never
+    // consulted for switching).
+    for (idx, s) in services.iter().enumerate() {
+        let mode = if s.background {
+            DeployMode::Serverless
+        } else {
+            initial_fg_mode
+        };
+        if s.background {
+            // Override the engine's initial mode for background rows.
+            engine.force_mode(ServiceId(idx as u32), DeployMode::Serverless);
+        }
+        if mode == DeployMode::Iaas {
+            bus.extend(iaas.activate(s.sid, t0));
+        }
+    }
+
+    // First arrivals.
+    for idx in 0..services.len() {
+        if let Some(t) = services[idx].arrivals.next_after(t0) {
+            queue.push(t, Ev::Arrival { idx });
+        } else {
+            services[idx].exhausted = true;
+        }
+    }
+    if exp.run_meters {
+        for (m, _) in meter_ids.iter().enumerate() {
+            // Deterministic 1 Hz per meter, phase-shifted so the
+            // three never collide (§VII-E: "scheduled in a round
+            // time trip").
+            queue.push(
+                t0 + SimDuration::from_millis(100 + 333 * m as u64),
+                Ev::MeterArrival { meter: m },
+            );
+        }
+    }
+    queue.push(t0 + exp.control_period, Ev::ControlTick);
+    queue.push(t0 + heartbeat_period, Ev::Heartbeat);
+    queue.push(t0 + exp.usage_sample_period, Ev::UsageSample);
+
+    // Fault injection: pre-draw the whole timed-fault calendar from
+    // the injector's independent RNG stream, so the runtime RNG
+    // fork order is untouched whether or not a plan is attached.
+    let chaos: Option<ChaosRt> = exp.fault_plan.clone().map(|plan| {
+        let mut injector = FaultInjector::new(plan, exp.seed);
+        for (t, f) in injector.schedule(exp.horizon, 3) {
+            queue.push(t, Ev::Chaos(f));
+        }
+        ChaosRt {
+            injector,
+            meter_outage_until: [t0; 3],
+            meter_outlier_pending: [0; 3],
+            crash_requeued: BTreeMap::new(),
+            boot_fault_since: vec![None; services.len()],
+            spike_next_id: 0,
+        }
+    });
+
+    let n_services = services.len();
+    SimWorld {
+        serverless,
+        iaas,
+        controller,
+        monitor,
+        engine,
+        services,
+        meter_ids,
+        queue,
+        bus,
+        platform_rng,
+        iaas_rng,
+        chaos,
+        drain_deadline: vec![None; n_services],
+        wasted_prewarms: 0,
+        failed_switches: 0,
+        meter_core_seconds: 0.0,
+        last_usage_sample: t0,
+        pressure_sum: [0.0; 3],
+        pressure_samples: 0,
+        meter_next_id: 0,
+        horizon_t,
+        warmup_t: t0 + exp.warmup,
+        heartbeat_period,
+        n_max,
+    }
+}
+
+/// The simulated platforms wired up as the engine's command target:
+/// every `EngineAction` lands here through the [`PlatformCommands`]
+/// trait, and every platform response is pushed onto the effect bus —
+/// the only route by which engine decisions reach platform state.
+pub(crate) struct SimPlatforms<'a> {
+    pub(crate) serverless: &'a mut ServerlessPlatform,
+    pub(crate) iaas: &'a mut IaasPlatform,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) effects: &'a mut Vec<Effect>,
+}
+
+impl PlatformCommands for SimPlatforms<'_> {
+    fn prewarm(&mut self, service: ServiceId, count: u32, now: SimTime) {
+        self.effects
+            .extend(self.serverless.prewarm(service, count, now, self.rng));
+    }
+
+    fn activate_vms(&mut self, service: ServiceId, now: SimTime) {
+        self.effects.extend(self.iaas.activate(service, now));
+    }
+
+    fn release_containers(&mut self, service: ServiceId, _now: SimTime) {
+        self.serverless.release_service(service);
+    }
+
+    fn release_vms(&mut self, service: ServiceId, now: SimTime) {
+        self.effects.extend(self.iaas.release(service, now));
+    }
+}

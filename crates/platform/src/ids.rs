@@ -29,12 +29,122 @@ id_type!(
 );
 id_type!(
     /// One user query.
+    ///
+    /// Real user queries carry a bare per-service sequence number.
+    /// Synthetic traffic — shadow calibration probes, the contention
+    /// meters' heartbeat queries, and chaos-injected pressure spikes —
+    /// is tagged in the id's upper bits so the runtime can exclude it
+    /// from QoS accounting without a lookup:
+    ///
+    /// ```text
+    /// bit 63      : shadow bit (set on every synthetic query)
+    /// bits 56..63 : meter index (meter heartbeats only)
+    /// bits 48..56 : mark — 0xFF shadow probe, 0xFE pressure spike,
+    ///               0x00 meter heartbeat / real query
+    /// bits  0..48 : sequence number
+    /// ```
+    ///
+    /// Build ids through [`QueryId::user`], [`QueryId::meter`],
+    /// [`QueryId::shadow_probe`] and [`QueryId::spike`] — each asserts
+    /// (in debug builds) that the sequence number cannot overflow into
+    /// the tag fields and collide with another class of id.
     QueryId(u64)
 );
 id_type!(
     /// One serverless container.
     ContainerId(u64)
 );
+
+impl QueryId {
+    /// Synthetic-traffic flag: set on shadow probes, meter heartbeats
+    /// and spike queries; never on real user queries.
+    pub const SHADOW_BIT: u64 = 1 << 63;
+    /// Mark value of a shadow calibration probe (§III step 1 traffic).
+    pub const PROBE_MARK: u8 = 0xFF;
+    /// Mark value of a chaos-injected pressure-spike query.
+    pub const SPIKE_MARK: u8 = 0xFE;
+    const MARK_SHIFT: u32 = 48;
+    const METER_SHIFT: u32 = 56;
+    /// Low 48 bits: the per-stream sequence number.
+    const SEQ_MASK: u64 = (1 << Self::MARK_SHIFT) - 1;
+
+    /// A real user query. `seq` is the per-service sequence number.
+    #[inline]
+    pub fn user(seq: u64) -> Self {
+        debug_assert!(
+            seq & !Self::SEQ_MASK == 0,
+            "user query seq {seq:#x} overflows into the tag bits"
+        );
+        QueryId(seq)
+    }
+
+    /// A shadow calibration probe mirrored to the serverless platform
+    /// while its service runs on IaaS. Shares the service's sequence
+    /// counter with real queries; the mark keeps the ids distinct.
+    #[inline]
+    pub fn shadow_probe(seq: u64) -> Self {
+        debug_assert!(
+            seq & !Self::SEQ_MASK == 0,
+            "shadow probe seq {seq:#x} overflows into the tag bits"
+        );
+        QueryId(Self::SHADOW_BIT | (Self::PROBE_MARK as u64) << Self::MARK_SHIFT | seq)
+    }
+
+    /// A contention-meter heartbeat query for the `meter`-th meter.
+    #[inline]
+    pub fn meter(meter: usize, seq: u64) -> Self {
+        debug_assert!(
+            meter < (1 << (63 - Self::METER_SHIFT)),
+            "meter index {meter} would overflow into the shadow bit"
+        );
+        debug_assert!(
+            seq & !Self::SEQ_MASK == 0,
+            "meter seq {seq:#x} overflows into the mark field"
+        );
+        QueryId(Self::SHADOW_BIT | (meter as u64) << Self::METER_SHIFT | seq)
+    }
+
+    /// A chaos-injected pressure-spike query: pure synthetic load on
+    /// the shared pool, excluded from every account.
+    #[inline]
+    pub fn spike(seq: u64) -> Self {
+        debug_assert!(
+            seq & !Self::SEQ_MASK == 0,
+            "spike seq {seq:#x} overflows into the tag bits"
+        );
+        QueryId(Self::SHADOW_BIT | (Self::SPIKE_MARK as u64) << Self::MARK_SHIFT | seq)
+    }
+
+    /// Is this any kind of synthetic query (probe, meter or spike)?
+    #[inline]
+    pub fn is_shadow(self) -> bool {
+        self.0 & Self::SHADOW_BIT != 0
+    }
+
+    /// The 8-bit mark field (`0xFF` probe, `0xFE` spike, `0` otherwise).
+    #[inline]
+    pub fn mark(self) -> u8 {
+        ((self.0 >> Self::MARK_SHIFT) & 0xFF) as u8
+    }
+
+    /// Is this a chaos-injected pressure-spike query?
+    #[inline]
+    pub fn is_spike(self) -> bool {
+        self.is_shadow() && self.mark() == Self::SPIKE_MARK
+    }
+
+    /// Is this a shadow calibration probe?
+    #[inline]
+    pub fn is_probe(self) -> bool {
+        self.is_shadow() && self.mark() == Self::PROBE_MARK
+    }
+
+    /// The sequence number, tag bits stripped.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & Self::SEQ_MASK
+    }
+}
 
 #[cfg(test)]
 mod tests {

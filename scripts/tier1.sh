@@ -4,6 +4,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== file-size lint (non-test src <= ${MAX_SRC_LINES:=1000} lines) =="
+# The runtime god-loop grew to ~2000 lines before it was decomposed;
+# this gate keeps any source file from quietly becoming the next one.
+# Test-only files (tests/, benches/, *_tests.rs) and vendored
+# dev-harness stand-ins are exempt.
+oversized=$(find crates src -name '*.rs' \
+  -not -path '*/tests/*' -not -path '*/benches/*' -not -name '*_tests.rs' \
+  -exec awk -v max="$MAX_SRC_LINES" 'END { if (NR > max) print FILENAME ": " NR " lines" }' {} \;)
+if [ -n "$oversized" ]; then
+  echo "source files over $MAX_SRC_LINES lines (split them into modules):"
+  echo "$oversized"
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
