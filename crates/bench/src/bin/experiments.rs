@@ -2,21 +2,25 @@
 //! paper.
 //!
 //! ```text
-//! experiments [all|investigation|profiling|evaluation|ablations|<id>...] [--json DIR]
+//! experiments [all|investigation|profiling|evaluation|ablations|<id>...] [--json DIR] [--smoke]
 //! ```
 //!
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
 //! ablation-prewarm ablation-percentile week ablation-placement trace
-//! forecast resilience.
+//! forecast resilience multinode.
+//!
+//! `--smoke` shrinks the simulated day and seed sweep (currently the
+//! `multinode` report) so CI can exercise the report path cheaply.
 
 use amoeba_bench::{
-    ablations, evaluation, extensions, forecast, investigation, profiling, resilience, Report,
+    ablations, evaluation, extensions, forecast, investigation, multinode, profiling, resilience,
+    Report,
 };
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
 
-fn by_id(id: &str) -> Option<Report> {
+fn by_id(id: &str, smoke: bool) -> Option<Report> {
     let r = match id {
         "table2" => investigation::table2(),
         "table3" => investigation::table3(),
@@ -43,6 +47,13 @@ fn by_id(id: &str) -> Option<Report> {
         "trace" => extensions::trace_summary(DEFAULT_DAY_S, DEFAULT_SEED),
         "forecast" => forecast::forecast(DEFAULT_DAY_S, DEFAULT_SEED),
         "resilience" => resilience::resilience(DEFAULT_DAY_S, DEFAULT_SEED),
+        "multinode" => {
+            if smoke {
+                multinode::multinode(120.0, DEFAULT_SEED, 1)
+            } else {
+                multinode::multinode(DEFAULT_DAY_S, DEFAULT_SEED, 2)
+            }
+        }
         _ => return None,
     };
     Some(r)
@@ -71,6 +82,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "trace",
             "forecast",
             "resilience",
+            "multinode",
         ],
     ),
 ];
@@ -78,11 +90,13 @@ const GROUPS: &[(&str, &[&str])] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
+    let mut smoke = false;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_dir = it.next(),
+            "--smoke" => smoke = true,
             other => targets.push(other.to_string()),
         }
     }
@@ -104,7 +118,7 @@ fn main() {
     }
 
     for id in ids {
-        let Some(report) = by_id(&id) else {
+        let Some(report) = by_id(&id, smoke) else {
             eprintln!("unknown experiment id: {id}");
             std::process::exit(2);
         };

@@ -351,7 +351,9 @@ pub fn week(day_s: f64, seed: u64) -> Report {
 /// warm-affinity placement. Contention is per node, so placement moves
 /// both the tail latency and the cold-start count.
 pub fn ablation_placement(seed: u64) -> Report {
-    use amoeba_platform::{ClusterEvent, Effect, MultiNodePool, Placement, Query, QueryId};
+    use amoeba_platform::{
+        ClusterEvent, Effect, MultiNodePool, NodeId, Placement, Query, QueryId, TopologyConfig,
+    };
     use amoeba_sim::{EventQueue, SimRng, SimTime};
     let mut r = Report::new(
         "ablation-placement",
@@ -373,7 +375,14 @@ pub fn ablation_placement(seed: u64) -> Report {
         ("least-loaded", Placement::LeastLoaded),
         ("warm-affinity", Placement::WarmAffinity),
     ] {
-        let mut pool = MultiNodePool::new(amoeba_platform::ServerlessConfig::default(), 4, policy);
+        let mut pool = MultiNodePool::from_topology(
+            &TopologyConfig {
+                node_scales: vec![1.0; 4],
+                rtt_s: 0.0,
+            },
+            amoeba_platform::ServerlessConfig::default(),
+            policy,
+        );
         let dd = pool.register(amoeba_workload::benchmarks::dd());
         let fl = pool.register(amoeba_workload::benchmarks::float());
         let mut rng = SimRng::seed_from_u64(seed);
@@ -455,7 +464,7 @@ pub fn ablation_placement(seed: u64) -> Report {
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0);
         let cold: u64 = (0..pool.node_count())
-            .map(|i| pool.node(i).cold_start_count())
+            .map(|i| pool.node(NodeId::new(i)).cold_start_count())
             .sum();
         r.line(row(
             &[

@@ -13,6 +13,7 @@ pub mod evaluation;
 pub mod extensions;
 pub mod forecast;
 pub mod investigation;
+pub mod multinode;
 pub mod profiling;
 pub mod report;
 pub mod resilience;

@@ -16,9 +16,18 @@
 //! serverless: the router flips immediately and queries eat cold starts.
 
 use crate::controller::DeployMode;
-use amoeba_platform::ServiceId;
+use amoeba_platform::{NodeId, ServiceId, TargetId, TargetMode};
 use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink};
+
+impl From<DeployMode> for TargetMode {
+    fn from(mode: DeployMode) -> TargetMode {
+        match mode {
+            DeployMode::Serverless => TargetMode::Serverless,
+            DeployMode::Iaas => TargetMode::Iaas,
+        }
+    }
+}
 
 /// Where the router sends a new query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,39 +38,51 @@ pub enum RouteTarget {
     Iaas,
 }
 
-/// What the engine asks the runtime to do on the platforms (the runtime
-/// owns the platform objects, so the engine speaks in commands).
+/// What the engine asks the runtime to do on the cluster. Every action
+/// names a [`TargetId`] — node × mode — rather than implying one of two
+/// platforms, so the same protocol drives a single node or a
+/// geo-distributed fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineAction {
-    /// Prewarm `count` containers for the service (then wait for the
-    /// `PrewarmReady` ack).
-    Prewarm {
-        /// The service to warm.
+    /// Ready the target for traffic (`S_pw`): warm `count` containers
+    /// on a serverless target (then wait for the `PrewarmReady` ack),
+    /// or boot the VM group on an IaaS target (`count` is ignored;
+    /// wait for `VmGroupReady`).
+    Prepare {
+        /// The service being switched.
         service: ServiceId,
-        /// Eq. 7's container count.
+        /// Where to prepare.
+        target: TargetId,
+        /// Eq. 7's container count (serverless targets only).
         count: u32,
     },
-    /// Boot the service's VM group (then wait for `VmGroupReady`).
-    ActivateVms {
-        /// The service whose group boots.
+    /// Stand the target down (`S_sd`): release idle containers on a
+    /// serverless target, drain and deallocate VMs on an IaaS target.
+    Release {
+        /// The service being released.
         service: ServiceId,
-    },
-    /// Release the service's serverless containers (`S_sd`).
-    ReleaseContainers {
-        /// The service to release.
-        service: ServiceId,
-    },
-    /// Drain and deallocate the service's VM group (`S_sd`).
-    ReleaseVms {
-        /// The service to drain.
-        service: ServiceId,
+        /// Where to release.
+        target: TargetId,
     },
 }
 
-/// The platform-side effectors [`EngineAction`]s dispatch onto. The
-/// runtime implements this over its simulated platforms; a real
-/// deployment would implement it over OpenWhisk/IaaS control APIs.
+/// The placement-target effectors [`EngineAction`]s dispatch onto. The
+/// runtime implements this over its simulated cluster; a real
+/// deployment would implement it over per-site OpenWhisk/IaaS control
+/// APIs.
 pub trait PlatformCommands {
+    /// Ready `target` for `service`'s traffic (`S_pw`); the platform
+    /// must eventually ack with a `PrewarmReady`/`VmGroupReady`-style
+    /// effect. `count` is the container count for serverless targets.
+    fn prepare(&mut self, service: ServiceId, target: TargetId, count: u32, now: SimTime);
+    /// Stand `target` down for `service` (`S_sd`).
+    fn release(&mut self, service: ServiceId, target: TargetId, now: SimTime);
+}
+
+/// The legacy two-platform effector surface: one serverless pool and
+/// one IaaS fleet, no placement. Kept as the implementation surface of
+/// single-node runtimes; [`Legacy`] lifts it onto the target API.
+pub trait TwoPlatformCommands {
     /// Warm `count` containers for the service (`S_pw`); the platform
     /// must eventually ack with a `PrewarmReady`-style effect.
     fn prewarm(&mut self, service: ServiceId, count: u32, now: SimTime);
@@ -73,7 +94,32 @@ pub trait PlatformCommands {
     fn release_vms(&mut self, service: ServiceId, now: SimTime);
 }
 
-/// Dispatch a batch of engine actions onto the platform effectors.
+/// Adapter lifting a [`TwoPlatformCommands`] implementation onto the
+/// placement-target API: every target must live on node 0, and the two
+/// modes map onto the legacy four-signal surface. This is what keeps
+/// every pre-existing single-node variant byte-identical under the
+/// redesigned engine.
+pub struct Legacy<T: TwoPlatformCommands>(pub T);
+
+impl<T: TwoPlatformCommands> PlatformCommands for Legacy<T> {
+    fn prepare(&mut self, service: ServiceId, target: TargetId, count: u32, now: SimTime) {
+        debug_assert_eq!(target.node, NodeId::ZERO, "legacy adapter is single-node");
+        match target.mode {
+            TargetMode::Serverless => self.0.prewarm(service, count, now),
+            TargetMode::Iaas => self.0.activate_vms(service, now),
+        }
+    }
+
+    fn release(&mut self, service: ServiceId, target: TargetId, now: SimTime) {
+        debug_assert_eq!(target.node, NodeId::ZERO, "legacy adapter is single-node");
+        match target.mode {
+            TargetMode::Serverless => self.0.release_containers(service, now),
+            TargetMode::Iaas => self.0.release_vms(service, now),
+        }
+    }
+}
+
+/// Dispatch a batch of engine actions onto the placement effectors.
 pub fn dispatch_actions(
     actions: Vec<EngineAction>,
     now: SimTime,
@@ -81,12 +127,12 @@ pub fn dispatch_actions(
 ) {
     for a in actions {
         match a {
-            EngineAction::Prewarm { service, count } => platform.prewarm(service, count, now),
-            EngineAction::ActivateVms { service } => platform.activate_vms(service, now),
-            EngineAction::ReleaseContainers { service } => {
-                platform.release_containers(service, now)
-            }
-            EngineAction::ReleaseVms { service } => platform.release_vms(service, now),
+            EngineAction::Prepare {
+                service,
+                target,
+                count,
+            } => platform.prepare(service, target, count, now),
+            EngineAction::Release { service, target } => platform.release(service, target, now),
         }
     }
 }
@@ -143,6 +189,9 @@ pub enum DeadlineAction {
 /// The engine: one router entry per service.
 pub struct HybridEngine {
     routes: Vec<ServiceRoute>,
+    /// Home node per service: where the switch protocol's targets
+    /// live. All zero in single-node (legacy) runs.
+    home: Vec<NodeId>,
     /// Skip prewarming (Amoeba-NoP).
     prewarm_enabled: bool,
     /// How long to wait for a prepare ack before re-issuing the signal.
@@ -195,10 +244,22 @@ impl HybridEngine {
                     history: Vec::new(),
                 })
                 .collect(),
+            home: vec![NodeId::ZERO; n],
             prewarm_enabled,
             ack_timeout: SimDuration::from_secs(30),
             max_ack_retries: 2,
         }
+    }
+
+    /// Pin a service's switch protocol to a home node: subsequent
+    /// prepare/release actions name targets on that node.
+    pub fn set_home(&mut self, service: ServiceId, node: NodeId) {
+        self.home[service.raw() as usize] = node;
+    }
+
+    /// The node a service's switch targets live on.
+    pub fn home(&self, service: ServiceId) -> NodeId {
+        self.home[service.raw() as usize]
     }
 
     /// Tune the ack-deadline policy: wait `timeout` (doubling per
@@ -268,6 +329,7 @@ impl HybridEngine {
         now: SimTime,
         sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
+        let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
         if r.mode == target || !matches!(r.transition, Transition::Steady) {
             return Vec::new();
@@ -293,8 +355,9 @@ impl HybridEngine {
                         prewarm_count,
                         load,
                     );
-                    vec![EngineAction::Prewarm {
+                    vec![EngineAction::Prepare {
                         service,
+                        target: TargetId::serverless(home),
                         count: prewarm_count,
                     }]
                 } else {
@@ -309,7 +372,10 @@ impl HybridEngine {
                     ] {
                         emit_phase(sink, now, service, from, target, phase, 0, load);
                     }
-                    vec![EngineAction::ReleaseVms { service }]
+                    vec![EngineAction::Release {
+                        service,
+                        target: TargetId::iaas(home),
+                    }]
                 }
             }
             DeployMode::Iaas => {
@@ -330,7 +396,11 @@ impl HybridEngine {
                     0,
                     load,
                 );
-                vec![EngineAction::ActivateVms { service }]
+                vec![EngineAction::Prepare {
+                    service,
+                    target: TargetId::iaas(home),
+                    count: 0,
+                }]
             }
         }
     }
@@ -352,6 +422,7 @@ impl HybridEngine {
         now: SimTime,
         sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
+        let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
         let Transition::Preparing { target, .. } = r.transition else {
             return Vec::new();
@@ -372,8 +443,14 @@ impl HybridEngine {
             emit_phase(sink, now, service, from, target, phase, 0, load);
         }
         match target {
-            DeployMode::Serverless => vec![EngineAction::ReleaseVms { service }],
-            DeployMode::Iaas => vec![EngineAction::ReleaseContainers { service }],
+            DeployMode::Serverless => vec![EngineAction::Release {
+                service,
+                target: TargetId::iaas(home),
+            }],
+            DeployMode::Iaas => vec![EngineAction::Release {
+                service,
+                target: TargetId::serverless(home),
+            }],
         }
     }
 
@@ -386,6 +463,7 @@ impl HybridEngine {
         now: SimTime,
         sink: &mut dyn TelemetrySink,
     ) -> Vec<EngineAction> {
+        let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
         let Transition::Preparing {
             target,
@@ -408,8 +486,14 @@ impl HybridEngine {
             load,
         );
         match target {
-            DeployMode::Serverless => vec![EngineAction::ReleaseContainers { service }],
-            DeployMode::Iaas => vec![EngineAction::ReleaseVms { service }],
+            DeployMode::Serverless => vec![EngineAction::Release {
+                service,
+                target: TargetId::serverless(home),
+            }],
+            DeployMode::Iaas => vec![EngineAction::Release {
+                service,
+                target: TargetId::iaas(home),
+            }],
         }
     }
 
@@ -430,6 +514,7 @@ impl HybridEngine {
         now: SimTime,
         sink: &mut dyn TelemetrySink,
     ) -> Option<DeadlineAction> {
+        let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
         let Transition::Preparing {
             target,
@@ -453,13 +538,14 @@ impl HybridEngine {
                 requested_at: now,
                 retries: retries + 1,
             };
-            let actions = match target {
-                DeployMode::Serverless => vec![EngineAction::Prewarm {
-                    service,
-                    count: prewarm,
-                }],
-                DeployMode::Iaas => vec![EngineAction::ActivateVms { service }],
-            };
+            let actions = vec![EngineAction::Prepare {
+                service,
+                target: TargetId {
+                    node: home,
+                    mode: target.into(),
+                },
+                count: prewarm,
+            }];
             Some(DeadlineAction::Retried {
                 actions,
                 attempt: retries + 1,
@@ -482,6 +568,15 @@ mod tests {
     use amoeba_telemetry::{MemorySink, Mode, NoopSink};
 
     const S: ServiceId = ServiceId(0);
+    /// Node-0 targets: what the legacy single-node protocol names.
+    const SLS: TargetId = TargetId {
+        node: NodeId::ZERO,
+        mode: TargetMode::Serverless,
+    };
+    const VMS: TargetId = TargetId {
+        node: NodeId::ZERO,
+        mode: TargetMode::Iaas,
+    };
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -502,8 +597,9 @@ mod tests {
         let actions = e.begin_switch(S, DeployMode::Serverless, 5, 8.0, t(10), &mut sink);
         assert_eq!(
             actions,
-            vec![EngineAction::Prewarm {
+            vec![EngineAction::Prepare {
                 service: S,
+                target: SLS,
                 count: 5
             }]
         );
@@ -512,7 +608,13 @@ mod tests {
         assert_eq!(e.route(S), RouteTarget::Iaas);
         assert!(e.in_transition(S));
         let actions = e.on_ready(S, DeployMode::Serverless, 8.0, t(12), &mut sink);
-        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Release {
+                service: S,
+                target: VMS
+            }]
+        );
         assert_eq!(e.route(S), RouteTarget::Serverless);
         assert!(!e.in_transition(S));
         assert_eq!(e.last_switch(S), t(12));
@@ -524,12 +626,22 @@ mod tests {
         let mut sink = NoopSink;
         let mut e = HybridEngine::new(1, DeployMode::Serverless, true);
         let actions = e.begin_switch(S, DeployMode::Iaas, 0, 80.0, t(20), &mut sink);
-        assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Prepare {
+                service: S,
+                target: VMS,
+                count: 0
+            }]
+        );
         assert_eq!(e.route(S), RouteTarget::Serverless);
         let actions = e.on_ready(S, DeployMode::Iaas, 80.0, t(31), &mut sink);
         assert_eq!(
             actions,
-            vec![EngineAction::ReleaseContainers { service: S }]
+            vec![EngineAction::Release {
+                service: S,
+                target: SLS
+            }]
         );
         assert_eq!(e.route(S), RouteTarget::Iaas);
     }
@@ -539,14 +651,27 @@ mod tests {
         let mut sink = MemorySink::new();
         let mut e = HybridEngine::new(1, DeployMode::Iaas, false);
         let actions = e.begin_switch(S, DeployMode::Serverless, 5, 3.0, t(10), &mut sink);
-        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Release {
+                service: S,
+                target: VMS
+            }]
+        );
         assert_eq!(e.route(S), RouteTarget::Serverless, "NoP routes directly");
         assert!(!e.in_transition(S));
         // Toward IaaS, NoP still waits for VMs (nothing cold-start-like
         // about that direction; the paper's ablation only drops container
         // prewarming).
         let actions = e.begin_switch(S, DeployMode::Iaas, 0, 90.0, t(30), &mut sink);
-        assert_eq!(actions, vec![EngineAction::ActivateVms { service: S }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Prepare {
+                service: S,
+                target: VMS,
+                count: 0
+            }]
+        );
         assert_eq!(e.route(S), RouteTarget::Serverless);
         // The NoP flip's telemetry span collapses to a single instant:
         // requested, flipped and released at t=10, with no ack stage.
@@ -631,7 +756,10 @@ mod tests {
         let actions = e.abort_transition(S, t(2), &mut sink);
         assert_eq!(
             actions,
-            vec![EngineAction::ReleaseContainers { service: S }]
+            vec![EngineAction::Release {
+                service: S,
+                target: SLS
+            }]
         );
         assert!(!e.in_transition(S));
         assert_eq!(e.route(S), RouteTarget::Iaas, "mode unchanged after abort");
@@ -662,8 +790,9 @@ mod tests {
             }) => {
                 assert_eq!(
                     actions,
-                    vec![EngineAction::Prewarm {
+                    vec![EngineAction::Prepare {
                         service: S,
+                        target: SLS,
                         count: 4
                     }]
                 );
@@ -686,7 +815,10 @@ mod tests {
             }) => {
                 assert_eq!(
                     actions,
-                    vec![EngineAction::ReleaseContainers { service: S }]
+                    vec![EngineAction::Release {
+                        service: S,
+                        target: SLS
+                    }]
                 );
                 assert_eq!(prewarm, 4);
             }
@@ -715,7 +847,13 @@ mod tests {
         ));
         // The retry's ack lands: normal flip, no abort.
         let actions = e.on_ready(S, DeployMode::Serverless, 2.0, t(14), &mut sink);
-        assert_eq!(actions, vec![EngineAction::ReleaseVms { service: S }]);
+        assert_eq!(
+            actions,
+            vec![EngineAction::Release {
+                service: S,
+                target: VMS
+            }]
+        );
         assert_eq!(e.route(S), RouteTarget::Serverless);
         assert_eq!(e.poll_deadline(S, t(1000), &mut sink), None, "steady");
         let spans = sink.into_trace().switch_spans();

@@ -1,16 +1,24 @@
 //! Arrival handling: one user query enters the system.
 
+use super::fabric::wire_delay;
 use super::{Ev, SimWorld};
 use crate::engine::RouteTarget;
-use amoeba_platform::{Query, QueryId};
+use amoeba_platform::{NodeId, Query, QueryId};
 use amoeba_sim::SimTime;
+use amoeba_telemetry::{PlacementRecord, TelemetryEvent, TelemetrySink};
 use amoeba_workload::ArrivalProcess;
 
 /// A real query of service `idx` arrives: record it with the
 /// controller's load estimator, route it via the engine (background
-/// services are pinned serverless), submit it to the chosen platform
-/// and re-arm the service's next arrival.
-pub(crate) fn on_arrival(world: &mut SimWorld, idx: usize, now: SimTime) {
+/// services are pinned serverless), place it on a node (multi-node
+/// runs only — single-node everything executes on node 0), submit it
+/// to the chosen platform and re-arm the service's next arrival.
+pub(crate) fn on_arrival(
+    world: &mut SimWorld,
+    idx: usize,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
     let SimWorld {
         services,
         controller,
@@ -21,6 +29,7 @@ pub(crate) fn on_arrival(world: &mut SimWorld, idx: usize, now: SimTime) {
         iaas_rng,
         bus,
         queue,
+        fabric,
         warmup_t,
         ..
     } = world;
@@ -41,15 +50,50 @@ pub(crate) fn on_arrival(world: &mut SimWorld, idx: usize, now: SimTime) {
     } else {
         engine.route(sid)
     };
-    match target {
-        RouteTarget::Serverless => {
-            // Real traffic ends any drain (the NoP path
-            // switches with no prewarm ack).
-            serverless.resume_service(sid);
-            bus.extend(serverless.submit(query, now, platform_rng));
+    if let Some(f) = fabric.as_mut() {
+        let (node, spill) = f.place(idx, target, serverless);
+        if sink.enabled() {
+            sink.record(TelemetryEvent::Placement(PlacementRecord {
+                t: now,
+                service: idx,
+                node: node.index(),
+                spill,
+            }));
         }
-        RouteTarget::Iaas => {
-            bus.extend(iaas.submit(query, now, iaas_rng));
+        if node == NodeId::ZERO {
+            match target {
+                RouteTarget::Serverless => {
+                    serverless.resume_service(sid);
+                    bus.extend(serverless.submit(query, now, platform_rng));
+                }
+                RouteTarget::Iaas => {
+                    bus.extend(iaas.submit(query, now, iaas_rng));
+                }
+            }
+        } else {
+            // Remote execution: spills pay the inter-node RTT; the
+            // query keeps its original submit stamp so the wire shows
+            // up as latency, not as vanished time.
+            queue.push(
+                now + wire_delay(&f.topology, spill),
+                Ev::RemoteSubmit {
+                    node,
+                    query,
+                    route: target,
+                },
+            );
+        }
+    } else {
+        match target {
+            RouteTarget::Serverless => {
+                // Real traffic ends any drain (the NoP path
+                // switches with no prewarm ack).
+                serverless.resume_service(sid);
+                bus.extend(serverless.submit(query, now, platform_rng));
+            }
+            RouteTarget::Iaas => {
+                bus.extend(iaas.submit(query, now, iaas_rng));
+            }
         }
     }
     if !services[idx].exhausted {

@@ -5,12 +5,12 @@
 use super::switching::{apply_engine_actions, DRAIN_TIMEOUT_S};
 use super::{record_forecast, Ev, Experiment, SimWorld};
 use crate::controller::{prewarm_count, Decision, DeployMode};
-use crate::engine::DeadlineAction;
-use amoeba_platform::{Query, QueryId};
+use crate::engine::{DeadlineAction, RouteTarget};
+use amoeba_platform::{Effect, NodeId, Query, QueryId};
 use amoeba_sim::SimTime;
 use amoeba_telemetry::{
-    FaultKind, FaultRecord, RecoveryKind, RecoveryRecord, TelemetryEvent, TelemetrySink,
-    TickReason, TickRecord,
+    FaultKind, FaultRecord, NodeUtilRecord, RecoveryKind, RecoveryRecord, TelemetryEvent,
+    TelemetrySink, TickReason, TickRecord,
 };
 
 /// One control period elapsed: reclaim overdue drains, snapshot the
@@ -33,6 +33,7 @@ pub(crate) fn on_control_tick(
         platform_rng,
         bus,
         queue,
+        fabric,
         drain_deadline,
         wasted_prewarms,
         failed_switches,
@@ -52,8 +53,26 @@ pub(crate) fn on_control_tick(
         }
         drain_deadline[idx] = None;
         let sid = services[idx].sid;
-        let (eff, displaced) = iaas.force_drain(sid, now);
-        bus.extend(eff);
+        let home = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
+        let displaced = if home == NodeId::ZERO {
+            let (eff, displaced) = iaas.force_drain(sid, now);
+            bus.extend(eff);
+            displaced
+        } else {
+            // The overdue group lives on the service's home node; its
+            // schedules return to the calendar node-tagged.
+            let f = fabric.as_mut().unwrap();
+            let (eff, displaced) = f.node_mut(home).iaas.force_drain(sid, now);
+            for e in eff {
+                match e {
+                    Effect::Schedule { after, event } => {
+                        queue.push(now + after, Ev::NodePlatform { node: home, event });
+                    }
+                    ack => bus.extend([ack]),
+                }
+            }
+            displaced
+        };
         if sink.enabled() {
             sink.record(TelemetryEvent::Fault(FaultRecord {
                 t: now,
@@ -70,8 +89,21 @@ pub(crate) fn on_control_tick(
             }));
         }
         for q in displaced {
-            serverless.resume_service(q.service);
-            bus.extend(serverless.submit(q, now, platform_rng));
+            if home == NodeId::ZERO {
+                serverless.resume_service(q.service);
+                bus.extend(serverless.submit(q, now, platform_rng));
+            } else {
+                // Displaced work re-queues on the home node's pool,
+                // keeping the original submit time.
+                queue.push(
+                    now,
+                    Ev::RemoteSubmit {
+                        node: home,
+                        query: q,
+                        route: RouteTarget::Serverless,
+                    },
+                );
+            }
         }
     }
     let pressures = monitor.pressures();
@@ -80,6 +112,18 @@ pub(crate) fn on_control_tick(
     pressure_sum[2] += pressures[2];
     *pressure_samples += 1;
     let weights = monitor.weights();
+    // Fleet utilization snapshot (multi-node runs only; single-node
+    // traces keep their legacy event stream byte-identical).
+    if sink.enabled() {
+        if let Some(f) = fabric.as_ref() {
+            let (mean_util, max_node_util) = f.fleet_utilization(serverless);
+            sink.record(TelemetryEvent::NodeUtil(NodeUtilRecord {
+                t: now,
+                mean_util,
+                max_node_util,
+            }));
+        }
+    }
     if exp.variant.switches() {
         // Feed each unpinned service's forecaster before
         // any decision this tick. Unconditional (not
@@ -98,12 +142,27 @@ pub(crate) fn on_control_tick(
             })
             .map(|j| (j, controller.estimated_load(j, now)))
             .collect();
+        // Co-tenancy is per pool: with a fabric, only services sharing
+        // a home node contend for the same serverless capacity.
+        let homes: Option<Vec<NodeId>> = fabric.as_ref().map(|f| f.home.clone());
         for idx in 0..services.len() {
             if services[idx].pinned {
                 continue;
             }
             let sid = services[idx].sid;
             let mode = engine.mode(sid);
+            let local_others: Vec<(usize, f64)>;
+            let others: &[(usize, f64)] = match &homes {
+                Some(h) => {
+                    local_others = others
+                        .iter()
+                        .copied()
+                        .filter(|&(j, _)| h[j] == h[idx])
+                        .collect();
+                    &local_others
+                }
+                None => &others,
+            };
             if engine.in_transition(sid) {
                 // Ack deadline: a lost prewarm/boot ack
                 // must not park the switch forever — retry
@@ -147,6 +206,8 @@ pub(crate) fn on_control_tick(
                         now,
                         serverless,
                         iaas,
+                        fabric.as_mut(),
+                        queue,
                         platform_rng,
                         bus,
                         drain_deadline,
@@ -166,7 +227,7 @@ pub(crate) fn on_control_tick(
                         engine.last_switch(sid),
                         pressures,
                         weights,
-                        &others,
+                        others,
                     );
                     sink.record(TelemetryEvent::Tick(TickRecord {
                         t: now,
@@ -191,7 +252,7 @@ pub(crate) fn on_control_tick(
                 engine.last_switch(sid),
                 pressures,
                 weights,
-                &others,
+                others,
             );
             if sink.enabled() {
                 sink.record(TelemetryEvent::Tick(TickRecord {
@@ -233,6 +294,8 @@ pub(crate) fn on_control_tick(
                 now,
                 serverless,
                 iaas,
+                fabric.as_mut(),
+                queue,
                 platform_rng,
                 bus,
                 drain_deadline,
@@ -255,7 +318,21 @@ pub(crate) fn on_control_tick(
                     submitted: now,
                 };
                 services[idx].next_query_id += 1;
-                bus.extend(serverless.submit(query, now, platform_rng));
+                let home = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
+                if home == NodeId::ZERO {
+                    bus.extend(serverless.submit(query, now, platform_rng));
+                } else {
+                    // The probe mirrors onto the home node's pool —
+                    // internal traffic, so no wire delay.
+                    queue.push(
+                        now,
+                        Ev::RemoteSubmit {
+                            node: home,
+                            query,
+                            route: RouteTarget::Serverless,
+                        },
+                    );
+                }
             }
         }
     }

@@ -68,6 +68,14 @@ pub(crate) fn apply(
                     world.queue.push(now + after, Ev::Platform(event));
                 }
                 Effect::Completed(outcome) => {
+                    // Completions on the main bus always come from
+                    // node 0's platforms; remote nodes account theirs
+                    // in `fabric::absorb`.
+                    if !outcome.query.id.is_shadow() {
+                        if let Some(f) = world.fabric.as_mut() {
+                            f.note_completed(amoeba_platform::NodeId::ZERO);
+                        }
+                    }
                     completions::on_completed(exp, world, outcome, now, sink);
                 }
                 Effect::PrewarmReady { service } => {

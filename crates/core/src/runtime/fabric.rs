@@ -1,0 +1,420 @@
+//! The multi-node fabric: remote node platforms, placement scheduling
+//! and cross-node accounting.
+//!
+//! Node 0 — the user-facing node — lives directly on [`SimWorld`]
+//! (`serverless`/`iaas`), so single-node runs never touch this module
+//! and stay bit-identical to the legacy kernel. When the topology has
+//! more than one node, a [`Fabric`] carries the remote nodes' platform
+//! pairs, the per-service home assignment and the scheduler, and two
+//! extra calendar events route work across nodes:
+//!
+//! * [`Ev::NodePlatform`] — platform-internal progress on a remote
+//!   node (the remote twin of [`Ev::Platform`]);
+//! * [`Ev::RemoteSubmit`] — a query landing on a remote node after its
+//!   wire delay.
+//!
+//! Switch-protocol acks (`PrewarmReady` & co.) are service-keyed and
+//! node-agnostic, so remote nodes push them onto the main effect bus
+//! and the single-node switching handlers work unchanged — the
+//! engine's home map routes the resulting actions back to the right
+//! node through [`FabricCommands`].
+
+use super::effects::EffectBus;
+use super::{completions, Ev, Experiment, SimWorld};
+use crate::engine::{PlatformCommands, RouteTarget};
+use amoeba_platform::{
+    fleet_max_utilization, fleet_mean_utilization, ClusterEvent, Effect, IaasPlatform, NodeId,
+    Query, Scheduler, ServerlessPlatform, ServiceId, TargetId, TargetMode, TopologyConfig,
+};
+use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba_telemetry::TelemetrySink;
+
+/// Serverless max-utilization above which an Amoeba home node spills
+/// new serverless arrivals to the least-loaded peer.
+pub(crate) const SPILL_THRESHOLD: f64 = 0.85;
+
+/// The platform pair of one remote node. Node 0's pair lives directly
+/// on [`SimWorld`] so the chaos, metering and monitor paths stay
+/// single-node.
+pub(crate) struct NodeRt {
+    pub(crate) serverless: ServerlessPlatform,
+    pub(crate) iaas: IaasPlatform,
+}
+
+/// Multi-node run state: remote platforms, placement and counters.
+/// Present on [`SimWorld`] only when the topology has more than one
+/// node.
+pub(crate) struct Fabric {
+    /// Remote nodes: `nodes[i]` is `NodeId(i + 1)`.
+    pub(crate) nodes: Vec<NodeRt>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) topology: TopologyConfig,
+    /// Home node per service index.
+    pub(crate) home: Vec<NodeId>,
+    /// User queries placed on each node (by executing node).
+    pub(crate) node_submitted: Vec<u64>,
+    /// User queries completed on each node.
+    pub(crate) node_completed: Vec<u64>,
+    /// User queries lost to injected faults on each node.
+    pub(crate) node_failed: Vec<u64>,
+    /// Queries a node received spilled off another node's home.
+    pub(crate) node_spills: Vec<u64>,
+    /// Total cross-node spills.
+    pub(crate) spill_total: u64,
+}
+
+impl Fabric {
+    /// Total nodes in the topology (remote nodes plus node 0).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    /// The platform pair of a remote node. Node 0 lives on `SimWorld`.
+    pub(crate) fn node_mut(&mut self, node: NodeId) -> &mut NodeRt {
+        debug_assert_ne!(node, NodeId::ZERO, "node 0 lives on SimWorld");
+        &mut self.nodes[node.index() - 1]
+    }
+
+    /// Max per-resource utilization of one node's serverless pool.
+    fn pool_pressure(&self, node: NodeId, node0: &ServerlessPlatform) -> f64 {
+        let u = if node == NodeId::ZERO {
+            node0.utilization()
+        } else {
+            self.nodes[node.index() - 1].serverless.utilization()
+        };
+        u.iter().fold(0.0, |a, &b| f64::max(a, b))
+    }
+
+    /// The node with the calmest serverless pool, optionally excluding
+    /// one; ties break toward the lowest node id.
+    fn least_loaded(&self, exclude: Option<NodeId>, node0: &ServerlessPlatform) -> NodeId {
+        let mut best = None;
+        for i in 0..self.node_count() {
+            let node = NodeId::new(i);
+            if exclude == Some(node) {
+                continue;
+            }
+            let p = self.pool_pressure(node, node0);
+            if best.is_none_or(|(_, bp)| p < bp) {
+                best = Some((node, p));
+            }
+        }
+        best.map(|(n, _)| n).unwrap_or(NodeId::ZERO)
+    }
+
+    /// Fleet-wide mean and max serverless utilization (node 0 + remote).
+    pub(crate) fn fleet_utilization(&self, node0: &ServerlessPlatform) -> ([f64; 3], f64) {
+        let pools = std::iter::once(node0).chain(self.nodes.iter().map(|n| &n.serverless));
+        let mean = fleet_mean_utilization(pools.clone());
+        let max = fleet_max_utilization(pools);
+        (mean, max)
+    }
+
+    /// Place one arriving user query: which node executes it, and was
+    /// that a spill off its home node? Updates the per-node counters.
+    pub(crate) fn place(
+        &mut self,
+        idx: usize,
+        route: RouteTarget,
+        node0: &ServerlessPlatform,
+    ) -> (NodeId, bool) {
+        let home = self.home[idx];
+        let exec = match self.scheduler {
+            // Amoeba switches at the home node; only serverless
+            // arrivals spill, and only when the home pool saturates
+            // and a calmer peer exists.
+            Scheduler::AmoebaPerNode => {
+                if route == RouteTarget::Iaas || self.node_count() == 1 {
+                    home
+                } else {
+                    let p = self.pool_pressure(home, node0);
+                    if p > SPILL_THRESHOLD {
+                        let alt = self.least_loaded(Some(home), node0);
+                        if self.pool_pressure(alt, node0) < p {
+                            alt
+                        } else {
+                            home
+                        }
+                    } else {
+                        home
+                    }
+                }
+            }
+            // NOAH-style: every query chases the calmest pool, RTT be
+            // damned.
+            Scheduler::Noah => self.least_loaded(None, node0),
+            // Static contention-aware assignment: the home map is the
+            // whole policy.
+            Scheduler::EdgeAware => home,
+        };
+        let spill = exec != home;
+        if spill {
+            self.node_spills[exec.index()] += 1;
+            self.spill_total += 1;
+        }
+        self.node_submitted[exec.index()] += 1;
+        (exec, spill)
+    }
+
+    /// One user query completed on `node`.
+    pub(crate) fn note_completed(&mut self, node: NodeId) {
+        self.node_completed[node.index()] += 1;
+    }
+
+    /// One user query was dropped by an injected fault on `node`.
+    pub(crate) fn note_failed(&mut self, node: NodeId) {
+        self.node_failed[node.index()] += 1;
+    }
+
+    /// Deliver a platform-internal event to a remote node's pair.
+    fn handle(
+        &mut self,
+        node: NodeId,
+        event: ClusterEvent,
+        now: SimTime,
+        platform_rng: &mut SimRng,
+        iaas_rng: &mut SimRng,
+    ) -> Vec<Effect> {
+        let rt = self.node_mut(node);
+        match event {
+            ClusterEvent::ColdStartDone { .. }
+            | ClusterEvent::ServerlessExecDone { .. }
+            | ClusterEvent::ContainerExpire { .. } => {
+                rt.serverless.handle(event, now, platform_rng)
+            }
+            ClusterEvent::VmBootDone { .. } | ClusterEvent::IaasExecDone { .. } => {
+                rt.iaas.handle(event, now, iaas_rng)
+            }
+        }
+    }
+
+    /// Submit a query to a remote node on the given route.
+    fn submit(
+        &mut self,
+        node: NodeId,
+        query: Query,
+        route: RouteTarget,
+        now: SimTime,
+        platform_rng: &mut SimRng,
+        iaas_rng: &mut SimRng,
+    ) -> Vec<Effect> {
+        let rt = self.node_mut(node);
+        match route {
+            RouteTarget::Serverless => {
+                rt.serverless.resume_service(query.service);
+                rt.serverless.submit(query, now, platform_rng)
+            }
+            RouteTarget::Iaas => rt.iaas.submit(query, now, iaas_rng),
+        }
+    }
+}
+
+/// Contention-aware static homes (the edge-placement baseline):
+/// services in descending order of dominant normalized demand, each
+/// greedily assigned to the node where the projected per-resource load
+/// vector peaks lowest. `demands[i]` is service `i`'s peak demand in
+/// `[core·s/s, disk MB/s, NIC MB/s]`; `base_caps` the unscaled node
+/// capacity on the same axes.
+pub(crate) fn edge_aware_homes(
+    demands: &[[f64; 3]],
+    topology: &TopologyConfig,
+    base_caps: [f64; 3],
+) -> Vec<NodeId> {
+    let n = topology.node_count();
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    let dominant = |d: &[f64; 3]| {
+        (0..3)
+            .map(|r| d[r] / base_caps[r].max(1e-12))
+            .fold(0.0, f64::max)
+    };
+    order.sort_by(|&a, &b| {
+        dominant(&demands[b])
+            .partial_cmp(&dominant(&demands[a]))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![[0.0f64; 3]; n];
+    let mut homes = vec![NodeId::ZERO; demands.len()];
+    for idx in order {
+        let mut best = (0usize, f64::INFINITY);
+        for node in 0..n {
+            let scale = topology.node_scales[node];
+            let peak = (0..3)
+                .map(|r| (load[node][r] + demands[idx][r]) / (base_caps[r] * scale).max(1e-12))
+                .fold(0.0, f64::max);
+            if peak < best.1 {
+                best = (node, peak);
+            }
+        }
+        for r in 0..3 {
+            load[best.0][r] += demands[idx][r];
+        }
+        homes[idx] = NodeId::new(best.0);
+    }
+    homes
+}
+
+/// Apply one batch of remote-node effects: schedules return to the
+/// calendar as [`Ev::NodePlatform`], completions are counted and
+/// accounted, and switch-protocol acks join the main effect bus (the
+/// single-node switching handlers are node-agnostic).
+pub(crate) fn absorb(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    node: NodeId,
+    effects: Vec<Effect>,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    for e in effects {
+        match e {
+            Effect::Schedule { after, event } => {
+                world
+                    .queue
+                    .push(now + after, Ev::NodePlatform { node, event });
+            }
+            Effect::Completed(outcome) => {
+                if !outcome.query.id.is_shadow() {
+                    if let Some(f) = world.fabric.as_mut() {
+                        f.note_completed(node);
+                    }
+                }
+                completions::on_completed(exp, world, outcome, now, sink);
+            }
+            ack => world.bus.extend([ack]),
+        }
+    }
+}
+
+/// A remote node's platform pair made progress.
+pub(crate) fn on_node_platform(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    node: NodeId,
+    event: ClusterEvent,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let eff = {
+        let SimWorld {
+            fabric,
+            platform_rng,
+            iaas_rng,
+            ..
+        } = world;
+        match fabric.as_mut() {
+            Some(f) => f.handle(node, event, now, platform_rng, iaas_rng),
+            None => return,
+        }
+    };
+    absorb(exp, world, node, eff, now, sink);
+}
+
+/// A query lands on a remote node after its wire delay.
+pub(crate) fn on_remote_submit(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    node: NodeId,
+    query: Query,
+    route: RouteTarget,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    let eff = {
+        let SimWorld {
+            fabric,
+            platform_rng,
+            iaas_rng,
+            ..
+        } = world;
+        match fabric.as_mut() {
+            Some(f) => f.submit(node, query, route, now, platform_rng, iaas_rng),
+            None => return,
+        }
+    };
+    absorb(exp, world, node, eff, now, sink);
+}
+
+/// The engine's command surface over the whole fleet: node-0 targets
+/// hit [`SimWorld`]'s platforms exactly as the legacy adapter would,
+/// remote targets hit their node's pair with schedules rerouted to
+/// [`Ev::NodePlatform`] and acks onto the shared bus.
+pub(crate) struct FabricCommands<'a> {
+    pub(crate) serverless: &'a mut ServerlessPlatform,
+    pub(crate) iaas: &'a mut IaasPlatform,
+    pub(crate) fabric: &'a mut Fabric,
+    pub(crate) queue: &'a mut EventQueue<Ev>,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) bus: &'a mut EffectBus,
+}
+
+impl FabricCommands<'_> {
+    fn route_effects(&mut self, node: NodeId, eff: Vec<Effect>, now: SimTime) {
+        if node == NodeId::ZERO {
+            self.bus.extend(eff);
+            return;
+        }
+        for e in eff {
+            match e {
+                Effect::Schedule { after, event } => {
+                    self.queue
+                        .push(now + after, Ev::NodePlatform { node, event });
+                }
+                ack => self.bus.extend([ack]),
+            }
+        }
+    }
+}
+
+impl PlatformCommands for FabricCommands<'_> {
+    fn prepare(&mut self, service: ServiceId, target: TargetId, count: u32, now: SimTime) {
+        let eff = match (target.node == NodeId::ZERO, target.mode) {
+            (true, TargetMode::Serverless) => {
+                self.serverless.prewarm(service, count, now, self.rng)
+            }
+            (true, TargetMode::Iaas) => self.iaas.activate(service, now),
+            (false, TargetMode::Serverless) => self
+                .fabric
+                .node_mut(target.node)
+                .serverless
+                .prewarm(service, count, now, self.rng),
+            (false, TargetMode::Iaas) => self
+                .fabric
+                .node_mut(target.node)
+                .iaas
+                .activate(service, now),
+        };
+        self.route_effects(target.node, eff, now);
+    }
+
+    fn release(&mut self, service: ServiceId, target: TargetId, now: SimTime) {
+        let eff = match (target.node == NodeId::ZERO, target.mode) {
+            (true, TargetMode::Serverless) => {
+                self.serverless.release_service(service);
+                Vec::new()
+            }
+            (true, TargetMode::Iaas) => self.iaas.release(service, now),
+            (false, TargetMode::Serverless) => {
+                self.fabric
+                    .node_mut(target.node)
+                    .serverless
+                    .release_service(service);
+                Vec::new()
+            }
+            (false, TargetMode::Iaas) => {
+                self.fabric.node_mut(target.node).iaas.release(service, now)
+            }
+        };
+        self.route_effects(target.node, eff, now);
+    }
+}
+
+/// The wire delay a query pays to reach its executing node: spills
+/// cross the inter-node link, home-node traffic is local.
+pub(crate) fn wire_delay(topology: &TopologyConfig, spill: bool) -> SimDuration {
+    if spill {
+        SimDuration::from_secs_f64(topology.rtt_s)
+    } else {
+        SimDuration::ZERO
+    }
+}

@@ -182,6 +182,7 @@ pub(crate) fn on_chaos(
         bus,
         queue,
         chaos,
+        fabric,
         warmup_t,
         ..
     } = world;
@@ -209,6 +210,12 @@ pub(crate) fn on_chaos(
                             dropped = 1;
                             if idx < services.len() && q.submitted >= *warmup_t {
                                 services[idx].failed += 1;
+                            }
+                            // Chaos only strikes node 0; the fabric's
+                            // conservation counters track every user
+                            // query, warmup included.
+                            if let Some(f) = fabric.as_mut() {
+                                f.note_failed(amoeba_platform::NodeId::ZERO);
                             }
                         } else {
                             // Re-queue on the current route,

@@ -71,6 +71,7 @@ pub(crate) fn on_usage_sample(exp: &Experiment, world: &mut SimWorld, now: SimTi
         engine,
         controller,
         queue,
+        fabric,
         meter_ids,
         meter_core_seconds,
         last_usage_sample,
@@ -80,19 +81,33 @@ pub(crate) fn on_usage_sample(exp: &Experiment, world: &mut SimWorld, now: SimTi
     let dt = now.duration_since(*last_usage_sample).as_secs_f64();
     *last_usage_sample = now;
     for (idx, s) in services.iter_mut().enumerate() {
-        let (iaas_cores, iaas_mem) = iaas.allocation(s.sid);
+        // Fleet-wide aggregates: node 0 plus every fabric node (the
+        // single-node path sums over nothing extra and stays
+        // bit-identical).
+        let (mut iaas_cores, mut iaas_mem) = iaas.allocation(s.sid);
+        let mut busy_iaas = iaas.busy_cores(s.sid);
+        let mut containers = serverless.container_count(s.sid) as f64;
+        let mut busy_count = serverless.busy_count(s.sid) as f64;
+        if let Some(f) = fabric.as_ref() {
+            for rt in &f.nodes {
+                let (c, m) = rt.iaas.allocation(s.sid);
+                iaas_cores += c;
+                iaas_mem += m;
+                busy_iaas += rt.iaas.busy_cores(s.sid);
+                containers += rt.serverless.container_count(s.sid) as f64;
+                busy_count += rt.serverless.busy_count(s.sid) as f64;
+            }
+        }
         s.billable.iaas_core_seconds += iaas_cores * dt;
         s.billable.iaas_mem_mb_seconds += iaas_mem * dt;
         s.billable.serverless_mem_mb_seconds +=
-            serverless.busy_count(s.sid) as f64 * exp.serverless_cfg.container_memory_mb * dt;
-        let containers = serverless.container_count(s.sid) as f64;
+            busy_count * exp.serverless_cfg.container_memory_mb * dt;
         let cores = iaas_cores + containers * exp.serverless_cfg.container_core_share;
         let mem = iaas_mem + containers * exp.serverless_cfg.container_memory_mb;
         s.usage.set_allocation(now, cores, mem);
         let rates = serverless.service_rates(s.sid);
-        let busy_sl = serverless.busy_count(s.sid) as f64 * rates.cpu_cores;
-        s.usage
-            .set_consumption(now, iaas.busy_cores(s.sid) + busy_sl);
+        let busy_sl = busy_count * rates.cpu_cores;
+        s.usage.set_consumption(now, busy_iaas + busy_sl);
         s.cores_timeline.push(now, cores);
         s.mem_timeline.push(now, mem);
         let mode = if s.background {

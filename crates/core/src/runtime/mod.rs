@@ -33,19 +33,23 @@ mod arrivals;
 mod completions;
 mod control;
 mod effects;
+mod fabric;
 mod faults;
 mod metering;
 mod results;
 mod switching;
 mod world;
 
-pub use results::{BreakdownMeans, RunResult, ServiceResult};
+pub use results::{BreakdownMeans, MultiNodeSummary, NodeTotals, RunResult, ServiceResult};
 
 use crate::baselines::SystemVariant;
 use crate::controller::{ControllerConfig, DecisionTrace};
+use crate::engine::RouteTarget;
 use crate::monitor::MonitorConfig;
 use amoeba_chaos::{FaultPlan, TimedFault};
-use amoeba_platform::{ClusterEvent, IaasConfig, ServerlessConfig, ServiceId};
+use amoeba_platform::{
+    ClusterEvent, IaasConfig, NodeId, Query, Scheduler, ServerlessConfig, ServiceId, TopologyConfig,
+};
 use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{
     ForecastRecord, MemorySink, NoopSink, TelemetryEvent, TelemetrySink, Trace,
@@ -129,6 +133,12 @@ pub struct Experiment {
     pub ack_timeout: SimDuration,
     /// Ack retries before a switch is rolled back as `Aborted`.
     pub max_ack_retries: u32,
+    /// Node topology. The default single-node shape runs the legacy
+    /// path bit-identically; more than one node activates the
+    /// multi-node fabric (per-node platforms, placement, spill).
+    pub topology: TopologyConfig,
+    /// Placement scheduler for multi-node runs (ignored single-node).
+    pub scheduler: Scheduler,
 }
 
 impl Experiment {
@@ -161,6 +171,8 @@ impl Experiment {
                 fault_plan: None,
                 ack_timeout: SimDuration::from_secs(30),
                 max_ack_retries: 2,
+                topology: TopologyConfig::default(),
+                scheduler: Scheduler::default(),
             },
         }
     }
@@ -211,7 +223,7 @@ fn dispatch(
     sink: &mut dyn TelemetrySink,
 ) {
     match ev {
-        Ev::Arrival { idx } => arrivals::on_arrival(world, idx, now),
+        Ev::Arrival { idx } => arrivals::on_arrival(world, idx, now, sink),
         Ev::MeterArrival { meter } => metering::on_meter_arrival(world, meter, now),
         Ev::ControlTick => control::on_control_tick(exp, world, now, sink),
         Ev::Heartbeat => metering::on_heartbeat(world, now, sink),
@@ -219,6 +231,12 @@ fn dispatch(
         Ev::Platform(pe) => faults::on_platform_event(exp, world, pe, now, sink),
         Ev::Chaos(fault) => faults::on_chaos(world, fault, now, sink),
         Ev::SpikeQuery { sid } => faults::on_spike_query(world, sid, now),
+        Ev::NodePlatform { node, event } => {
+            fabric::on_node_platform(exp, world, node, event, now, sink)
+        }
+        Ev::RemoteSubmit { node, query, route } => {
+            fabric::on_remote_submit(exp, world, node, query, route, now, sink)
+        }
     }
 }
 
@@ -241,6 +259,18 @@ pub(crate) enum Ev {
     /// One query of an injected pressure spike arrives.
     SpikeQuery {
         sid: ServiceId,
+    },
+    /// Platform-internal progress on a remote node (multi-node only).
+    NodePlatform {
+        node: NodeId,
+        event: ClusterEvent,
+    },
+    /// A query lands on a remote node after its wire delay, carrying
+    /// the route decided at placement time (multi-node only).
+    RemoteSubmit {
+        node: NodeId,
+        query: Query,
+        route: RouteTarget,
     },
 }
 
@@ -333,6 +363,43 @@ impl ExperimentBuilder {
     pub fn ack_policy(mut self, timeout: SimDuration, max_retries: u32) -> Self {
         self.inner.ack_timeout = timeout;
         self.inner.max_ack_retries = max_retries;
+        self
+    }
+
+    /// Run on `n` nodes (all at capacity scale 1.0 until overridden by
+    /// [`ExperimentBuilder::node_capacity`]). `n = 1` is the legacy
+    /// single-node shape; anything larger activates the multi-node
+    /// fabric. By convention node 0 — the user-facing node whose
+    /// capacity the controller models — stays at scale 1.0.
+    pub fn nodes(mut self, n: usize) -> Self {
+        assert!((1..=255).contains(&n), "node count {n} out of range");
+        self.inner.topology.node_scales = vec![1.0; n];
+        self
+    }
+
+    /// Set one node's capacity scale (cores, disk/NIC bandwidth and
+    /// pool memory are the base config times `scale`). Call after
+    /// [`ExperimentBuilder::nodes`].
+    pub fn node_capacity(mut self, node: usize, scale: f64) -> Self {
+        assert!(
+            node < self.inner.topology.node_scales.len(),
+            "node {node} not in the topology (call .nodes(n) first)"
+        );
+        assert!(scale > 0.0, "capacity scale must be positive");
+        self.inner.topology.node_scales[node] = scale;
+        self
+    }
+
+    /// Round-trip time between any two distinct nodes. Paid by queries
+    /// spilled off their home node.
+    pub fn inter_node_latency(mut self, rtt: SimDuration) -> Self {
+        self.inner.topology.rtt_s = rtt.as_secs_f64();
+        self
+    }
+
+    /// Placement scheduler for multi-node runs.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.inner.scheduler = scheduler;
         self
     }
 

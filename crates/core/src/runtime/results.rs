@@ -142,6 +142,29 @@ impl ServiceResult {
     }
 }
 
+/// Per-node totals of one multi-node run. Conservation holds per node:
+/// `submitted == completed + failed` once the calendar drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTotals {
+    /// User queries placed on this node (by executing node).
+    pub submitted: u64,
+    /// User queries completed on this node.
+    pub completed: u64,
+    /// User queries lost to injected faults on this node.
+    pub failed: u64,
+    /// Queries this node received spilled off another node's home.
+    pub spills: u64,
+}
+
+/// Cross-node accounting of one multi-node run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiNodeSummary {
+    /// Per-node totals, indexed by node id.
+    pub nodes: Vec<NodeTotals>,
+    /// Total queries executed off their home node.
+    pub spill_total: u64,
+}
+
 /// The result of one experiment run.
 pub struct RunResult {
     /// Which system ran.
@@ -166,6 +189,9 @@ pub struct RunResult {
     pub wasted_prewarms: u64,
     /// Switches rolled back (`Aborted`) after exhausting ack retries.
     pub failed_switches: u64,
+    /// Cross-node accounting, present when the topology had more than
+    /// one node.
+    pub multinode: Option<MultiNodeSummary>,
 }
 
 /// The calendar has drained: fold the world's accumulated state into
@@ -177,6 +203,7 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         monitor,
         engine,
         services,
+        fabric,
         wasted_prewarms,
         failed_switches,
         meter_core_seconds,
@@ -224,16 +251,35 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         })
         .collect();
     let final_gains = (0..results.len()).map(|i| controller.gain(i)).collect();
+    let cold_starts = serverless.cold_start_count()
+        + fabric.as_ref().map_or(0, |f| {
+            f.nodes
+                .iter()
+                .map(|n| n.serverless.cold_start_count())
+                .sum()
+        });
+    let multinode = fabric.map(|f| MultiNodeSummary {
+        nodes: (0..f.node_count())
+            .map(|i| NodeTotals {
+                submitted: f.node_submitted[i],
+                completed: f.node_completed[i],
+                failed: f.node_failed[i],
+                spills: f.node_spills[i],
+            })
+            .collect(),
+        spill_total: f.spill_total,
+    });
     RunResult {
         variant: exp.variant,
         services: results,
         meter_cpu_overhead: meter_core_seconds / node_core_seconds,
         final_weights,
         mean_pressures,
-        cold_starts: serverless.cold_start_count(),
+        cold_starts,
         final_gains,
         horizon: exp.horizon,
         wasted_prewarms,
         failed_switches,
+        multinode,
     }
 }

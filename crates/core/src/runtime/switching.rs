@@ -3,12 +3,13 @@
 //! drained ack (or its watchdog) reclaims the old side.
 
 use super::effects::EffectBus;
+use super::fabric::{Fabric, FabricCommands};
 use super::world::SimPlatforms;
-use super::SimWorld;
+use super::{Ev, SimWorld};
 use crate::controller::DeployMode;
-use crate::engine::{dispatch_actions, EngineAction};
-use amoeba_platform::{IaasPlatform, ServerlessPlatform, ServiceId};
-use amoeba_sim::{SimDuration, SimRng, SimTime};
+use crate::engine::{dispatch_actions, EngineAction, Legacy};
+use amoeba_platform::{IaasPlatform, ServerlessPlatform, ServiceId, TargetMode};
+use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{
     FaultKind, FaultRecord, SwitchPhase, SwitchRecord, TelemetryEvent, TelemetrySink,
 };
@@ -18,16 +19,19 @@ use amoeba_telemetry::{
 /// The §V shutdown step must terminate even if completions are lost.
 pub(crate) const DRAIN_TIMEOUT_S: f64 = 60.0;
 
-/// Arm the drain watchdog for every `ReleaseVms` among `actions`: if
-/// the group's `IaasDrained` ack never arrives, the first control tick
-/// past the deadline reclaims it forcibly.
+/// Arm the drain watchdog for every IaaS-target release among
+/// `actions`: if the group's `IaasDrained` ack never arrives, the
+/// first control tick past the deadline reclaims it forcibly.
 pub(crate) fn note_vm_releases(
     actions: &[EngineAction],
     now: SimTime,
     drain_deadline: &mut [Option<SimTime>],
 ) {
     for a in actions {
-        if let EngineAction::ReleaseVms { service } = a {
+        if let EngineAction::Release { service, target } = a {
+            if target.mode != TargetMode::Iaas {
+                continue;
+            }
             let idx = service.raw() as usize;
             if idx < drain_deadline.len() {
                 drain_deadline[idx] = Some(now + SimDuration::from_secs_f64(DRAIN_TIMEOUT_S));
@@ -42,26 +46,43 @@ pub(crate) fn note_vm_releases(
 /// from an engine decision to platform state.
 ///
 /// [`PlatformCommands`]: crate::engine::PlatformCommands
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_engine_actions(
     actions: Vec<EngineAction>,
     now: SimTime,
     serverless: &mut ServerlessPlatform,
     iaas: &mut IaasPlatform,
+    fabric: Option<&mut Fabric>,
+    queue: &mut EventQueue<Ev>,
     platform_rng: &mut SimRng,
     bus: &mut EffectBus,
     drain_deadline: &mut [Option<SimTime>],
 ) {
     note_vm_releases(&actions, now, drain_deadline);
-    dispatch_actions(
-        actions,
-        now,
-        &mut SimPlatforms {
-            serverless,
-            iaas,
-            rng: platform_rng,
-            effects: bus.pending_mut(),
-        },
-    );
+    match fabric {
+        None => dispatch_actions(
+            actions,
+            now,
+            &mut Legacy(SimPlatforms {
+                serverless,
+                iaas,
+                rng: platform_rng,
+                effects: bus.pending_mut(),
+            }),
+        ),
+        Some(f) => dispatch_actions(
+            actions,
+            now,
+            &mut FabricCommands {
+                serverless,
+                iaas,
+                fabric: f,
+                queue,
+                rng: platform_rng,
+                bus,
+            },
+        ),
+    }
 }
 
 /// The serverless side acked a prewarm: unless chaos eats the ack on
@@ -81,7 +102,9 @@ pub(crate) fn on_prewarm_ready(
         iaas,
         platform_rng,
         bus,
+        queue,
         chaos,
+        fabric,
         drain_deadline,
         ..
     } = world;
@@ -110,6 +133,8 @@ pub(crate) fn on_prewarm_ready(
             now,
             serverless,
             iaas,
+            fabric.as_mut(),
+            queue,
             platform_rng,
             bus,
             drain_deadline,
@@ -133,6 +158,8 @@ pub(crate) fn on_vm_group_ready(
         iaas,
         platform_rng,
         bus,
+        queue,
+        fabric,
         drain_deadline,
         ..
     } = world;
@@ -145,6 +172,8 @@ pub(crate) fn on_vm_group_ready(
             now,
             serverless,
             iaas,
+            fabric.as_mut(),
+            queue,
             platform_rng,
             bus,
             drain_deadline,

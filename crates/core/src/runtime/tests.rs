@@ -213,6 +213,112 @@ fn nop_violates_qos_via_cold_starts() {
     let _ = (&mut nop, &mut amoeba);
 }
 
+mod multinode {
+    use super::*;
+    use amoeba_platform::Scheduler;
+
+    fn run_multi(scheduler: Scheduler, seed: u64) -> RunResult {
+        let variant = match scheduler {
+            Scheduler::AmoebaPerNode => SystemVariant::Amoeba,
+            // The static baselines pin every service serverless.
+            _ => SystemVariant::OpenWhisk,
+        };
+        let services = scenario(benchmarks::float(), 240.0);
+        Experiment::builder(variant, SimDuration::from_secs_f64(240.0), seed)
+            .services(services)
+            .nodes(4)
+            .node_capacity(1, 0.75)
+            .node_capacity(2, 0.75)
+            .node_capacity(3, 0.5)
+            .inter_node_latency(SimDuration::from_secs_f64(0.04))
+            .scheduler(scheduler)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn single_node_runs_have_no_multinode_summary() {
+        let r = run(SystemVariant::Amoeba, 120.0, 7);
+        assert!(r.multinode.is_none());
+    }
+
+    #[test]
+    fn per_node_conservation_holds_for_every_scheduler() {
+        for scheduler in [
+            Scheduler::AmoebaPerNode,
+            Scheduler::Noah,
+            Scheduler::EdgeAware,
+        ] {
+            let r = run_multi(scheduler, 31);
+            let mn = r.multinode.as_ref().expect("4-node run has a summary");
+            assert_eq!(mn.nodes.len(), 4);
+            let mut total = 0;
+            for (i, n) in mn.nodes.iter().enumerate() {
+                assert_eq!(
+                    n.submitted,
+                    n.completed + n.failed,
+                    "{scheduler:?} node {i}: {n:?}"
+                );
+                assert!(n.spills <= n.submitted, "{scheduler:?} node {i}: {n:?}");
+                total += n.submitted;
+            }
+            assert!(total > 0, "{scheduler:?} placed no queries");
+            assert_eq!(
+                mn.spill_total,
+                mn.nodes.iter().map(|n| n.spills).sum::<u64>(),
+                "{scheduler:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn noah_spreads_load_across_nodes() {
+        let r = run_multi(Scheduler::Noah, 37);
+        let mn = r.multinode.unwrap();
+        let busy = mn.nodes.iter().filter(|n| n.submitted > 0).count();
+        assert!(
+            busy >= 2,
+            "least-loaded placement should use >1 node: {mn:?}"
+        );
+    }
+
+    #[test]
+    fn multinode_runs_are_deterministic_per_scheduler() {
+        for scheduler in [
+            Scheduler::AmoebaPerNode,
+            Scheduler::Noah,
+            Scheduler::EdgeAware,
+        ] {
+            let a = run_multi(scheduler, 41);
+            let b = run_multi(scheduler, 41);
+            assert_eq!(a.multinode, b.multinode, "{scheduler:?}");
+            assert_eq!(a.cold_starts, b.cold_starts, "{scheduler:?}");
+            for (x, y) in a.services.iter().zip(&b.services) {
+                assert_eq!(x.completed, y.completed, "{scheduler:?} {}", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn services_still_conserve_queries_across_the_fabric() {
+        for scheduler in [
+            Scheduler::AmoebaPerNode,
+            Scheduler::Noah,
+            Scheduler::EdgeAware,
+        ] {
+            let r = run_multi(scheduler, 43);
+            for s in &r.services {
+                assert_eq!(
+                    s.submitted,
+                    s.completed + s.failed,
+                    "{scheduler:?} {}",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
 mod debug_tests {
     use super::*;
 

@@ -6,18 +6,19 @@
 //! match arms live in separate modules without cloning state around.
 
 use super::effects::EffectBus;
+use super::fabric::{self, Fabric, NodeRt};
 use super::faults::ChaosRt;
 use super::{Ev, Experiment};
 use crate::baselines::SystemVariant;
 use crate::controller::{DeployMode, DeploymentController, ProactiveConfig, ServiceModel};
-use crate::engine::{HybridEngine, PlatformCommands};
+use crate::engine::{HybridEngine, TwoPlatformCommands};
 use crate::monitor::{sample_period_lower_bound, ContentionMonitor, MonitorConfig};
 use crate::runtime::results::BreakdownMeans;
 use amoeba_chaos::FaultInjector;
 use amoeba_forecast::HoltWintersDiurnal;
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve};
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter};
-use amoeba_platform::{Effect, IaasPlatform, ServerlessPlatform, ServiceId};
+use amoeba_platform::{Effect, IaasPlatform, NodeId, Scheduler, ServerlessPlatform, ServiceId};
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{ServiceInfo, TelemetryEvent, TelemetrySink};
 use amoeba_workload::{ArrivalProcess, PoissonArrivals};
@@ -64,6 +65,9 @@ pub(crate) struct SimWorld {
     pub(crate) iaas_rng: SimRng,
     /// Chaos bookkeeping, present only when a fault plan is attached.
     pub(crate) chaos: Option<ChaosRt>,
+    /// Multi-node fabric, present only when the topology has more than
+    /// one node. `None` runs the legacy single-node path bit-identically.
+    pub(crate) fabric: Option<Fabric>,
     /// Drain watchdog deadlines, armed per `ReleaseVms`.
     pub(crate) drain_deadline: Vec<Option<SimTime>>,
     pub(crate) wasted_prewarms: u64,
@@ -92,7 +96,13 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
     let platform_rng = master_rng.fork();
     let iaas_rng = master_rng.fork();
 
-    let mut serverless = ServerlessPlatform::new(exp.serverless_cfg);
+    // Node 0 takes its topology scale only in multi-node runs, so the
+    // legacy path never re-derives its config through a multiply.
+    let mut serverless = ServerlessPlatform::new(if exp.topology.node_count() > 1 {
+        exp.topology.scaled(&exp.serverless_cfg, NodeId::ZERO)
+    } else {
+        exp.serverless_cfg
+    });
     let mut iaas = IaasPlatform::new(exp.iaas_cfg);
     // Proactive variants look ahead by exactly the switch latency in
     // each direction: a switch up waits on the VM boot, a switch
@@ -251,6 +261,64 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
     let mut engine = HybridEngine::new(services.len(), initial_fg_mode, exp.variant.prewarms());
     engine.set_ack_policy(exp.ack_timeout, exp.max_ack_retries);
 
+    // Multi-node fabric: remote platform pairs (registered in the same
+    // order as node 0, so service ids align), the per-service home map
+    // and the scheduler. Platform construction draws no randomness, so
+    // the RNG fork order above is untouched by the topology. Meters and
+    // chaos stay on node 0.
+    let n_nodes = exp.topology.node_count();
+    let mut fabric: Option<Fabric> = (n_nodes > 1).then(|| {
+        let nodes: Vec<NodeRt> = (1..n_nodes)
+            .map(|i| {
+                let cfg = exp.topology.scaled(&exp.serverless_cfg, NodeId::new(i));
+                let mut sl = ServerlessPlatform::new(cfg);
+                let mut ia = IaasPlatform::new(exp.iaas_cfg);
+                for setup in &exp.services {
+                    let a = sl.register(setup.spec.clone());
+                    let b = ia.register(setup.spec.clone());
+                    debug_assert_eq!(a, b, "remote platform id mismatch");
+                }
+                NodeRt {
+                    serverless: sl,
+                    iaas: ia,
+                }
+            })
+            .collect();
+        let home: Vec<NodeId> = match exp.scheduler {
+            Scheduler::EdgeAware => {
+                let demands: Vec<[f64; 3]> = exp
+                    .services
+                    .iter()
+                    .map(|s| {
+                        [
+                            s.spec.peak_qps * s.spec.demand.cpu_s,
+                            s.spec.peak_qps * s.spec.demand.io_mb,
+                            s.spec.peak_qps * s.spec.demand.net_mb,
+                        ]
+                    })
+                    .collect();
+                fabric::edge_aware_homes(&demands, &exp.topology, caps)
+            }
+            _ => (0..services.len())
+                .map(|i| NodeId::new(i % n_nodes))
+                .collect(),
+        };
+        for (idx, &h) in home.iter().enumerate() {
+            engine.set_home(ServiceId(idx as u32), h);
+        }
+        Fabric {
+            nodes,
+            scheduler: exp.scheduler,
+            topology: exp.topology.clone(),
+            home,
+            node_submitted: vec![0; n_nodes],
+            node_completed: vec![0; n_nodes],
+            node_failed: vec![0; n_nodes],
+            node_spills: vec![0; n_nodes],
+            spill_total: 0,
+        }
+    });
+
     if sink.enabled() {
         sink.record(TelemetryEvent::RunStarted {
             variant: exp.variant.label().to_string(),
@@ -312,7 +380,28 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
             engine.force_mode(ServiceId(idx as u32), DeployMode::Serverless);
         }
         if mode == DeployMode::Iaas {
-            bus.extend(iaas.activate(s.sid, t0));
+            let h = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
+            if h == NodeId::ZERO {
+                bus.extend(iaas.activate(s.sid, t0));
+            } else {
+                // Remote-homed services boot their VM group on their
+                // home node; its schedule lands on the calendar as a
+                // node-tagged platform event.
+                let eff = fabric
+                    .as_mut()
+                    .unwrap()
+                    .node_mut(h)
+                    .iaas
+                    .activate(s.sid, t0);
+                for e in eff {
+                    match e {
+                        Effect::Schedule { after, event } => {
+                            queue.push(t0 + after, Ev::NodePlatform { node: h, event });
+                        }
+                        ack => bus.extend([ack]),
+                    }
+                }
+            }
         }
     }
 
@@ -371,6 +460,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         platform_rng,
         iaas_rng,
         chaos,
+        fabric,
         drain_deadline: vec![None; n_services],
         wasted_prewarms: 0,
         failed_switches: 0,
@@ -386,10 +476,12 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
     }
 }
 
-/// The simulated platforms wired up as the engine's command target:
-/// every `EngineAction` lands here through the [`PlatformCommands`]
-/// trait, and every platform response is pushed onto the effect bus —
-/// the only route by which engine decisions reach platform state.
+/// The node-0 simulated platforms wired up as the engine's command
+/// target: every `EngineAction` lands here through the
+/// [`TwoPlatformCommands`] surface (lifted onto the placement-target
+/// API by [`crate::engine::Legacy`]), and every platform response is
+/// pushed onto the effect bus — the only route by which engine
+/// decisions reach platform state.
 pub(crate) struct SimPlatforms<'a> {
     pub(crate) serverless: &'a mut ServerlessPlatform,
     pub(crate) iaas: &'a mut IaasPlatform,
@@ -397,7 +489,7 @@ pub(crate) struct SimPlatforms<'a> {
     pub(crate) effects: &'a mut Vec<Effect>,
 }
 
-impl PlatformCommands for SimPlatforms<'_> {
+impl TwoPlatformCommands for SimPlatforms<'_> {
     fn prewarm(&mut self, service: ServiceId, count: u32, now: SimTime) {
         self.effects
             .extend(self.serverless.prewarm(service, count, now, self.rng));

@@ -54,6 +54,38 @@ id_type!(
     /// One serverless container.
     ContainerId(u64)
 );
+id_type!(
+    /// One node in a multi-node topology.
+    ///
+    /// Node indices are bounded by the 8-bit container-tag field used by
+    /// [`crate::MultiNodePool`] (`NODE_BITS`), so the raw value is a
+    /// `u8`. Build ids through [`NodeId::new`], which asserts (in debug
+    /// builds) that a `usize` index fits; use [`NodeId::index`] to get
+    /// it back for slice access.
+    NodeId(u8)
+);
+
+impl NodeId {
+    /// The home node of every single-node (legacy) scenario.
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// A node id from a topology index, asserting it fits the 8-bit
+    /// container-tag field.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(
+            index <= u8::MAX as usize,
+            "node index {index} out of range (max 255)"
+        );
+        NodeId(index as u8)
+    }
+
+    /// The node's topology index, for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl QueryId {
     /// Synthetic-traffic flag: set on shadow probes, meter heartbeats
@@ -157,6 +189,21 @@ mod tests {
         assert_eq!(s.raw(), 3);
         assert_eq!(q.raw(), 7);
         assert_eq!(format!("{s}"), "ServiceId#3");
+    }
+
+    #[test]
+    fn node_ids_round_trip_indices() {
+        assert_eq!(NodeId::ZERO, NodeId::new(0));
+        assert_eq!(NodeId::new(254).index(), 254);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(format!("{}", NodeId::new(3)), "NodeId#3");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn node_id_rejects_oversized_index() {
+        let _ = NodeId::new(256);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod iaas;
 pub mod ids;
 pub mod multinode;
+pub mod placement;
 pub mod query;
 pub mod resources;
 pub mod serverless;
@@ -37,8 +38,9 @@ pub mod serverless;
 pub use cluster::{ClusterEvent, Effect};
 pub use config::{IaasConfig, NodeConfig, ServerlessConfig};
 pub use iaas::{required_cores, IaasPlatform};
-pub use ids::{ContainerId, QueryId, ServiceId};
-pub use multinode::{MultiNodePool, Placement};
+pub use ids::{ContainerId, NodeId, QueryId, ServiceId};
+pub use multinode::{fleet_max_utilization, fleet_mean_utilization, MultiNodePool, Placement};
+pub use placement::{PlacementTarget, Scheduler, TargetId, TargetMode, TopologyConfig};
 pub use query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
 pub use resources::SharedResources;
 pub use serverless::{CrashReport, ServerlessPlatform};

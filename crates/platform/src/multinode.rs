@@ -15,7 +15,8 @@
 
 use crate::cluster::{ClusterEvent, Effect};
 use crate::config::ServerlessConfig;
-use crate::ids::{ContainerId, ServiceId};
+use crate::ids::{ContainerId, NodeId, ServiceId};
+use crate::placement::TopologyConfig;
 use crate::query::Query;
 use crate::serverless::ServerlessPlatform;
 use amoeba_sim::{SimRng, SimTime};
@@ -51,10 +52,32 @@ pub struct MultiNodePool {
 
 impl MultiNodePool {
     /// A pool of `n` identical nodes. Panics unless `1 ≤ n ≤ 255`.
+    #[deprecated(note = "describe the fleet with a TopologyConfig and use from_topology")]
     pub fn new(node_cfg: ServerlessConfig, n: usize, placement: Placement) -> Self {
+        Self::from_topology(
+            &TopologyConfig {
+                node_scales: vec![1.0; n],
+                rtt_s: 0.0,
+            },
+            node_cfg,
+            placement,
+        )
+    }
+
+    /// A pool shaped by a topology: one node per capacity scale, each
+    /// running `base` scaled to its share. Panics unless the topology
+    /// has `1 ≤ n ≤ 255` nodes.
+    pub fn from_topology(
+        topology: &TopologyConfig,
+        base: ServerlessConfig,
+        placement: Placement,
+    ) -> Self {
+        let n = topology.node_count();
         assert!((1..=255).contains(&n), "node count {n} out of range");
         MultiNodePool {
-            nodes: (0..n).map(|_| ServerlessPlatform::new(node_cfg)).collect(),
+            nodes: (0..n)
+                .map(|i| ServerlessPlatform::new(topology.scaled(&base, NodeId::new(i))))
+                .collect(),
             placement,
             rr_next: 0,
             prewarm_pending: Vec::new(),
@@ -67,8 +90,8 @@ impl MultiNodePool {
     }
 
     /// Access one node (observability, tests).
-    pub fn node(&self, i: usize) -> &ServerlessPlatform {
-        &self.nodes[i]
+    pub fn node(&self, id: NodeId) -> &ServerlessPlatform {
+        &self.nodes[id.index()]
     }
 
     /// Register a service on every node (same id everywhere).
@@ -85,19 +108,19 @@ impl MultiNodePool {
         id.expect("at least one node")
     }
 
-    fn tag(node: usize, cid: ContainerId) -> ContainerId {
+    fn tag(node: NodeId, cid: ContainerId) -> ContainerId {
         debug_assert!(cid.raw() >> NODE_SHIFT == 0, "container id overflow");
-        ContainerId((node as u64) << NODE_SHIFT | cid.raw())
+        ContainerId((node.raw() as u64) << NODE_SHIFT | cid.raw())
     }
 
-    fn untag(cid: ContainerId) -> (usize, ContainerId) {
+    fn untag(cid: ContainerId) -> (NodeId, ContainerId) {
         (
-            (cid.raw() >> NODE_SHIFT) as usize,
+            NodeId((cid.raw() >> NODE_SHIFT) as u8),
             ContainerId(cid.raw() & ((1 << NODE_SHIFT) - 1)),
         )
     }
 
-    fn tag_effects(node: usize, effects: Vec<Effect>) -> Vec<Effect> {
+    fn tag_effects(node: NodeId, effects: Vec<Effect>) -> Vec<Effect> {
         effects
             .into_iter()
             .map(|e| match e {
@@ -128,12 +151,12 @@ impl MultiNodePool {
 
     /// The node a new query of `service` goes to under the configured
     /// policy.
-    pub fn place(&mut self, service: ServiceId) -> usize {
+    pub fn place(&mut self, service: ServiceId) -> NodeId {
         match self.placement {
             Placement::RoundRobin => {
                 let n = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % self.nodes.len();
-                n
+                NodeId::new(n)
             }
             Placement::LeastLoaded => self.least_loaded(),
             Placement::WarmAffinity => {
@@ -142,12 +165,13 @@ impl MultiNodePool {
                 self.nodes
                     .iter()
                     .position(|node| node.container_count(service) > node.busy_count(service))
+                    .map(NodeId::new)
                     .unwrap_or_else(|| self.least_loaded())
             }
         }
     }
 
-    fn least_loaded(&self) -> usize {
+    fn least_loaded(&self) -> NodeId {
         let mut best = 0;
         let mut best_u = f64::MAX;
         for (i, node) in self.nodes.iter().enumerate() {
@@ -158,13 +182,13 @@ impl MultiNodePool {
                 best = i;
             }
         }
-        best
+        NodeId::new(best)
     }
 
     /// Submit a query; the pool places it and tags the resulting events.
     pub fn submit(&mut self, query: Query, now: SimTime, rng: &mut SimRng) -> Vec<Effect> {
         let node = self.place(query.service);
-        let effects = self.nodes[node].submit(query, now, rng);
+        let effects = self.nodes[node.index()].submit(query, now, rng);
         Self::tag_effects(node, effects)
     }
 
@@ -191,8 +215,11 @@ impl MultiNodePool {
             }
             other => return self.nodes[0].handle(other, now, rng),
         };
-        assert!(node < self.nodes.len(), "event for unknown node {node}");
-        let effects = self.nodes[node].handle(inner, now, rng);
+        assert!(
+            node.index() < self.nodes.len(),
+            "event for unknown node {node}"
+        );
+        let effects = self.nodes[node.index()].handle(inner, now, rng);
         let mut out = Vec::new();
         for e in Self::tag_effects(node, effects) {
             match e {
@@ -228,7 +255,7 @@ impl MultiNodePool {
             Placement::WarmAffinity => {
                 let target = self.least_loaded();
                 (0..self.nodes.len())
-                    .map(|i| if i == target { count } else { 0 })
+                    .map(|i| if i == target.index() { count } else { 0 })
                     .collect()
             }
             _ => (0..n)
@@ -243,7 +270,7 @@ impl MultiNodePool {
             }
             let effects = self.nodes[i].prewarm(service, share, now, rng);
             let mut ready_inline = false;
-            for e in Self::tag_effects(i, effects) {
+            for e in Self::tag_effects(NodeId::new(i), effects) {
                 match e {
                     Effect::PrewarmReady { .. } => ready_inline = true,
                     other => out.push(other),
@@ -277,29 +304,13 @@ impl MultiNodePool {
 
     /// Fleet-wide utilisation: the mean over nodes per resource.
     pub fn mean_utilization(&self) -> [f64; 3] {
-        let mut acc = [0.0; 3];
-        for node in &self.nodes {
-            let u = node.utilization();
-            for r in 0..3 {
-                acc[r] += u[r];
-            }
-        }
-        for a in &mut acc {
-            *a /= self.nodes.len() as f64;
-        }
-        acc
+        fleet_mean_utilization(self.nodes.iter())
     }
 
     /// The highest per-resource utilisation across nodes — the imbalance
     /// indicator a placement policy tries to minimise.
     pub fn max_node_utilization(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| {
-                let u = n.utilization();
-                u[0].max(u[1]).max(u[2])
-            })
-            .fold(0.0, f64::max)
+        fleet_max_utilization(self.nodes.iter())
     }
 
     /// Total containers across the fleet for `service`.
@@ -313,12 +324,54 @@ impl MultiNodePool {
     }
 }
 
+/// Mean utilisation per resource `[cpu, io, net]` over any fleet of
+/// serverless nodes (all zeros for an empty fleet).
+pub fn fleet_mean_utilization<'a>(nodes: impl Iterator<Item = &'a ServerlessPlatform>) -> [f64; 3] {
+    let mut acc = [0.0; 3];
+    let mut n = 0usize;
+    for node in nodes {
+        let u = node.utilization();
+        for r in 0..3 {
+            acc[r] += u[r];
+        }
+        n += 1;
+    }
+    if n > 0 {
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+    }
+    acc
+}
+
+/// The highest single-resource utilisation across any fleet of
+/// serverless nodes — the imbalance a placement policy minimises.
+pub fn fleet_max_utilization<'a>(nodes: impl Iterator<Item = &'a ServerlessPlatform>) -> f64 {
+    nodes
+        .map(|n| {
+            let u = n.utilization();
+            u[0].max(u[1]).max(u[2])
+        })
+        .fold(0.0, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::QueryId;
     use amoeba_sim::{EventQueue, SimDuration};
     use amoeba_workload::benchmarks;
+
+    fn pool(n: usize, placement: Placement) -> MultiNodePool {
+        MultiNodePool::from_topology(
+            &TopologyConfig {
+                node_scales: vec![1.0; n],
+                rtt_s: 0.0,
+            },
+            ServerlessConfig::default(),
+            placement,
+        )
+    }
 
     fn drive(
         pool: &mut MultiNodePool,
@@ -360,7 +413,7 @@ mod tests {
 
     #[test]
     fn tag_untag_round_trip() {
-        for node in [0usize, 1, 7, 254] {
+        for node in [0usize, 1, 7, 254].map(NodeId::new) {
             for raw in [0u64, 1, 999_999] {
                 let tagged = MultiNodePool::tag(node, ContainerId(raw));
                 assert_eq!(MultiNodePool::untag(tagged), (node, ContainerId(raw)));
@@ -370,7 +423,7 @@ mod tests {
 
     #[test]
     fn register_gives_same_id_on_all_nodes() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 3, Placement::RoundRobin);
+        let mut pool = pool(3, Placement::RoundRobin);
         let a = pool.register(benchmarks::float());
         let b = pool.register(benchmarks::dd());
         assert_eq!(a.raw(), 0);
@@ -379,7 +432,7 @@ mod tests {
 
     #[test]
     fn round_robin_spreads_queries() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 4, Placement::RoundRobin);
+        let mut pool = pool(4, Placement::RoundRobin);
         let sid = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(1);
         let t0 = SimTime::ZERO;
@@ -388,7 +441,11 @@ mod tests {
             eff.extend(pool.submit(q(i, sid, t0), t0, &mut rng));
         }
         for i in 0..4 {
-            assert_eq!(pool.node(i).container_count(sid), 2, "node {i}");
+            assert_eq!(
+                pool.node(NodeId::new(i)).container_count(sid),
+                2,
+                "node {i}"
+            );
         }
         let done = drive(&mut pool, &mut rng, eff, t0);
         assert_eq!(done, 8);
@@ -397,7 +454,7 @@ mod tests {
 
     #[test]
     fn least_loaded_avoids_the_hot_node() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 2, Placement::LeastLoaded);
+        let mut pool = pool(2, Placement::LeastLoaded);
         let heavy = pool.register(benchmarks::dd());
         let light = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(2);
@@ -410,9 +467,12 @@ mod tests {
         }
         // Now the light service's queries must go to whichever node is
         // calmer, not blindly to node 0.
-        let u_before = [pool.node(0).utilization()[1], pool.node(1).utilization()[1]];
+        let u_before = [
+            pool.node(NodeId::ZERO).utilization()[1],
+            pool.node(NodeId::new(1)).utilization()[1],
+        ];
         let target = pool.place(light);
-        let calmer = if u_before[0] <= u_before[1] { 0 } else { 1 };
+        let calmer = NodeId::new(if u_before[0] <= u_before[1] { 0 } else { 1 });
         assert_eq!(target, calmer, "utilisations {u_before:?}");
         let done = drive(&mut pool, &mut rng, eff, t0);
         assert_eq!(done, 8);
@@ -420,7 +480,7 @@ mod tests {
 
     #[test]
     fn warm_affinity_reuses_the_warm_node() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 3, Placement::WarmAffinity);
+        let mut pool = pool(3, Placement::WarmAffinity);
         let sid = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(3);
         let t0 = SimTime::ZERO;
@@ -428,6 +488,7 @@ mod tests {
         // queries stick to that node.
         let eff = pool.submit(q(0, sid, t0), t0, &mut rng);
         let first_node = (0..3)
+            .map(NodeId::new)
             .find(|&i| pool.node(i).container_count(sid) > 0)
             .unwrap();
         // Drive to completion (container now idle+warm). Drop expiry by
@@ -460,7 +521,7 @@ mod tests {
     fn hot_node_does_not_slow_a_quiet_one() {
         // The property that makes multi-node placement meaningful:
         // contention is per node.
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 2, Placement::RoundRobin);
+        let mut pool = pool(2, Placement::RoundRobin);
         let dd = pool.register(benchmarks::dd());
         let fl = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(4);
@@ -474,8 +535,8 @@ mod tests {
             // Round robin alternates, so node 0 gets even ids.
             eff.extend(pool.submit(q(i, dd, t0), t0, &mut rng));
         }
-        let u0 = pool.node(0).utilization()[1];
-        let u1 = pool.node(1).utilization()[1];
+        let u0 = pool.node(NodeId::ZERO).utilization()[1];
+        let u1 = pool.node(NodeId::new(1)).utilization()[1];
         // Both nodes loaded roughly equally by round robin.
         assert!((u0 - u1).abs() < 0.3, "{u0} vs {u1}");
         // A float query placed now sees only its own node's pressure —
@@ -490,8 +551,7 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let run = |seed: u64| {
-            let mut pool =
-                MultiNodePool::new(ServerlessConfig::default(), 3, Placement::LeastLoaded);
+            let mut pool = pool(3, Placement::LeastLoaded);
             let sid = pool.register(benchmarks::cloud_stor());
             let mut rng = SimRng::seed_from_u64(seed);
             let mut eff = Vec::new();
@@ -506,7 +566,7 @@ mod tests {
 
     #[test]
     fn prewarm_stripes_and_acks_once() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 3, Placement::RoundRobin);
+        let mut pool = pool(3, Placement::RoundRobin);
         let sid = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(7);
         let t0 = SimTime::ZERO;
@@ -514,7 +574,9 @@ mod tests {
         // No immediate ack: containers are warming.
         assert!(!eff.iter().any(|e| matches!(e, Effect::PrewarmReady { .. })));
         // Striped 3/2/2.
-        let counts: Vec<u32> = (0..3).map(|i| pool.node(i).container_count(sid)).collect();
+        let counts: Vec<u32> = (0..3)
+            .map(|i| pool.node(NodeId::new(i)).container_count(sid))
+            .collect();
         assert_eq!(counts.iter().sum::<u32>(), 7);
         assert!(counts.iter().all(|&c| c >= 2));
         // Drive the cold starts; exactly one aggregated ack arrives.
@@ -547,11 +609,12 @@ mod tests {
 
     #[test]
     fn warm_affinity_prewarm_concentrates() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 4, Placement::WarmAffinity);
+        let mut pool = pool(4, Placement::WarmAffinity);
         let sid = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(9);
         pool.prewarm(sid, 6, SimTime::ZERO, &mut rng);
         let nonzero = (0..4)
+            .map(NodeId::new)
             .filter(|&i| pool.node(i).container_count(sid) > 0)
             .count();
         assert_eq!(nonzero, 1, "affinity prewarm targets one node");
@@ -560,7 +623,7 @@ mod tests {
 
     #[test]
     fn release_drops_idles_fleet_wide() {
-        let mut pool = MultiNodePool::new(ServerlessConfig::default(), 2, Placement::RoundRobin);
+        let mut pool = pool(2, Placement::RoundRobin);
         let sid = pool.register(benchmarks::float());
         let mut rng = SimRng::seed_from_u64(11);
         let t0 = SimTime::ZERO;
@@ -590,6 +653,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_zero_nodes() {
-        MultiNodePool::new(ServerlessConfig::default(), 0, Placement::RoundRobin);
+        pool(0, Placement::RoundRobin);
     }
 }

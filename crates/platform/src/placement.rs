@@ -1,0 +1,250 @@
+//! The placement-target vocabulary shared by the engine and the
+//! multi-node runtime.
+//!
+//! The paper's switch protocol names one of two implicit platforms
+//! (the serverless pool or the IaaS fleet). In a geo-distributed
+//! topology that is not enough: a VM group boots *somewhere*, and a
+//! container pool lives on a node with its own capacity and its own
+//! distance from the user. A [`TargetId`] makes the destination
+//! explicit — node × mode — and a [`PlacementTarget`] describes what
+//! that destination offers, so schedulers can rank targets without
+//! knowing how either platform is implemented.
+
+use crate::config::{IaasConfig, ServerlessConfig};
+use crate::ids::NodeId;
+
+/// Which kind of platform a target addresses. The platform crate's
+/// twin of the engine's deploy mode (this crate cannot depend on
+/// `amoeba-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TargetMode {
+    /// The node's shared serverless container pool.
+    Serverless,
+    /// The node's dedicated IaaS VM fleet.
+    Iaas,
+}
+
+impl TargetMode {
+    /// Short lowercase label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetMode::Serverless => "serverless",
+            TargetMode::Iaas => "iaas",
+        }
+    }
+}
+
+/// A placement target: one deployment mode on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TargetId {
+    /// The hosting node.
+    pub node: NodeId,
+    /// Which platform on that node.
+    pub mode: TargetMode,
+}
+
+impl TargetId {
+    /// The serverless pool on `node`.
+    pub fn serverless(node: NodeId) -> Self {
+        TargetId {
+            node,
+            mode: TargetMode::Serverless,
+        }
+    }
+
+    /// The IaaS fleet on `node`.
+    pub fn iaas(node: NodeId) -> Self {
+        TargetId {
+            node,
+            mode: TargetMode::Iaas,
+        }
+    }
+}
+
+impl std::fmt::Display for TargetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@node{}", self.mode.label(), self.node.raw())
+    }
+}
+
+/// Capability descriptor of one placement target: what a scheduler
+/// needs to rank it without touching the platform behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementTarget {
+    /// Which target this describes.
+    pub id: TargetId,
+    /// Capacity vector `[cpu cores, disk MB/s, NIC MB/s]` of the
+    /// hosting node, after the node's capacity scale.
+    pub capacity: [f64; 3],
+    /// Seconds until a fresh unit is ready to serve: median cold start
+    /// for a serverless target, VM boot time for an IaaS target.
+    pub ready_latency_s: f64,
+    /// Round-trip time from the user-facing node (node 0), seconds.
+    pub rtt_s: f64,
+    /// Relative cost per core-second; serverless carries the vendor
+    /// premium over reserved IaaS capacity.
+    pub cost_per_core_s: f64,
+}
+
+/// Multi-node placement scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Amoeba switching per node: each service has a home node where
+    /// the full switch protocol runs, with load spill to the
+    /// least-loaded peer when the home pool saturates.
+    #[default]
+    AmoebaPerNode,
+    /// NOAH-style serverless scheduling: every query goes to the
+    /// least-loaded node's pool; no IaaS, no home affinity.
+    Noah,
+    /// Contention-aware edge placement: services are statically
+    /// assigned to nodes by dominant resource demand so that no node's
+    /// projected load vector peaks; all-serverless.
+    EdgeAware,
+}
+
+impl Scheduler {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduler::AmoebaPerNode => "amoeba-per-node",
+            Scheduler::Noah => "noah",
+            Scheduler::EdgeAware => "edge-aware",
+        }
+    }
+}
+
+/// Multi-node topology: per-node capacity scales plus a uniform
+/// inter-node round-trip time.
+///
+/// The default is the legacy single-node shape (one node at scale 1.0,
+/// zero RTT), which keeps every existing experiment byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyConfig {
+    /// Capacity scale per node: node `i`'s cores, disk and NIC
+    /// bandwidth, and pool memory are the base config times
+    /// `node_scales[i]`.
+    pub node_scales: Vec<f64>,
+    /// Round-trip time between any two distinct nodes, seconds.
+    pub rtt_s: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            node_scales: vec![1.0],
+            rtt_s: 0.0,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_scales.len()
+    }
+
+    /// RTT between two nodes (zero on the same node).
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.rtt_s
+        }
+    }
+
+    /// The base serverless config scaled to one node's capacity.
+    pub fn scaled(&self, base: &ServerlessConfig, node: NodeId) -> ServerlessConfig {
+        let s = self.node_scales[node.index()];
+        let mut cfg = *base;
+        cfg.node.cores *= s;
+        cfg.node.dram_mb *= s;
+        cfg.node.disk_bw_mbps *= s;
+        cfg.node.nic_bw_mbps *= s;
+        cfg.pool_memory_mb *= s;
+        cfg
+    }
+
+    /// Capability descriptors for every target in the topology, in
+    /// `(node, serverless-then-iaas)` order.
+    pub fn targets(
+        &self,
+        serverless: &ServerlessConfig,
+        iaas: &IaasConfig,
+    ) -> Vec<PlacementTarget> {
+        // Vendor premium over reserved capacity (§II-A: serverless is
+        // billed per use but at a higher unit rate).
+        const SERVERLESS_PREMIUM: f64 = 2.0;
+        let mut out = Vec::with_capacity(2 * self.node_count());
+        for i in 0..self.node_count() {
+            let node = NodeId::new(i);
+            let cfg = self.scaled(serverless, node);
+            let capacity = [cfg.node.cores, cfg.node.disk_bw_mbps, cfg.node.nic_bw_mbps];
+            let rtt_s = self.rtt(NodeId::ZERO, node);
+            out.push(PlacementTarget {
+                id: TargetId::serverless(node),
+                capacity,
+                ready_latency_s: cfg.cold_start_median_s,
+                rtt_s,
+                cost_per_core_s: SERVERLESS_PREMIUM,
+            });
+            out.push(PlacementTarget {
+                id: TargetId::iaas(node),
+                capacity,
+                ready_latency_s: iaas.boot_time_s,
+                rtt_s,
+                cost_per_core_s: 1.0,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_is_single_node_legacy() {
+        let t = TopologyConfig::default();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.rtt(NodeId::ZERO, NodeId::ZERO), 0.0);
+        let cfg = t.scaled(&ServerlessConfig::default(), NodeId::ZERO);
+        assert_eq!(cfg.node.cores, ServerlessConfig::default().node.cores);
+    }
+
+    #[test]
+    fn scaling_shrinks_capacity_and_pool() {
+        let t = TopologyConfig {
+            node_scales: vec![1.0, 0.5],
+            rtt_s: 0.04,
+        };
+        let base = ServerlessConfig::default();
+        let half = t.scaled(&base, NodeId::new(1));
+        assert_eq!(half.node.cores, base.node.cores * 0.5);
+        assert_eq!(half.pool_memory_mb, base.pool_memory_mb * 0.5);
+        // Overhead constants stay untouched.
+        assert_eq!(half.cold_start_median_s, base.cold_start_median_s);
+        assert_eq!(t.rtt(NodeId::ZERO, NodeId::new(1)), 0.04);
+    }
+
+    #[test]
+    fn targets_describe_every_node_and_mode() {
+        let t = TopologyConfig {
+            node_scales: vec![1.0, 0.75],
+            rtt_s: 0.04,
+        };
+        let targets = t.targets(&ServerlessConfig::default(), &IaasConfig::default());
+        assert_eq!(targets.len(), 4);
+        assert_eq!(targets[0].id, TargetId::serverless(NodeId::ZERO));
+        assert_eq!(targets[0].rtt_s, 0.0);
+        assert_eq!(targets[1].id, TargetId::iaas(NodeId::ZERO));
+        assert_eq!(
+            targets[1].ready_latency_s,
+            IaasConfig::default().boot_time_s
+        );
+        assert_eq!(targets[2].rtt_s, 0.04);
+        assert!(targets[0].cost_per_core_s > targets[1].cost_per_core_s);
+        assert_eq!(format!("{}", targets[3].id), "iaas@node1");
+    }
+}

@@ -437,6 +437,31 @@ pub struct FaultRecord {
     pub queries_dropped: u64,
 }
 
+/// One user query's node placement (multi-node runs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementRecord {
+    /// Arrival time.
+    pub t: SimTime,
+    /// Service index.
+    pub service: usize,
+    /// Executing node's index (0 = the home/control node).
+    pub node: usize,
+    /// Did the scheduler spill the query off its home node?
+    pub spill: bool,
+}
+
+/// Fleet-wide utilization snapshot, once per control tick (multi-node
+/// runs only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeUtilRecord {
+    /// Tick time.
+    pub t: SimTime,
+    /// Mean serverless-pool utilization across nodes [cpu, io, net].
+    pub mean_util: [f64; 3],
+    /// The hottest node's peak resource utilization.
+    pub max_node_util: f64,
+}
+
 /// The system recovering from an earlier fault.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryRecord {
@@ -481,6 +506,10 @@ pub enum TelemetryEvent {
     Fault(FaultRecord),
     /// The system recovered from an earlier fault (chaos runs only).
     Recovery(RecoveryRecord),
+    /// A query's node placement (multi-node runs only).
+    Placement(PlacementRecord),
+    /// Fleet utilization snapshot (multi-node runs only).
+    NodeUtil(NodeUtilRecord),
 }
 
 /// A malformed trace line.
@@ -653,6 +682,19 @@ impl TelemetryEvent {
                 "service": (Value::from(r.service)),
                 "after_s": r.after_s,
             }),
+            TelemetryEvent::Placement(r) => json!({
+                "type": "placement",
+                "t_us": r.t.as_micros(),
+                "service": r.service,
+                "node": r.node,
+                "spill": r.spill,
+            }),
+            TelemetryEvent::NodeUtil(r) => json!({
+                "type": "node_util",
+                "t_us": r.t.as_micros(),
+                "mean_util": (triple(r.mean_util)),
+                "max_node_util": r.max_node_util,
+            }),
         }
     }
 
@@ -759,6 +801,19 @@ impl TelemetryEvent {
                 service: v["service"].as_u64().map(|s| s as usize),
                 after_s: get_f64(v, "after_s")?,
             })),
+            "placement" => Ok(TelemetryEvent::Placement(PlacementRecord {
+                t: get_time(v)?,
+                service: get_u64(v, "service")? as usize,
+                node: get_u64(v, "node")? as usize,
+                spill: v["spill"]
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("missing 'spill'".into()))?,
+            })),
+            "node_util" => Ok(TelemetryEvent::NodeUtil(NodeUtilRecord {
+                t: get_time(v)?,
+                mean_util: get_triple(v, "mean_util")?,
+                max_node_util: get_f64(v, "max_node_util")?,
+            })),
             other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
         }
     }
@@ -775,6 +830,8 @@ impl TelemetryEvent {
             TelemetryEvent::Forecast(r) => r.t,
             TelemetryEvent::Fault(r) => r.t,
             TelemetryEvent::Recovery(r) => r.t,
+            TelemetryEvent::Placement(r) => r.t,
+            TelemetryEvent::NodeUtil(r) => r.t,
         }
     }
 }

@@ -34,9 +34,10 @@ pub mod sink;
 pub mod trace;
 
 pub use event::{
-    DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, RecoveryKind,
-    RecoveryRecord, ServiceInfo, SwitchPhase, SwitchRecord, TelemetryEvent, TickReason, TickRecord,
-    TraceDecision, ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
+    PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, SwitchPhase, SwitchRecord,
+    TelemetryEvent, TickReason, TickRecord, TraceDecision, ViolationCause, ViolationRecord,
+    WarmSampleRecord,
 };
 pub use sink::{MemorySink, NoopSink, TelemetrySink};
 pub use trace::{ServiceSummary, SwitchSpan, Trace, TraceSummary};

@@ -7,8 +7,9 @@ use std::fmt;
 use amoeba_sim::{SimDuration, SimTime};
 
 use crate::event::{
-    DecodeError, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, RecoveryRecord, SwitchPhase,
-    SwitchRecord, TelemetryEvent, TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
+    PlacementRecord, RecoveryRecord, SwitchPhase, SwitchRecord, TelemetryEvent, TickRecord,
+    ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 
 /// An ordered, append-only stream of [`TelemetryEvent`]s for one run.
@@ -215,6 +216,22 @@ impl Trace {
     pub fn recoveries(&self) -> impl Iterator<Item = &RecoveryRecord> {
         self.events.iter().filter_map(|e| match e {
             TelemetryEvent::Recovery(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Node-placement records, in order (multi-node runs only).
+    pub fn placements(&self) -> impl Iterator<Item = &PlacementRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Placement(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Fleet utilization snapshots, in order (multi-node runs only).
+    pub fn node_utils(&self) -> impl Iterator<Item = &NodeUtilRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::NodeUtil(r) => Some(r),
             _ => None,
         })
     }
