@@ -8,14 +8,15 @@
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
 //! ablation-prewarm ablation-percentile week ablation-placement trace
-//! forecast resilience multinode.
+//! forecast resilience multinode workflow.
 //!
 //! `--smoke` shrinks the simulated day and seed sweep (currently the
-//! `multinode` report) so CI can exercise the report path cheaply.
+//! `multinode` and `workflow` reports) so CI can exercise the report
+//! path cheaply.
 
 use amoeba_bench::{
     ablations, evaluation, extensions, forecast, investigation, multinode, profiling, resilience,
-    Report,
+    workflow, Report,
 };
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
@@ -54,6 +55,13 @@ fn by_id(id: &str, smoke: bool) -> Option<Report> {
                 multinode::multinode(DEFAULT_DAY_S, DEFAULT_SEED, 2)
             }
         }
+        "workflow" => {
+            if smoke {
+                workflow::workflow(120.0, DEFAULT_SEED, 1)
+            } else {
+                workflow::workflow(DEFAULT_DAY_S, DEFAULT_SEED, 2)
+            }
+        }
         _ => return None,
     };
     Some(r)
@@ -83,6 +91,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "forecast",
             "resilience",
             "multinode",
+            "workflow",
         ],
     ),
 ];

@@ -19,6 +19,7 @@ pub mod report;
 pub mod resilience;
 pub mod scenarios;
 pub mod steady;
+pub mod workflow;
 
 pub use report::Report;
 pub use scenarios::{standard_scenario, DEFAULT_DAY_S, DEFAULT_SEED};

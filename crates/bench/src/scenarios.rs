@@ -22,6 +22,26 @@ pub const DEFAULT_SEED: u64 = 42;
 /// peak load ... by carefully designed parameters").
 const BACKGROUND: [(&str, f64); 3] = [("float", 0.20), ("dd", 0.15), ("cloud_stor", 0.20)];
 
+/// The three §VII-A background services on their reduced peaks —
+/// shared by the standard scenario and the workflow report, so every
+/// comparison runs against the same contention floor.
+pub fn background_services(day_s: f64) -> Vec<ServiceSetup> {
+    BACKGROUND
+        .iter()
+        .map(|&(name, frac)| {
+            let mut spec = benchmarks::benchmark_by_name(name).expect("known benchmark");
+            let peak = spec.peak_qps * frac;
+            spec.name = format!("bg_{name}");
+            spec.peak_qps = peak;
+            ServiceSetup {
+                trace: LoadTrace::new(DiurnalPattern::didi(), peak, day_s),
+                spec,
+                background: true,
+            }
+        })
+        .collect()
+}
+
 /// The §VII-A setup: one foreground benchmark plus the three background
 /// services, all on Didi-shaped diurnal traces over a compressed day.
 pub fn standard_scenario(foreground: MicroserviceSpec, day_s: f64) -> Vec<ServiceSetup> {
@@ -30,17 +50,7 @@ pub fn standard_scenario(foreground: MicroserviceSpec, day_s: f64) -> Vec<Servic
         spec: foreground,
         background: false,
     }];
-    for (name, frac) in BACKGROUND {
-        let mut spec = benchmarks::benchmark_by_name(name).expect("known benchmark");
-        let peak = spec.peak_qps * frac;
-        spec.name = format!("bg_{name}");
-        spec.peak_qps = peak;
-        setups.push(ServiceSetup {
-            trace: LoadTrace::new(DiurnalPattern::didi(), peak, day_s),
-            spec,
-            background: true,
-        });
-    }
+    setups.extend(background_services(day_s));
     setups
 }
 

@@ -193,6 +193,14 @@ struct ServiceState {
     arrivals: VecDeque<SimTime>,
     gain: f64,
     forecaster: Option<Box<dyn Forecaster>>,
+    /// External λ-shift hint: the arrival rate this service is *about*
+    /// to see, known upstream of its own measured window (a workflow
+    /// stage's successors see the root's λ after the upstream
+    /// latencies, so their own windows lag load changes and go stale
+    /// across an upstream switch). `None` — the default, and the only
+    /// state non-workflow runs ever observe — leaves decisions purely
+    /// measurement-driven.
+    load_hint: Option<f64>,
 }
 
 /// The deployment controller for a set of services.
@@ -218,8 +226,18 @@ impl DeploymentController {
             arrivals: VecDeque::new(),
             gain: 1.0,
             forecaster: None,
+            load_hint: None,
         });
         self.services.len() - 1
+    }
+
+    /// Set (or clear) the λ-shift hint for a service. The next
+    /// [`Self::decide`] evaluates Eq. 5 against the max of the measured
+    /// load, the forecast bound and this hint — conservative toward
+    /// QoS, like the proactive bound: a hint can only delay a switch
+    /// down or advance a switch up.
+    pub fn set_load_hint(&mut self, idx: usize, hint: Option<f64>) {
+        self.services[idx].load_hint = hint.filter(|h| h.is_finite() && *h >= 0.0);
     }
 
     /// Attach a load forecaster to a service. Until one is attached (or
@@ -497,6 +515,15 @@ impl DeploymentController {
             _ => None,
         };
         let eval_qps = forecast.map_or(load, |fc| load.max(fc.hi));
+        // λ-shift: a workflow stage's true offered load is the root
+        // stage's λ time-shifted by upstream latencies, so its own
+        // arrival window understates imminent load while upstream
+        // stages drain, switch or burst. Taking the max keeps the
+        // admission test honest about what is about to arrive.
+        let eval_qps = match self.services[idx].load_hint {
+            Some(h) => eval_qps.max(h),
+            None => eval_qps,
+        };
         let (p_eff, lambda_max) = match mode {
             DeployMode::Iaas => {
                 // Measured pressure excludes this service (it runs on

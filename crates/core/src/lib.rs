@@ -40,4 +40,5 @@ pub use monitor::{
 pub use monitor_nd::NdContentionMonitor;
 pub use runtime::{
     BreakdownMeans, Experiment, ExperimentBuilder, RunResult, ServiceResult, ServiceSetup,
+    WorkflowResult, WorkflowSetup,
 };

@@ -1,10 +1,11 @@
 //! Arrival handling: one user query enters the system.
 
-use super::fabric::wire_delay;
+use super::effects::EffectBus;
+use super::fabric::{wire_delay, Fabric};
 use super::{Ev, SimWorld};
 use crate::engine::RouteTarget;
-use amoeba_platform::{NodeId, Query, QueryId};
-use amoeba_sim::SimTime;
+use amoeba_platform::{IaasPlatform, NodeId, Query, QueryId, ServerlessPlatform};
+use amoeba_sim::{EventQueue, SimRng, SimTime};
 use amoeba_telemetry::{PlacementRecord, TelemetryEvent, TelemetrySink};
 use amoeba_workload::ArrivalProcess;
 
@@ -30,16 +31,27 @@ pub(crate) fn on_arrival(
         bus,
         queue,
         fabric,
+        workflow,
         warmup_t,
         ..
     } = world;
     let sid = services[idx].sid;
     controller.record_arrival(idx, now);
-    let qid = QueryId::user(services[idx].next_query_id);
+    let seq = services[idx].next_query_id;
     services[idx].next_query_id += 1;
     if now >= *warmup_t {
         services[idx].submitted += 1;
     }
+    // Workflow root stages tag the query with their stage index and
+    // open the instance record; a plain service's untagged id is
+    // bit-identical to a stage-0 tag.
+    let qid = match workflow
+        .as_mut()
+        .and_then(|w| w.open_root(idx, seq, now, now >= *warmup_t))
+    {
+        Some(stage) => QueryId::user_stage(seq, stage),
+        None => QueryId::user(seq),
+    };
     let query = Query {
         id: qid,
         service: sid,
@@ -50,6 +62,49 @@ pub(crate) fn on_arrival(
     } else {
         engine.route(sid)
     };
+    route_and_submit(
+        idx,
+        query,
+        target,
+        now,
+        serverless,
+        iaas,
+        platform_rng,
+        iaas_rng,
+        bus,
+        queue,
+        fabric,
+        sink,
+    );
+    if !services[idx].exhausted {
+        if let Some(t) = services[idx].arrivals.next_after(now) {
+            queue.push(t, Ev::Arrival { idx });
+        } else {
+            services[idx].exhausted = true;
+        }
+    }
+}
+
+/// Place a routed user query on a node (multi-node runs only) and
+/// submit it to the chosen platform. Shared between external arrivals
+/// and workflow stage hand-offs — both classes of traffic pay the same
+/// placement, spill and wire-delay rules.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_and_submit(
+    idx: usize,
+    query: Query,
+    target: RouteTarget,
+    now: SimTime,
+    serverless: &mut ServerlessPlatform,
+    iaas: &mut IaasPlatform,
+    platform_rng: &mut SimRng,
+    iaas_rng: &mut SimRng,
+    bus: &mut EffectBus,
+    queue: &mut EventQueue<Ev>,
+    fabric: &mut Option<Fabric>,
+    sink: &mut dyn TelemetrySink,
+) {
+    let sid = query.service;
     if let Some(f) = fabric.as_mut() {
         let (node, spill) = f.place(idx, target, serverless);
         if sink.enabled() {
@@ -94,13 +149,6 @@ pub(crate) fn on_arrival(
             RouteTarget::Iaas => {
                 bus.extend(iaas.submit(query, now, iaas_rng));
             }
-        }
-    }
-    if !services[idx].exhausted {
-        if let Some(t) = services[idx].arrivals.next_after(now) {
-            queue.push(t, Ev::Arrival { idx });
-        } else {
-            services[idx].exhausted = true;
         }
     }
 }

@@ -27,7 +27,16 @@ pub(crate) fn on_completed(
         services,
         controller,
         monitor,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        iaas_rng,
+        bus,
+        queue,
+        fabric,
         chaos,
+        workflow,
         meter_ids,
         warmup_t,
         ..
@@ -49,8 +58,37 @@ pub(crate) fn on_completed(
     }
     if !swallowed {
         account(
-            exp, outcome, now, *warmup_t, meter_ids, services, controller, monitor, sink,
+            exp, &outcome, now, *warmup_t, meter_ids, services, controller, monitor, sink,
         );
+        // Workflow stage hand-off, after (and independent of) QoS
+        // accounting: successors must flow even during warmup, when
+        // `account` records nothing.
+        if !outcome.query.id.is_shadow() {
+            if let Some(wrt) = workflow.as_mut() {
+                let idx = outcome.query.service.raw() as usize;
+                if let Some((w, s)) = wrt.stage_of(idx) {
+                    super::workflow::on_stage_complete(
+                        wrt,
+                        w,
+                        s,
+                        &outcome,
+                        now,
+                        services,
+                        controller,
+                        engine,
+                        serverless,
+                        iaas,
+                        platform_rng,
+                        iaas_rng,
+                        bus,
+                        queue,
+                        fabric,
+                        *warmup_t,
+                        sink,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -61,7 +99,7 @@ pub(crate) fn on_completed(
 #[allow(clippy::too_many_arguments)]
 fn account(
     exp: &Experiment,
-    outcome: QueryOutcome,
+    outcome: &QueryOutcome,
     now: SimTime,
     warmup_t: SimTime,
     meter_ids: &[ServiceId; 3],
@@ -100,7 +138,9 @@ fn account(
     let s = &mut services[idx];
     s.recorder.record(outcome.latency());
     s.completed += 1;
-    let target = exp.services[idx].spec.qos_target_s;
+    // The registered spec, not `exp.services[idx]`: lowered workflow
+    // stages exist only in the runtime, with their split budgets.
+    let target = s.spec.qos_target_s;
     let latency_s = outcome.latency().as_secs_f64();
     if outcome.executed_on == ExecutedOn::Serverless {
         s.serverless_queries += 1;

@@ -34,6 +34,7 @@ pub(crate) fn on_control_tick(
         bus,
         queue,
         fabric,
+        workflow,
         drain_deadline,
         wasted_prewarms,
         failed_switches,
@@ -133,6 +134,23 @@ pub(crate) fn on_control_tick(
         for idx in 0..services.len() {
             if !services[idx].pinned {
                 controller.observe_load(idx, now);
+            }
+        }
+        // λ-shift accounting: every instance visits every stage once,
+        // so each non-root stage is about to see the root's current λ
+        // (time-shifted by upstream latency). Hint it to the
+        // controller before this tick's decisions — the stage's own
+        // arrival window lags the root by the upstream latencies and
+        // goes stale across an upstream switch.
+        if let Some(wrt) = workflow.as_ref() {
+            for wf in &wrt.workflows {
+                let root = wf.spec.root();
+                let lam = controller.estimated_load(wf.svc[root], now);
+                for (s, &svc_idx) in wf.svc.iter().enumerate() {
+                    if s != root {
+                        controller.set_load_hint(svc_idx, Some(lam));
+                    }
+                }
             }
         }
         // Current serverless co-tenants with their loads.

@@ -183,6 +183,7 @@ pub(crate) fn on_chaos(
         queue,
         chaos,
         fabric,
+        workflow,
         warmup_t,
         ..
     } = world;
@@ -210,6 +211,13 @@ pub(crate) fn on_chaos(
                             dropped = 1;
                             if idx < services.len() && q.submitted >= *warmup_t {
                                 services[idx].failed += 1;
+                            }
+                            // A dropped stage query fails its whole
+                            // workflow instance; sibling branches
+                            // short-circuit when they complete, so
+                            // per-stage conservation holds.
+                            if let Some(wrt) = workflow.as_mut() {
+                                wrt.on_stage_query_lost(idx, q.id);
                             }
                             // Chaos only strikes node 0; the fabric's
                             // conservation counters track every user

@@ -38,9 +38,12 @@ mod faults;
 mod metering;
 mod results;
 mod switching;
+mod workflow;
 mod world;
 
-pub use results::{BreakdownMeans, MultiNodeSummary, NodeTotals, RunResult, ServiceResult};
+pub use results::{
+    BreakdownMeans, MultiNodeSummary, NodeTotals, RunResult, ServiceResult, WorkflowResult,
+};
 
 use crate::baselines::SystemVariant;
 use crate::controller::{ControllerConfig, DecisionTrace};
@@ -54,7 +57,7 @@ use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{
     ForecastRecord, MemorySink, NoopSink, TelemetryEvent, TelemetrySink, Trace,
 };
-use amoeba_workload::{LoadTrace, MicroserviceSpec};
+use amoeba_workload::{LoadTrace, MicroserviceSpec, WorkflowSpec};
 
 // Re-imports for the submodules and the test module (which glob-import
 // `super::*`): the kernel's shared vocabulary.
@@ -90,6 +93,25 @@ pub struct ServiceSetup {
     pub background: bool,
 }
 
+/// One workflow DAG service in an experiment.
+///
+/// The runtime lowers each stage to its own managed service: the
+/// end-to-end budget is split across stages in proportion to their
+/// solo latencies along the critical path
+/// ([`WorkflowSpec::stage_budgets`]), the load trace drives the root
+/// stage, and stage completions enqueue successor arrivals through
+/// the effect bus (fan-in joins on the slowest branch). A
+/// single-stage workflow lowers to a plain foreground service and
+/// runs the legacy path bit-identically.
+pub struct WorkflowSetup {
+    /// The validated DAG definition.
+    pub spec: WorkflowSpec,
+    /// The load trace driving the root stage. Every instance visits
+    /// every stage once, so each stage sees this full λ (time-shifted
+    /// by upstream latency).
+    pub trace: LoadTrace,
+}
+
 /// A full experiment description.
 pub struct Experiment {
     /// Serverless platform configuration.
@@ -104,6 +126,9 @@ pub struct Experiment {
     pub variant: SystemVariant,
     /// The services and their traces.
     pub services: Vec<ServiceSetup>,
+    /// Workflow DAG services, lowered to per-stage managed services
+    /// after `services` (stage ids follow the plain service ids).
+    pub workflows: Vec<WorkflowSetup>,
     /// Simulated duration.
     pub horizon: SimDuration,
     /// Time at the start excluded from latency/QoS accounting (VM boot
@@ -161,6 +186,7 @@ impl Experiment {
                 monitor_cfg: MonitorConfig::default(),
                 variant,
                 services: Vec::new(),
+                workflows: Vec::new(),
                 horizon,
                 warmup: SimDuration::from_secs(20),
                 seed,
@@ -294,6 +320,13 @@ impl ExperimentBuilder {
     /// Add a batch of services (appended after any added so far).
     pub fn services(mut self, setups: Vec<ServiceSetup>) -> Self {
         self.inner.services.extend(setups);
+        self
+    }
+
+    /// Add one workflow DAG service. Its stages register as managed
+    /// services after every plain service, in stage-index order.
+    pub fn workflow(mut self, setup: WorkflowSetup) -> Self {
+        self.inner.workflows.push(setup);
         self
     }
 

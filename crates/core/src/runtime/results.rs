@@ -142,6 +142,61 @@ impl ServiceResult {
     }
 }
 
+/// Per-workflow results of a run (multi-stage workflows only;
+/// single-stage workflows lower to a plain [`ServiceResult`]).
+pub struct WorkflowResult {
+    /// Workflow name.
+    pub name: String,
+    /// End-to-end QoS target, seconds.
+    pub qos_target_s: f64,
+    /// QoS percentile.
+    pub qos_percentile: f64,
+    /// Stage names, in stage-index order.
+    pub stages: Vec<String>,
+    /// Indices into [`RunResult::services`] of the lowered per-stage
+    /// services, in stage-index order.
+    pub stage_services: Vec<usize>,
+    /// The split per-stage latency budgets, seconds.
+    pub stage_budgets: Vec<f64>,
+    /// End-to-end latencies of counted, completed instances.
+    pub latency: LatencyRecorder,
+    /// Instances submitted post-warmup.
+    pub submitted: usize,
+    /// Counted instances whose every stage completed.
+    pub completed: usize,
+    /// Counted instances lost to an injected fault mid-DAG.
+    pub failed: usize,
+    /// Counted instances whose end-to-end latency broke the target.
+    pub violations: usize,
+    /// Per-stage completions over their split budget — attribution of
+    /// where end-to-end violations were manufactured.
+    pub stage_violations: Vec<usize>,
+}
+
+impl WorkflowResult {
+    /// Fraction of completed instances over the end-to-end target.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.violations as f64 / self.completed as f64
+    }
+
+    /// The r-ile end-to-end latency in seconds.
+    pub fn qos_latency(&mut self) -> Option<f64> {
+        let q = self.qos_percentile;
+        self.latency.quantile(q).map(|d| d.as_secs_f64())
+    }
+
+    /// Does the run meet the paper's QoS definition (r-ile ≤ target)?
+    pub fn qos_met(&mut self) -> bool {
+        match self.qos_latency() {
+            Some(l) => l <= self.qos_target_s,
+            None => true,
+        }
+    }
+}
+
 /// Per-node totals of one multi-node run. Conservation holds per node:
 /// `submitted == completed + failed` once the calendar drains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -169,8 +224,11 @@ pub struct MultiNodeSummary {
 pub struct RunResult {
     /// Which system ran.
     pub variant: SystemVariant,
-    /// Per-service results, in the order of [`Experiment::services`].
+    /// Per-service results: [`Experiment::services`] first, then the
+    /// lowered workflow stages in attachment order.
     pub services: Vec<ServiceResult>,
+    /// Per-workflow end-to-end results (multi-stage workflows only).
+    pub workflows: Vec<WorkflowResult>,
     /// Mean CPU fraction of the node consumed by the three contention
     /// meters (§VII-E overhead accounting).
     pub meter_cpu_overhead: f64,
@@ -204,6 +262,7 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         engine,
         services,
         fabric,
+        workflow,
         wasted_prewarms,
         failed_switches,
         meter_core_seconds,
@@ -225,12 +284,11 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
     let node_core_seconds = exp.serverless_cfg.node.cores * exp.horizon.as_secs_f64();
     let results: Vec<ServiceResult> = services
         .into_iter()
-        .enumerate()
-        .map(|(idx, s)| ServiceResult {
-            name: exp.services[idx].spec.name.clone(),
+        .map(|s| ServiceResult {
+            name: s.spec.name.clone(),
             background: s.background,
-            qos_target_s: exp.services[idx].spec.qos_target_s,
-            qos_percentile: exp.services[idx].spec.qos_percentile,
+            qos_target_s: s.spec.qos_target_s,
+            qos_percentile: s.spec.qos_percentile,
             latency: s.recorder,
             usage: s.usage.finish(horizon_t),
             switch_history: engine.history(s.sid).to_vec(),
@@ -269,9 +327,31 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
             .collect(),
         spill_total: f.spill_total,
     });
+    let workflows: Vec<WorkflowResult> = workflow
+        .map(|wrt| {
+            wrt.workflows
+                .into_iter()
+                .map(|wf| WorkflowResult {
+                    name: wf.spec.name().to_string(),
+                    qos_target_s: wf.spec.qos_target_s(),
+                    qos_percentile: wf.spec.qos_percentile(),
+                    stages: wf.spec.stages().iter().map(|st| st.name.clone()).collect(),
+                    stage_services: wf.svc,
+                    stage_budgets: wf.budgets,
+                    latency: wf.recorder,
+                    submitted: wf.submitted,
+                    completed: wf.completed,
+                    failed: wf.failed,
+                    violations: wf.violations,
+                    stage_violations: wf.stage_violations,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     RunResult {
         variant: exp.variant,
         services: results,
+        workflows,
         meter_cpu_overhead: meter_core_seconds / node_core_seconds,
         final_weights,
         mean_pressures,

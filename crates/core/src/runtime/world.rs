@@ -8,6 +8,7 @@
 use super::effects::EffectBus;
 use super::fabric::{self, Fabric, NodeRt};
 use super::faults::ChaosRt;
+use super::workflow::WorkflowRt;
 use super::{Ev, Experiment};
 use crate::baselines::SystemVariant;
 use crate::controller::{DeployMode, DeploymentController, ProactiveConfig, ServiceModel};
@@ -21,12 +22,19 @@ use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter};
 use amoeba_platform::{Effect, IaasPlatform, NodeId, Scheduler, ServerlessPlatform, ServiceId};
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{ServiceInfo, TelemetryEvent, TelemetrySink};
-use amoeba_workload::{ArrivalProcess, PoissonArrivals};
+use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals, WorkflowSpec};
 use std::collections::BTreeMap;
+
+/// Serverless container memory for lowered workflow stages, MB
+/// (Table II's standard container size).
+const STAGE_CONTAINER_MEM_MB: f64 = 256.0;
 
 /// Per-service mutable run state: arrival stream, recorders, counters.
 pub(crate) struct ServiceRt {
     pub(crate) sid: ServiceId,
+    /// The registered spec — for plain services a clone of the setup's,
+    /// for workflow stages the lowered per-stage spec (split budget).
+    pub(crate) spec: MicroserviceSpec,
     pub(crate) background: bool,
     pub(crate) pinned: bool,
     pub(crate) arrivals: PoissonArrivals,
@@ -68,6 +76,9 @@ pub(crate) struct SimWorld {
     /// Multi-node fabric, present only when the topology has more than
     /// one node. `None` runs the legacy single-node path bit-identically.
     pub(crate) fabric: Option<Fabric>,
+    /// Workflow DAG bookkeeping, present only when a multi-stage
+    /// workflow is attached. `None` runs the legacy path bit-identically.
+    pub(crate) workflow: Option<WorkflowRt>,
     /// Drain watchdog deadlines, armed per `ReleaseVms`.
     pub(crate) drain_deadline: Vec<Option<SimTime>>,
     pub(crate) wasted_prewarms: u64,
@@ -84,6 +95,18 @@ pub(crate) struct SimWorld {
     pub(crate) heartbeat_period: SimDuration,
     /// The per-tenant container cap, for the Eq. 7 prewarm clamp.
     pub(crate) n_max: u32,
+}
+
+/// One managed service to register: a plain [`super::ServiceSetup`] or
+/// one lowered workflow stage.
+struct SvcDesc {
+    spec: MicroserviceSpec,
+    background: bool,
+    /// External arrival trace; `None` for internal (non-root) workflow
+    /// stages, fed by upstream stage completions instead.
+    trace: Option<LoadTrace>,
+    /// Diurnal period for the forecaster's seasonal buckets.
+    day_s: f64,
 }
 
 /// Build the world: fork the RNG streams, register services and meters
@@ -128,12 +151,83 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         exp.serverless_cfg.node.nic_bw_mbps,
     ];
 
+    // Flatten plain services and lowered workflow stages into one
+    // registration list. Stage budgets come from the analytic solo
+    // latency (execution phases plus serverless overheads), computed
+    // *before* registration because registering a spec consumes its
+    // QoS target for IaaS capacity sizing.
+    let mut descs: Vec<SvcDesc> = exp
+        .services
+        .iter()
+        .map(|s| SvcDesc {
+            spec: s.spec.clone(),
+            background: s.background,
+            day_s: s.trace.day_seconds(),
+            trace: Some(s.trace.clone()),
+        })
+        .collect();
+    let mut wf_meta: Vec<(WorkflowSpec, Vec<usize>, Vec<f64>)> = Vec::new();
+    for wf in &exp.workflows {
+        let spec = &wf.spec;
+        let l0_est: Vec<f64> = spec
+            .stages()
+            .iter()
+            .map(|st| {
+                st.demand.solo_exec_seconds(
+                    exp.serverless_cfg.per_flow_io_mbps,
+                    exp.serverless_cfg.per_flow_net_mbps,
+                ) + exp.serverless_cfg.auth_s
+                    + exp.serverless_cfg.code_load_base_s
+                    + exp.serverless_cfg.code_load_s_per_mb * st.demand.mem_mb
+                    + exp.serverless_cfg.result_post_s
+            })
+            .collect();
+        let budgets = spec.stage_budgets(&l0_est);
+        if spec.is_single_stage() {
+            // A single-stage DAG is a plain foreground service: full
+            // budget, legacy arrival path, no instance tracking.
+            descs.push(SvcDesc {
+                spec: MicroserviceSpec {
+                    name: spec.name().to_string(),
+                    demand: spec.stages()[0].demand,
+                    qos_target_s: spec.qos_target_s(),
+                    qos_percentile: spec.qos_percentile(),
+                    peak_qps: spec.peak_qps(),
+                    container_mem_mb: STAGE_CONTAINER_MEM_MB,
+                },
+                background: false,
+                day_s: wf.trace.day_seconds(),
+                trace: Some(wf.trace.clone()),
+            });
+            continue;
+        }
+        let first = descs.len();
+        for (i, st) in spec.stages().iter().enumerate() {
+            descs.push(SvcDesc {
+                spec: MicroserviceSpec {
+                    name: format!("{}.{}", spec.name(), st.name),
+                    demand: st.demand,
+                    qos_target_s: budgets[i],
+                    qos_percentile: spec.qos_percentile(),
+                    // Every instance visits every stage once, so each
+                    // stage is provisioned for the workflow's full peak.
+                    peak_qps: spec.peak_qps(),
+                    container_mem_mb: STAGE_CONTAINER_MEM_MB,
+                },
+                background: false,
+                day_s: wf.trace.day_seconds(),
+                trace: (i == spec.root()).then(|| wf.trace.clone()),
+            });
+        }
+        wf_meta.push((spec.clone(), (first..descs.len()).collect(), budgets));
+    }
+
     // Register every service on both platforms (ids must align) and
     // build its controller model from analytic profiling.
     let mut services: Vec<ServiceRt> = Vec::new();
-    for setup in &exp.services {
-        let sid = serverless.register(setup.spec.clone());
-        let iid = iaas.register(setup.spec.clone());
+    for desc in &descs {
+        let sid = serverless.register(desc.spec.clone());
+        let iid = iaas.register(desc.spec.clone());
         assert_eq!(sid, iid, "platform id mismatch");
         let phases = serverless.service_phases(sid);
         let overhead = serverless.overhead_seconds(sid);
@@ -142,11 +236,11 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         let rate_arr = [rates.cpu_cores, rates.io_mbps, rates.net_mbps];
         let mut loads: Vec<f64> = vec![
             0.5,
-            setup.spec.peak_qps * 0.25,
-            setup.spec.peak_qps * 0.5,
-            setup.spec.peak_qps * 0.75,
-            setup.spec.peak_qps,
-            setup.spec.peak_qps * 1.25,
+            desc.spec.peak_qps * 0.25,
+            desc.spec.peak_qps * 0.5,
+            desc.spec.peak_qps * 0.75,
+            desc.spec.peak_qps,
+            desc.spec.peak_qps * 1.25,
         ];
         loads.sort_by(|a, b| a.partial_cmp(b).unwrap());
         loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
@@ -158,24 +252,24 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
                 r,
                 exp.serverless_cfg.slowdown_kappa[r],
                 n_max,
-                setup.spec.qos_percentile,
+                desc.spec.qos_percentile,
                 loads.clone(),
                 pressures.clone(),
             )
         });
         let util_per_qps = [0, 1, 2].map(|r| l0 * rate_arr[r] / caps[r]);
         let idx = controller.register(ServiceModel {
-            spec: setup.spec.clone(),
+            spec: desc.spec.clone(),
             l0_s: l0,
             surfaces,
             util_per_qps,
             n_max,
         });
-        if exp.variant.proactive() && !setup.background {
+        if exp.variant.proactive() && !desc.background {
             // Seasonal buckets at roughly half the tick cadence keep
             // several observations per bucket while still resolving
             // the diurnal shoulders.
-            let day_s = setup.trace.day_seconds();
+            let day_s = desc.day_s;
             let control_s = exp.control_period.as_secs_f64().max(1e-3);
             let buckets = ((day_s / control_s / 2.0).round() as usize).clamp(24, 240);
             controller.attach_forecaster(
@@ -186,15 +280,25 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
                 )),
             );
         }
-        let arrivals = PoissonArrivals::from_trace(
-            setup.trace.clone(),
-            SimTime::ZERO + exp.horizon,
-            master_rng.fork(),
-        );
-        let pinned = setup.background || !exp.variant.switches();
+        // Internal (non-root) workflow stages have no external arrival
+        // stream: their queries come from upstream stage completions.
+        // The placeholder process is exhausted at t0 and draws from a
+        // fixed-seed RNG, so the master fork order — part of the
+        // determinism contract — is untouched by how many stages a
+        // workflow has.
+        let arrivals = match &desc.trace {
+            Some(trace) => PoissonArrivals::from_trace(
+                trace.clone(),
+                SimTime::ZERO + exp.horizon,
+                master_rng.fork(),
+            ),
+            None => PoissonArrivals::constant(1.0, SimTime::ZERO, SimRng::seed_from_u64(0)),
+        };
+        let pinned = desc.background || !exp.variant.switches();
         services.push(ServiceRt {
             sid,
-            background: setup.background,
+            spec: desc.spec.clone(),
+            background: desc.background,
             pinned,
             arrivals,
             exhausted: false,
@@ -214,6 +318,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
             next_query_id: 0,
         });
     }
+    let workflow = WorkflowRt::new(wf_meta, services.len());
 
     // Register the three contention meters (serverless only — they
     // never run on IaaS, and their ids come after all services).
@@ -273,9 +378,9 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
                 let cfg = exp.topology.scaled(&exp.serverless_cfg, NodeId::new(i));
                 let mut sl = ServerlessPlatform::new(cfg);
                 let mut ia = IaasPlatform::new(exp.iaas_cfg);
-                for setup in &exp.services {
-                    let a = sl.register(setup.spec.clone());
-                    let b = ia.register(setup.spec.clone());
+                for desc in &descs {
+                    let a = sl.register(desc.spec.clone());
+                    let b = ia.register(desc.spec.clone());
                     debug_assert_eq!(a, b, "remote platform id mismatch");
                 }
                 NodeRt {
@@ -286,8 +391,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
             .collect();
         let home: Vec<NodeId> = match exp.scheduler {
             Scheduler::EdgeAware => {
-                let demands: Vec<[f64; 3]> = exp
-                    .services
+                let demands: Vec<[f64; 3]> = descs
                     .iter()
                     .map(|s| {
                         [
@@ -324,13 +428,12 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
             variant: exp.variant.label().to_string(),
             seed: exp.seed,
             horizon_s: exp.horizon.as_secs_f64(),
-            services: exp
-                .services
+            services: descs
                 .iter()
-                .map(|setup| ServiceInfo {
-                    name: setup.spec.name.clone(),
-                    background: setup.background,
-                    initial_mode: if setup.background {
+                .map(|desc| ServiceInfo {
+                    name: desc.spec.name.clone(),
+                    background: desc.background,
+                    initial_mode: if desc.background {
                         DeployMode::Serverless
                     } else {
                         initial_fg_mode
@@ -348,14 +451,14 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
 
     // Heartbeat period per Eq. 8 (worst case over foreground specs).
     let mut hb_s: f64 = 2.0;
-    for setup in &exp.services {
-        let t_exec = setup.spec.demand.solo_exec_seconds(
+    for desc in &descs {
+        let t_exec = desc.spec.demand.solo_exec_seconds(
             exp.serverless_cfg.per_flow_io_mbps,
             exp.serverless_cfg.per_flow_net_mbps,
         );
         let lb = sample_period_lower_bound(
             exp.serverless_cfg.cold_start_median_s,
-            setup.spec.qos_target_s,
+            desc.spec.qos_target_s,
             t_exec,
             0.1,
         );
@@ -461,6 +564,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         iaas_rng,
         chaos,
         fabric,
+        workflow,
         drain_deadline: vec![None; n_services],
         wasted_prewarms: 0,
         failed_switches: 0,

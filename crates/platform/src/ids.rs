@@ -39,15 +39,18 @@ id_type!(
     /// ```text
     /// bit 63      : shadow bit (set on every synthetic query)
     /// bits 56..63 : meter index (meter heartbeats only)
-    /// bits 48..56 : mark — 0xFF shadow probe, 0xFE pressure spike,
-    ///               0x00 meter heartbeat / real query
+    /// bits 48..56 : shadow set — mark: 0xFF shadow probe, 0xFE
+    ///               pressure spike, 0x00 meter heartbeat;
+    ///               shadow clear — workflow stage index (0 for plain
+    ///               single-stage queries)
     /// bits  0..48 : sequence number
     /// ```
     ///
-    /// Build ids through [`QueryId::user`], [`QueryId::meter`],
-    /// [`QueryId::shadow_probe`] and [`QueryId::spike`] — each asserts
-    /// (in debug builds) that the sequence number cannot overflow into
-    /// the tag fields and collide with another class of id.
+    /// Build ids through [`QueryId::user`], [`QueryId::user_stage`],
+    /// [`QueryId::meter`], [`QueryId::shadow_probe`] and
+    /// [`QueryId::spike`] — each asserts (in debug builds) that the
+    /// sequence number cannot overflow into the tag fields and collide
+    /// with another class of id.
     QueryId(u64)
 );
 id_type!(
@@ -100,7 +103,15 @@ impl QueryId {
     /// Low 48 bits: the per-stream sequence number.
     const SEQ_MASK: u64 = (1 << Self::MARK_SHIFT) - 1;
 
+    /// Workflow stage indices share the mark field's bit range; they
+    /// stay well under the synthetic marks (0xFE/0xFF) because a
+    /// workflow holds at most 64 stages.
+    pub const MAX_STAGE: usize = 63;
+
     /// A real user query. `seq` is the per-service sequence number.
+    /// Identical to [`QueryId::user_stage`] with stage 0, so plain
+    /// single-stage traffic and workflow root traffic share one id
+    /// space.
     #[inline]
     pub fn user(seq: u64) -> Self {
         debug_assert!(
@@ -108,6 +119,33 @@ impl QueryId {
             "user query seq {seq:#x} overflows into the tag bits"
         );
         QueryId(seq)
+    }
+
+    /// A real user query flowing through workflow stage `stage`. The
+    /// sequence number is the *instance* number shared by every stage
+    /// of one workflow traversal, so [`QueryId::seq`] keys the
+    /// instance and [`QueryId::stage`] attributes the span.
+    #[inline]
+    pub fn user_stage(seq: u64, stage: usize) -> Self {
+        debug_assert!(
+            seq & !Self::SEQ_MASK == 0,
+            "user query seq {seq:#x} overflows into the tag bits"
+        );
+        debug_assert!(
+            stage <= Self::MAX_STAGE,
+            "stage index {stage} out of range (max {})",
+            Self::MAX_STAGE
+        );
+        QueryId((stage as u64) << Self::MARK_SHIFT | seq)
+    }
+
+    /// The workflow stage index of a user query (0 for plain
+    /// single-stage traffic). Meaningless for synthetic queries, whose
+    /// mark field overlaps this range.
+    #[inline]
+    pub fn stage(self) -> usize {
+        debug_assert!(!self.is_shadow(), "stage() called on a synthetic query id");
+        ((self.0 >> Self::MARK_SHIFT) & 0xFF) as usize
     }
 
     /// A shadow calibration probe mirrored to the serverless platform
@@ -204,6 +242,42 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn node_id_rejects_oversized_index() {
         let _ = NodeId::new(256);
+    }
+
+    #[test]
+    fn stage_zero_ids_equal_plain_user_ids() {
+        for seq in [0u64, 1, 42, (1 << 48) - 1] {
+            assert_eq!(QueryId::user(seq), QueryId::user_stage(seq, 0));
+        }
+    }
+
+    #[test]
+    fn stage_ids_round_trip_and_stay_user_class() {
+        let q = QueryId::user_stage(1234, 5);
+        assert_eq!(q.seq(), 1234);
+        assert_eq!(q.stage(), 5);
+        assert!(!q.is_shadow());
+        assert!(!q.is_probe());
+        assert!(!q.is_spike());
+        // Distinct stages of one instance are distinct ids.
+        assert_ne!(q, QueryId::user_stage(1234, 6));
+        // The stage field never collides with a shadow probe of the
+        // same sequence number.
+        assert_ne!(q.raw(), QueryId::shadow_probe(1234).raw());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stage index")]
+    fn stage_out_of_range_is_rejected() {
+        let _ = QueryId::user_stage(1, 64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows")]
+    fn stage_seq_overflow_is_rejected() {
+        let _ = QueryId::user_stage(1 << 48, 0);
     }
 
     #[test]

@@ -462,6 +462,31 @@ pub struct NodeUtilRecord {
     pub max_node_util: f64,
 }
 
+/// One completed workflow stage of one query instance (workflow runs
+/// only). The `instance` is shared by every stage span of one DAG
+/// traversal, so joining on it reconstructs the whole critical path;
+/// `latency_s > budget_s` attributes an end-to-end violation to this
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpanRecord {
+    /// Stage completion time.
+    pub t: SimTime,
+    /// Workflow index (order of attachment to the experiment).
+    pub workflow: usize,
+    /// The instance (root sequence number) this span belongs to.
+    pub instance: u64,
+    /// Stage index within the DAG.
+    pub stage: usize,
+    /// Runtime service index the stage executed as.
+    pub service: usize,
+    /// Platform the stage executed on.
+    pub platform: Mode,
+    /// Stage latency (submit → complete), seconds.
+    pub latency_s: f64,
+    /// This stage's slice of the end-to-end budget, seconds.
+    pub budget_s: f64,
+}
+
 /// The system recovering from an earlier fault.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryRecord {
@@ -506,6 +531,8 @@ pub enum TelemetryEvent {
     Fault(FaultRecord),
     /// The system recovered from an earlier fault (chaos runs only).
     Recovery(RecoveryRecord),
+    /// A completed workflow stage span (workflow runs only).
+    StageSpan(StageSpanRecord),
     /// A query's node placement (multi-node runs only).
     Placement(PlacementRecord),
     /// Fleet utilization snapshot (multi-node runs only).
@@ -682,6 +709,17 @@ impl TelemetryEvent {
                 "service": (Value::from(r.service)),
                 "after_s": r.after_s,
             }),
+            TelemetryEvent::StageSpan(r) => json!({
+                "type": "stage_span",
+                "t_us": r.t.as_micros(),
+                "workflow": r.workflow,
+                "instance": r.instance,
+                "stage": r.stage,
+                "service": r.service,
+                "platform": r.platform.tag(),
+                "latency_s": r.latency_s,
+                "budget_s": r.budget_s,
+            }),
             TelemetryEvent::Placement(r) => json!({
                 "type": "placement",
                 "t_us": r.t.as_micros(),
@@ -801,6 +839,16 @@ impl TelemetryEvent {
                 service: v["service"].as_u64().map(|s| s as usize),
                 after_s: get_f64(v, "after_s")?,
             })),
+            "stage_span" => Ok(TelemetryEvent::StageSpan(StageSpanRecord {
+                t: get_time(v)?,
+                workflow: get_u64(v, "workflow")? as usize,
+                instance: get_u64(v, "instance")?,
+                stage: get_u64(v, "stage")? as usize,
+                service: get_u64(v, "service")? as usize,
+                platform: Mode::from_tag(get_str(v, "platform")?)?,
+                latency_s: get_f64(v, "latency_s")?,
+                budget_s: get_f64(v, "budget_s")?,
+            })),
             "placement" => Ok(TelemetryEvent::Placement(PlacementRecord {
                 t: get_time(v)?,
                 service: get_u64(v, "service")? as usize,
@@ -830,6 +878,7 @@ impl TelemetryEvent {
             TelemetryEvent::Forecast(r) => r.t,
             TelemetryEvent::Fault(r) => r.t,
             TelemetryEvent::Recovery(r) => r.t,
+            TelemetryEvent::StageSpan(r) => r.t,
             TelemetryEvent::Placement(r) => r.t,
             TelemetryEvent::NodeUtil(r) => r.t,
         }

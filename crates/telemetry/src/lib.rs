@@ -35,9 +35,9 @@ pub mod trace;
 
 pub use event::{
     DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
-    PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, SwitchPhase, SwitchRecord,
-    TelemetryEvent, TickReason, TickRecord, TraceDecision, ViolationCause, ViolationRecord,
-    WarmSampleRecord,
+    PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, StageSpanRecord, SwitchPhase,
+    SwitchRecord, TelemetryEvent, TickReason, TickRecord, TraceDecision, ViolationCause,
+    ViolationRecord, WarmSampleRecord,
 };
 pub use sink::{MemorySink, NoopSink, TelemetrySink};
 pub use trace::{ServiceSummary, SwitchSpan, Trace, TraceSummary};

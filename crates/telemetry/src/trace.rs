@@ -8,8 +8,8 @@ use amoeba_sim::{SimDuration, SimTime};
 
 use crate::event::{
     DecodeError, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
-    PlacementRecord, RecoveryRecord, SwitchPhase, SwitchRecord, TelemetryEvent, TickRecord,
-    ViolationCause, ViolationRecord, WarmSampleRecord,
+    PlacementRecord, RecoveryRecord, StageSpanRecord, SwitchPhase, SwitchRecord, TelemetryEvent,
+    TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 
 /// An ordered, append-only stream of [`TelemetryEvent`]s for one run.
@@ -216,6 +216,14 @@ impl Trace {
     pub fn recoveries(&self) -> impl Iterator<Item = &RecoveryRecord> {
         self.events.iter().filter_map(|e| match e {
             TelemetryEvent::Recovery(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Completed workflow stage spans, in order (workflow runs only).
+    pub fn stage_spans(&self) -> impl Iterator<Item = &StageSpanRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::StageSpan(r) => Some(r),
             _ => None,
         })
     }
@@ -650,6 +658,37 @@ mod tests {
         assert_eq!(back.recoveries().count(), 5);
         assert_eq!(back.faults().next().unwrap().service, Some(1));
         assert!(back.recoveries().last().unwrap().service.is_none());
+    }
+
+    #[test]
+    fn stage_span_events_round_trip() {
+        let events: Vec<TelemetryEvent> = (0..4)
+            .map(|i| {
+                TelemetryEvent::StageSpan(StageSpanRecord {
+                    t: t(1.0 + i as f64),
+                    workflow: 0,
+                    instance: 100 + i as u64,
+                    stage: i,
+                    service: 3 + i,
+                    platform: if i % 2 == 0 {
+                        Mode::Iaas
+                    } else {
+                        Mode::Serverless
+                    },
+                    latency_s: 0.05 * (i + 1) as f64,
+                    budget_s: 0.2,
+                })
+            })
+            .collect();
+        let trace = Trace::from_events(events);
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.stage_spans().count(), 4);
+        let last = back.stage_spans().last().unwrap();
+        assert_eq!(last.stage, 3);
+        assert_eq!(last.instance, 103);
+        assert_eq!(last.platform, Mode::Serverless);
     }
 
     #[test]

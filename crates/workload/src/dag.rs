@@ -1,0 +1,505 @@
+//! Workflow DAG service definitions.
+//!
+//! Real microservice traffic is chains and fan-outs, not single
+//! functions: a query enters at a root stage, flows along the edges,
+//! and the response is ready when the last sink stage finishes. Each
+//! stage has its own [`DemandVector`]; the *workflow* has one
+//! end-to-end QoS target that must be split across the stages (the
+//! Eq. 5 admission test then runs per stage against its slice of the
+//! budget). Modeled on Aquatope's multi-phase serverless workflows
+//! (PAPERS.md).
+//!
+//! [`WorkflowSpec`] is only constructible through [`WorkflowBuilder`],
+//! which validates the graph (acyclic, a single entry stage, edges in
+//! range) and precomputes the topological order and adjacency used by
+//! the runtime. A single-stage workflow is exactly one microservice
+//! and lowers to the plain per-service path.
+
+use crate::demand::DemandVector;
+use std::fmt;
+
+/// Hard cap on stages per workflow — the stage index must fit the
+/// 8-bit stage field of a query id (and 64 stages is already far past
+/// any realistic service chain).
+pub const MAX_STAGES: usize = 64;
+
+/// One stage of a workflow: a named unit of work with its own demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage name, unique within the workflow.
+    pub name: String,
+    /// What one query consumes at this stage.
+    pub demand: DemandVector,
+}
+
+/// Why a workflow definition was rejected by [`WorkflowBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// The workflow has no stages.
+    Empty,
+    /// More than [`MAX_STAGES`] stages.
+    TooManyStages(usize),
+    /// Two stages share a name.
+    DuplicateStageName(String),
+    /// A stage demand vector failed [`DemandVector::is_valid`] or does
+    /// no work at all (the stage index is carried).
+    InvalidDemand(usize),
+    /// An edge endpoint is not a stage index.
+    EdgeOutOfRange(usize, usize),
+    /// An edge from a stage to itself.
+    SelfEdge(usize),
+    /// The same edge listed twice.
+    DuplicateEdge(usize, usize),
+    /// The edges form a cycle.
+    Cycle,
+    /// More than one stage has no predecessor (indices carried); a
+    /// workflow has exactly one entry stage.
+    MultipleRoots(Vec<usize>),
+    /// Non-positive or non-finite end-to-end QoS target.
+    InvalidQosTarget,
+    /// QoS percentile outside `(0, 1)`.
+    InvalidPercentile,
+    /// Non-positive or non-finite peak QPS.
+    InvalidPeakQps,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "workflow has no stages"),
+            DagError::TooManyStages(n) => write!(f, "{n} stages exceeds the cap of {MAX_STAGES}"),
+            DagError::DuplicateStageName(n) => write!(f, "duplicate stage name {n:?}"),
+            DagError::InvalidDemand(i) => write!(f, "stage {i} has an invalid or empty demand"),
+            DagError::EdgeOutOfRange(a, b) => write!(f, "edge ({a}, {b}) out of range"),
+            DagError::SelfEdge(i) => write!(f, "self edge on stage {i}"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge ({a}, {b})"),
+            DagError::Cycle => write!(f, "edges form a cycle"),
+            DagError::MultipleRoots(r) => write!(f, "multiple entry stages {r:?}"),
+            DagError::InvalidQosTarget => write!(f, "QoS target must be positive and finite"),
+            DagError::InvalidPercentile => write!(f, "QoS percentile must be in (0, 1)"),
+            DagError::InvalidPeakQps => write!(f, "peak QPS must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated workflow DAG: stages, edges, one end-to-end QoS budget.
+///
+/// Constructed only by [`WorkflowBuilder::build`], so every instance
+/// is acyclic with exactly one entry stage and carries its topological
+/// order and adjacency lists precomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowSpec {
+    name: String,
+    stages: Vec<StageSpec>,
+    edges: Vec<(usize, usize)>,
+    qos_target_s: f64,
+    qos_percentile: f64,
+    peak_qps: f64,
+    topo: Vec<usize>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl WorkflowSpec {
+    /// Start building a workflow with the given end-to-end QoS target
+    /// (seconds at the default 0.95 percentile) and peak arrival rate.
+    pub fn builder(name: &str, qos_target_s: f64, peak_qps: f64) -> WorkflowBuilder {
+        WorkflowBuilder {
+            name: name.to_string(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+            qos_target_s,
+            qos_percentile: 0.95,
+            peak_qps,
+        }
+    }
+
+    /// Workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stages, in definition order (stage index = position).
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The `(from, to)` edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// End-to-end QoS target, seconds.
+    pub fn qos_target_s(&self) -> f64 {
+        self.qos_target_s
+    }
+
+    /// QoS percentile (shared by the workflow and every stage).
+    pub fn qos_percentile(&self) -> f64 {
+        self.qos_percentile
+    }
+
+    /// Peak arrival rate at the entry stage, queries/second. Every
+    /// stage sees this same peak — each query visits each stage once.
+    pub fn peak_qps(&self) -> f64 {
+        self.peak_qps
+    }
+
+    /// The single entry stage (no predecessors).
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Predecessors of `stage`.
+    pub fn preds(&self, stage: usize) -> &[usize] {
+        &self.preds[stage]
+    }
+
+    /// Successors of `stage`.
+    pub fn succs(&self, stage: usize) -> &[usize] {
+        &self.succs[stage]
+    }
+
+    /// A topological order of the stages (root first).
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Does this workflow reduce to a plain single microservice?
+    pub fn is_single_stage(&self) -> bool {
+        self.stages.len() == 1
+    }
+
+    /// Split the end-to-end budget across stages in proportion to each
+    /// stage's uncontended latency `l0` (seconds, one entry per stage):
+    /// `budget_i = target · l0_i / CP`, where `CP` is the critical-path
+    /// sum of `l0` over root→sink paths. Along *any* path the budgets
+    /// then sum to at most the end-to-end target (with equality on the
+    /// critical path), so meeting every stage budget meets the
+    /// workflow target under serial composition.
+    pub fn stage_budgets(&self, l0: &[f64]) -> Vec<f64> {
+        let cp = self.critical_path(l0);
+        l0.iter().map(|&l| self.qos_target_s * l / cp).collect()
+    }
+
+    /// The critical path: the max over root→sink paths of the summed
+    /// per-stage `l0`.
+    pub fn critical_path(&self, l0: &[f64]) -> f64 {
+        assert_eq!(l0.len(), self.stages.len(), "one l0 per stage");
+        assert!(
+            l0.iter().all(|&l| l.is_finite() && l > 0.0),
+            "l0 must be positive and finite"
+        );
+        // longest[i] = max over root→i paths of Σ l0, including stage i;
+        // topological order guarantees predecessors are final when read.
+        let mut longest = vec![0.0f64; l0.len()];
+        for &i in &self.topo {
+            let best_pred = self.preds[i]
+                .iter()
+                .map(|&p| longest[p])
+                .fold(0.0, f64::max);
+            longest[i] = best_pred + l0[i];
+        }
+        longest.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Fluent builder for [`WorkflowSpec`].
+///
+/// ```
+/// use amoeba_workload::{DemandVector, WorkflowSpec};
+///
+/// let mut wf = WorkflowSpec::builder("thumbnail", 0.8, 40.0);
+/// let fetch = wf.stage("fetch", DemandVector { cpu_s: 0.01, mem_mb: 64.0, io_mb: 20.0, net_mb: 8.0 });
+/// let resize = wf.stage("resize", DemandVector { cpu_s: 0.12, mem_mb: 128.0, io_mb: 0.0, net_mb: 0.0 });
+/// let store = wf.stage("store", DemandVector { cpu_s: 0.01, mem_mb: 64.0, io_mb: 15.0, net_mb: 5.0 });
+/// wf.edge(fetch, resize).edge(resize, store);
+/// let spec = wf.build().unwrap();
+/// assert_eq!(spec.root(), fetch);
+/// assert_eq!(spec.succs(resize), &[store]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    stages: Vec<StageSpec>,
+    edges: Vec<(usize, usize)>,
+    qos_target_s: f64,
+    qos_percentile: f64,
+    peak_qps: f64,
+}
+
+impl WorkflowBuilder {
+    /// Add a stage; returns its index for use in [`Self::edge`].
+    pub fn stage(&mut self, name: &str, demand: DemandVector) -> usize {
+        self.stages.push(StageSpec {
+            name: name.to_string(),
+            demand,
+        });
+        self.stages.len() - 1
+    }
+
+    /// Add a directed edge `from → to`.
+    pub fn edge(&mut self, from: usize, to: usize) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Override the QoS percentile (default 0.95).
+    pub fn percentile(&mut self, p: f64) -> &mut Self {
+        self.qos_percentile = p;
+        self
+    }
+
+    /// Validate and freeze the workflow.
+    pub fn build(&self) -> Result<WorkflowSpec, DagError> {
+        let n = self.stages.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        if n > MAX_STAGES {
+            return Err(DagError::TooManyStages(n));
+        }
+        if !(self.qos_target_s.is_finite() && self.qos_target_s > 0.0) {
+            return Err(DagError::InvalidQosTarget);
+        }
+        if !(self.qos_percentile > 0.0 && self.qos_percentile < 1.0) {
+            return Err(DagError::InvalidPercentile);
+        }
+        if !(self.peak_qps.is_finite() && self.peak_qps > 0.0) {
+            return Err(DagError::InvalidPeakQps);
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if !s.demand.is_valid() || s.demand == DemandVector::ZERO {
+                return Err(DagError::InvalidDemand(i));
+            }
+            if self.stages[..i].iter().any(|o| o.name == s.name) {
+                return Err(DagError::DuplicateStageName(s.name.clone()));
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, &(a, b)) in self.edges.iter().enumerate() {
+            if a >= n || b >= n {
+                return Err(DagError::EdgeOutOfRange(a, b));
+            }
+            if a == b {
+                return Err(DagError::SelfEdge(a));
+            }
+            if self.edges[..k].contains(&(a, b)) {
+                return Err(DagError::DuplicateEdge(a, b));
+            }
+            succs[a].push(b);
+            preds[b].push(a);
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| preds[i].is_empty()).collect();
+        let root = match roots.as_slice() {
+            [] => return Err(DagError::Cycle),
+            [r] => *r,
+            _ => return Err(DagError::MultipleRoots(roots)),
+        };
+        // Kahn's algorithm: a completed pass proves acyclicity and, with
+        // a single root, that every stage is reachable from it.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut ready = vec![root];
+        while let Some(i) = ready.pop() {
+            topo.push(i);
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(WorkflowSpec {
+            name: self.name.clone(),
+            stages: self.stages.clone(),
+            edges: self.edges.clone(),
+            qos_target_s: self.qos_target_s,
+            qos_percentile: self.qos_percentile,
+            peak_qps: self.peak_qps,
+            topo,
+            preds,
+            succs,
+            root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_sim::{Distributions, SimRng};
+
+    fn d(cpu: f64) -> DemandVector {
+        DemandVector {
+            cpu_s: cpu,
+            mem_mb: 64.0,
+            io_mb: 0.0,
+            net_mb: 0.0,
+        }
+    }
+
+    fn diamond() -> WorkflowSpec {
+        let mut wf = WorkflowSpec::builder("diamond", 1.0, 50.0);
+        let a = wf.stage("a", d(0.1));
+        let b = wf.stage("b", d(0.2));
+        let c = wf.stage("c", d(0.3));
+        let e = wf.stage("e", d(0.1));
+        wf.edge(a, b).edge(a, c).edge(b, e).edge(c, e);
+        wf.build().unwrap()
+    }
+
+    #[test]
+    fn builds_a_diamond_with_adjacency_and_topo() {
+        let wf = diamond();
+        assert_eq!(wf.stage_count(), 4);
+        assert_eq!(wf.root(), 0);
+        assert_eq!(wf.preds(3), &[1, 2]);
+        assert_eq!(wf.succs(0), &[1, 2]);
+        assert!(!wf.is_single_stage());
+        // Topological: every edge goes forward in the order.
+        let pos: Vec<usize> = (0..4)
+            .map(|i| wf.topo_order().iter().position(|&x| x == i).unwrap())
+            .collect();
+        for &(a, b) in wf.edges() {
+            assert!(pos[a] < pos[b]);
+        }
+    }
+
+    #[test]
+    fn single_stage_is_allowed() {
+        let mut wf = WorkflowSpec::builder("solo", 0.5, 10.0);
+        wf.stage("only", d(0.05));
+        let wf = wf.build().unwrap();
+        assert!(wf.is_single_stage());
+        assert_eq!(wf.root(), 0);
+        assert_eq!(wf.stage_budgets(&[0.05]), vec![0.5]);
+    }
+
+    #[test]
+    fn rejects_bad_graphs() {
+        assert_eq!(
+            WorkflowSpec::builder("x", 1.0, 1.0).build(),
+            Err(DagError::Empty)
+        );
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        let a = wf.stage("a", d(0.1));
+        let b = wf.stage("b", d(0.1));
+        wf.edge(a, b).edge(b, a);
+        assert_eq!(wf.build(), Err(DagError::Cycle));
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        let a = wf.stage("a", d(0.1));
+        wf.stage("b", d(0.1));
+        wf.edge(a, a);
+        assert_eq!(wf.build(), Err(DagError::SelfEdge(0)));
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        wf.stage("a", d(0.1));
+        wf.stage("b", d(0.1));
+        assert_eq!(wf.build(), Err(DagError::MultipleRoots(vec![0, 1])));
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        let a = wf.stage("a", d(0.1));
+        wf.edge(a, 7);
+        assert_eq!(wf.build(), Err(DagError::EdgeOutOfRange(0, 7)));
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        wf.stage("a", d(0.1));
+        wf.stage("a", d(0.2));
+        assert_eq!(wf.build(), Err(DagError::DuplicateStageName("a".into())));
+        let mut wf = WorkflowSpec::builder("x", 1.0, 1.0);
+        wf.stage("a", DemandVector::ZERO);
+        assert_eq!(wf.build(), Err(DagError::InvalidDemand(0)));
+        let mut wf = WorkflowSpec::builder("x", -1.0, 1.0);
+        wf.stage("a", d(0.1));
+        assert_eq!(wf.build(), Err(DagError::InvalidQosTarget));
+    }
+
+    #[test]
+    fn budgets_are_critical_path_proportional() {
+        let wf = diamond();
+        let l0 = [0.1, 0.2, 0.3, 0.1];
+        // Critical path a→c→e = 0.5.
+        assert!((wf.critical_path(&l0) - 0.5).abs() < 1e-12);
+        let b = wf.stage_budgets(&l0);
+        // Critical path budgets sum to exactly the target …
+        assert!(((b[0] + b[2] + b[3]) - 1.0).abs() < 1e-12);
+        // … and the short path stays under it.
+        assert!(b[0] + b[1] + b[3] < 1.0);
+    }
+
+    /// Enumerate every root→sink path of `wf` (index lists).
+    fn all_paths(wf: &WorkflowSpec) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut stack = vec![vec![wf.root()]];
+        while let Some(path) = stack.pop() {
+            let last = *path.last().unwrap();
+            if wf.succs(last).is_empty() {
+                out.push(path);
+                continue;
+            }
+            for &s in wf.succs(last) {
+                let mut p = path.clone();
+                p.push(s);
+                stack.push(p);
+            }
+        }
+        out
+    }
+
+    /// Property (a) of the workflow subsystem: for random DAGs and
+    /// random positive l0 vectors, the per-stage budgets along *every*
+    /// root→sink path sum to at most the end-to-end budget.
+    #[test]
+    fn property_path_budgets_never_exceed_the_end_to_end_budget() {
+        let mut rng = SimRng::seed_from_u64(2024);
+        for case in 0..200 {
+            let n = 1 + rng.uniform_usize(7);
+            let mut wf =
+                WorkflowSpec::builder(&format!("p{case}"), 1.0 + rng.uniform_range(0.0, 3.0), 20.0);
+            for i in 0..n {
+                wf.stage(&format!("s{i}"), d(0.01 + rng.uniform_range(0.0, 0.3)));
+            }
+            // Forward edges only (i < j) guarantee acyclicity; attach
+            // every stage after the first to some earlier stage so the
+            // root is unique.
+            for j in 1..n {
+                let p = rng.uniform_usize(j);
+                wf.edge(p, j);
+                for q in 0..j {
+                    if q != p && rng.uniform() < 0.25 {
+                        wf.edge(q, j);
+                    }
+                }
+            }
+            let wf = wf.build().unwrap();
+            let l0: Vec<f64> = (0..n)
+                .map(|_| 0.001 + rng.uniform_range(0.0, 0.5))
+                .collect();
+            let budgets = wf.stage_budgets(&l0);
+            let target = wf.qos_target_s();
+            let mut hit_target = false;
+            for path in all_paths(&wf) {
+                let sum: f64 = path.iter().map(|&i| budgets[i]).sum();
+                assert!(
+                    sum <= target + 1e-9,
+                    "case {case}: path {path:?} budget {sum} > target {target}"
+                );
+                if (sum - target).abs() < 1e-9 {
+                    hit_target = true;
+                }
+            }
+            // The critical path uses the whole budget.
+            assert!(hit_target, "case {case}: no path saturates the budget");
+        }
+    }
+}

@@ -14,10 +14,12 @@
 
 pub mod arrivals;
 pub mod benchmarks;
+pub mod dag;
 pub mod demand;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, PoissonArrivals};
 pub use benchmarks::{benchmark_by_name, standard_benchmarks, MicroserviceSpec};
+pub use dag::{DagError, StageSpec, WorkflowBuilder, WorkflowSpec, MAX_STAGES};
 pub use demand::{DemandVector, ResourceKind, Sensitivity};
 pub use trace::{DiurnalPattern, LoadTrace};
