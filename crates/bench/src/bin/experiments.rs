@@ -8,15 +8,15 @@
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
 //! ablation-prewarm ablation-percentile week ablation-placement trace
-//! forecast resilience multinode workflow.
+//! forecast resilience multinode workflow multitenant.
 //!
 //! `--smoke` shrinks the simulated day and seed sweep (currently the
-//! `multinode` and `workflow` reports) so CI can exercise the report
-//! path cheaply.
+//! `multinode`, `workflow` and `multitenant` reports) so CI can
+//! exercise the report path cheaply.
 
 use amoeba_bench::{
-    ablations, evaluation, extensions, forecast, investigation, multinode, profiling, resilience,
-    workflow, Report,
+    ablations, evaluation, extensions, forecast, investigation, multinode, multitenant, profiling,
+    resilience, workflow, Report,
 };
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
@@ -62,6 +62,18 @@ fn by_id(id: &str, smoke: bool) -> Option<Report> {
                 workflow::workflow(DEFAULT_DAY_S, DEFAULT_SEED, 2)
             }
         }
+        "multitenant" => {
+            if smoke {
+                multitenant::multitenant(120.0, DEFAULT_SEED, 6, &[1.0, 2.0])
+            } else {
+                multitenant::multitenant(
+                    DEFAULT_DAY_S,
+                    DEFAULT_SEED,
+                    multitenant::FLEET,
+                    &multitenant::RATIOS,
+                )
+            }
+        }
         _ => return None,
     };
     Some(r)
@@ -92,6 +104,7 @@ const GROUPS: &[(&str, &[&str])] = &[
             "resilience",
             "multinode",
             "workflow",
+            "multitenant",
         ],
     ),
 ];

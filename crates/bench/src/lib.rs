@@ -14,6 +14,7 @@ pub mod extensions;
 pub mod forecast;
 pub mod investigation;
 pub mod multinode;
+pub mod multitenant;
 pub mod profiling;
 pub mod report;
 pub mod resilience;

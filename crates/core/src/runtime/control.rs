@@ -3,6 +3,7 @@
 //! calibration traffic.
 
 use super::switching::{apply_engine_actions, DRAIN_TIMEOUT_S};
+use super::tenancy::PRESSURE_CAP;
 use super::{record_forecast, Ev, Experiment, SimWorld};
 use crate::controller::{prewarm_count, Decision, DeployMode};
 use crate::engine::{DeadlineAction, RouteTarget};
@@ -35,6 +36,7 @@ pub(crate) fn on_control_tick(
         queue,
         fabric,
         workflow,
+        tenancy,
         drain_deadline,
         wasted_prewarms,
         failed_switches,
@@ -107,7 +109,21 @@ pub(crate) fn on_control_tick(
             }
         }
     }
-    let pressures = monitor.pressures();
+    // Endogenous mode: measured pressure IS the pool's occupancy — the
+    // co-tenant fleet's own load generates the signal the controllers
+    // read (DESIGN.md §15's pressure-emergence equation). Exogenous
+    // mode (and every golden trace) reads the profiled monitor.
+    let pressures = match tenancy.as_ref() {
+        Some(t) if t.endogenous => {
+            let u = serverless.utilization();
+            [
+                u[0].min(PRESSURE_CAP),
+                u[1].min(PRESSURE_CAP),
+                u[2].min(PRESSURE_CAP),
+            ]
+        }
+        _ => monitor.pressures(),
+    };
     pressure_sum[0] += pressures[0];
     pressure_sum[1] += pressures[1];
     pressure_sum[2] += pressures[2];
@@ -131,8 +147,8 @@ pub(crate) fn on_control_tick(
         // sink-gated): the forecast is control-plane
         // state, so traced and untraced runs stay
         // bit-identical. A no-op for reactive variants.
-        for idx in 0..services.len() {
-            if !services[idx].pinned {
+        for (idx, svc) in services.iter().enumerate() {
+            if !svc.pinned {
                 controller.observe_load(idx, now);
             }
         }
@@ -322,20 +338,20 @@ pub(crate) fn on_control_tick(
         // Shadow traffic: one mirrored query per IaaS-mode
         // service per tick keeps calibration fed (§III).
         if exp.variant.uses_pca() {
-            for idx in 0..services.len() {
-                let sid = services[idx].sid;
-                if services[idx].background
+            for (idx, svc) in services.iter_mut().enumerate() {
+                let sid = svc.sid;
+                if svc.background
                     || engine.mode(sid) != DeployMode::Iaas
                     || controller.estimated_load(idx, now) <= 0.0
                 {
                     continue;
                 }
                 let query = Query {
-                    id: QueryId::shadow_probe(services[idx].next_query_id),
+                    id: QueryId::shadow_probe(svc.next_query_id),
                     service: sid,
                     submitted: now,
                 };
-                services[idx].next_query_id += 1;
+                svc.next_query_id += 1;
                 let home = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
                 if home == NodeId::ZERO {
                     bus.extend(serverless.submit(query, now, platform_rng));

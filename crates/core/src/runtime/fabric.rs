@@ -237,10 +237,10 @@ pub(crate) fn edge_aware_homes(
     let mut homes = vec![NodeId::ZERO; demands.len()];
     for idx in order {
         let mut best = (0usize, f64::INFINITY);
-        for node in 0..n {
+        for (node, node_load) in load.iter().enumerate() {
             let scale = topology.node_scales[node];
             let peak = (0..3)
-                .map(|r| (load[node][r] + demands[idx][r]) / (base_caps[r] * scale).max(1e-12))
+                .map(|r| (node_load[r] + demands[idx][r]) / (base_caps[r] * scale).max(1e-12))
                 .fold(0.0, f64::max);
             if peak < best.1 {
                 best = (node, peak);

@@ -318,18 +318,30 @@ pub(crate) fn on_chaos(
 
 /// One query of an injected pressure spike arrives: pure synthetic
 /// load on the shared pool, excluded from every account.
+///
+/// In tenancy mode the spike executes as the dedicated interference
+/// service, so it *adds* pool load on top of the ambient signal; the
+/// legacy path submits under the victim's own service id, where the
+/// tenant container cap makes the spike displace the victim's ambient
+/// traffic instead of composing with it (kept bit-identical for the
+/// golden traces).
 pub(crate) fn on_spike_query(world: &mut SimWorld, sid: ServiceId, now: SimTime) {
     let SimWorld {
         serverless,
         platform_rng,
         bus,
         chaos,
+        tenancy,
         ..
     } = world;
     if let Some(ch) = chaos.as_mut() {
+        let target = tenancy
+            .as_ref()
+            .and_then(|t| t.interference_sid)
+            .unwrap_or(sid);
         let q = Query {
             id: QueryId::spike(ch.spike_next_id),
-            service: sid,
+            service: target,
             submitted: now,
         };
         ch.spike_next_id += 1;

@@ -1,7 +1,3 @@
-// Indexing `0..3` over the fixed [cpu, io, net] resource axes reads
-// better than zipped iterators here.
-#![allow(clippy::needless_range_loop)]
-
 //! The experiment runtime: a staged event-dispatch kernel that wires
 //! the controller, engine and monitor to the simulated platforms and
 //! runs a full workload.
@@ -38,6 +34,7 @@ mod faults;
 mod metering;
 mod results;
 mod switching;
+mod tenancy;
 mod workflow;
 mod world;
 
@@ -57,6 +54,7 @@ use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{
     ForecastRecord, MemorySink, NoopSink, TelemetryEvent, TelemetrySink, Trace,
 };
+use amoeba_tenancy::TenancySetup;
 use amoeba_workload::{LoadTrace, MicroserviceSpec, WorkflowSpec};
 
 // Re-imports for the submodules and the test module (which glob-import
@@ -164,6 +162,10 @@ pub struct Experiment {
     pub topology: TopologyConfig,
     /// Placement scheduler for multi-node runs (ignored single-node).
     pub scheduler: Scheduler,
+    /// Multi-tenant population and vendor policy. `None` (the default)
+    /// — or a no-op setup (empty fleet, exogenous pressure) — runs the
+    /// legacy single-maintainer path bit-identically.
+    pub tenancy: Option<TenancySetup>,
 }
 
 impl Experiment {
@@ -199,6 +201,7 @@ impl Experiment {
                 max_ack_retries: 2,
                 topology: TopologyConfig::default(),
                 scheduler: Scheduler::default(),
+                tenancy: None,
             },
         }
     }
@@ -263,6 +266,7 @@ fn dispatch(
         Ev::RemoteSubmit { node, query, route } => {
             fabric::on_remote_submit(exp, world, node, query, route, now, sink)
         }
+        Ev::VendorTick => tenancy::on_vendor_tick(world, now, sink),
     }
 }
 
@@ -298,6 +302,8 @@ pub(crate) enum Ev {
         query: Query,
         route: RouteTarget,
     },
+    /// One vendor control period elapsed (multi-tenant runs only).
+    VendorTick,
 }
 
 /// Fluent constructor for [`Experiment`], from [`Experiment::builder`].
@@ -433,6 +439,15 @@ impl ExperimentBuilder {
     /// Placement scheduler for multi-node runs.
     pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
         self.inner.scheduler = scheduler;
+        self
+    }
+
+    /// Attach a multi-tenant population and vendor policy (see
+    /// [`amoeba_tenancy`]). Admitted tenants are lowered to ordinary
+    /// foreground services after every plain service and workflow
+    /// stage, each managed by its own controller.
+    pub fn tenancy(mut self, setup: TenancySetup) -> Self {
+        self.inner.tenancy = Some(setup);
         self
     }
 

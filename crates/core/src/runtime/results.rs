@@ -4,10 +4,11 @@
 use super::{Experiment, SimWorld};
 use crate::baselines::SystemVariant;
 use crate::controller::DeployMode;
-use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageSummary};
+use amoeba_metrics::{BillableUsage, CostModel, LatencyRecorder, TimeSeries, UsageSummary};
 use amoeba_platform::LatencyBreakdown;
 use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::WarmSampleRecord;
+use amoeba_tenancy::{TenancySummary, TenantAccount, VendorLedger};
 
 /// Mean serverless latency breakdown (warm executions only) — Fig. 4.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -250,6 +251,9 @@ pub struct RunResult {
     /// Cross-node accounting, present when the topology had more than
     /// one node.
     pub multinode: Option<MultiNodeSummary>,
+    /// Vendor books and admission outcome, present when a non-no-op
+    /// tenancy setup was attached.
+    pub tenancy: Option<TenancySummary>,
 }
 
 /// The calendar has drained: fold the world's accumulated state into
@@ -263,6 +267,7 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         services,
         fabric,
         workflow,
+        tenancy,
         wasted_prewarms,
         failed_switches,
         meter_core_seconds,
@@ -282,7 +287,7 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         [0.0; 3]
     };
     let node_core_seconds = exp.serverless_cfg.node.cores * exp.horizon.as_secs_f64();
-    let results: Vec<ServiceResult> = services
+    let mut results: Vec<ServiceResult> = services
         .into_iter()
         .map(|s| ServiceResult {
             name: s.spec.name.clone(),
@@ -348,6 +353,67 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
                 .collect()
         })
         .unwrap_or_default();
+    // Settle the vendor's books: revenue from each tenant's billable
+    // usage at marked-up list prices, vendor cost from the resources
+    // actually allocated to it (busy or idle), credits per violating
+    // query. Rejected tenants settle to zeroes but stay on the books so
+    // the report can show what the admission policy turned away.
+    let tenancy = tenancy.and_then(|trt| {
+        let tn = exp.tenancy.as_ref()?;
+        let list = CostModel::default();
+        let mut ledger = VendorLedger::default();
+        let (mut met, mut bad, mut vq, mut reserved) = (0usize, 0usize, 0u64, 0.0f64);
+        for ((t, d), svc) in tn.tenants.iter().zip(&trt.decisions).zip(&trt.svc) {
+            let (billable, queries, violations, qos_met, alloc_cost) = match svc {
+                Some(i) => {
+                    let r = &mut results[*i];
+                    let n = r.latency.count() as u64;
+                    let v = (r.violation_ratio() * n as f64).round() as u64;
+                    (
+                        r.billable,
+                        n,
+                        v,
+                        r.qos_met(),
+                        list.cost_if_all_iaas(&r.usage),
+                    )
+                }
+                None => (BillableUsage::default(), 0, 0, true, 0.0),
+            };
+            if d.admitted {
+                reserved += d.reserved_share;
+                if qos_met {
+                    met += 1;
+                } else {
+                    bad += 1;
+                }
+                vq += violations;
+                ledger.vendor_cost += alloc_cost;
+            }
+            ledger.accounts.push(TenantAccount::settle(
+                &t.spec.name,
+                d.admitted,
+                d.reserved_share,
+                &billable,
+                queries,
+                violations,
+                qos_met,
+                &t.pricing,
+                &list,
+            ));
+        }
+        let admitted = trt.decisions.iter().filter(|d| d.admitted).count();
+        Some(TenancySummary {
+            ratio: tn.policy.ratio,
+            admitted,
+            rejected: tn.tenants.len() - admitted,
+            reserved_total: reserved,
+            tenants_qos_met: met,
+            tenants_in_violation: bad,
+            violation_queries: vq,
+            reclamations: trt.reclamations,
+            ledger,
+        })
+    });
     RunResult {
         variant: exp.variant,
         services: results,
@@ -361,5 +427,6 @@ pub(crate) fn finish(exp: &Experiment, world: SimWorld) -> RunResult {
         wasted_prewarms,
         failed_switches,
         multinode,
+        tenancy,
     }
 }

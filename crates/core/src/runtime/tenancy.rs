@@ -1,0 +1,106 @@
+//! Multi-tenant runtime state and the vendor's control tick.
+//!
+//! Tenant services are lowered into ordinary foreground [`ServiceRt`]
+//! rows at setup (each runs its own controller), so the only genuinely
+//! new machinery here is the vendor side: watermark-based capacity
+//! reclamation over the per-service container caps, and the telemetry
+//! that records what the vendor saw and did.
+//!
+//! [`ServiceRt`]: super::world::ServiceRt
+
+use super::{Ev, SimWorld};
+use amoeba_sim::{SimDuration, SimTime};
+use amoeba_telemetry::{TelemetryEvent, TelemetrySink, VendorSampleRecord};
+use amoeba_tenancy::{AdmissionDecision, ReclamationConfig};
+use amoeba_workload::{DemandVector, MicroserviceSpec};
+
+/// Ceiling on endogenous pressure readings. The contention surfaces are
+/// profiled up to 0.9; capping just above keeps the lookup in range
+/// while still signalling saturation.
+pub(crate) const PRESSURE_CAP: f64 = 0.95;
+
+/// Mutable tenancy bookkeeping, present only when a non-no-op
+/// [`TenancySetup`] is attached. `None` runs the legacy
+/// single-maintainer path bit-identically.
+///
+/// [`TenancySetup`]: amoeba_tenancy::TenancySetup
+pub(crate) struct TenancyRt {
+    /// Admission outcome per submitted tenant, in fleet order.
+    pub(crate) decisions: Vec<AdmissionDecision>,
+    /// Runtime service index per tenant (`None` = rejected).
+    pub(crate) svc: Vec<Option<usize>>,
+    /// Derive measured pressure from pool occupancy.
+    pub(crate) endogenous: bool,
+    /// Vendor reclamation watermarks.
+    pub(crate) reclamation: ReclamationConfig,
+    /// Vendor control-loop period.
+    pub(crate) vendor_tick: SimDuration,
+    /// Whether tenant caps are currently throttled.
+    pub(crate) throttled: bool,
+    /// Throttle activations over the run.
+    pub(crate) reclamations: u64,
+    /// The dedicated service injected pressure-spike traffic lands on
+    /// in tenancy mode (registered after the meters).
+    pub(crate) interference_sid: Option<amoeba_platform::ServiceId>,
+}
+
+/// The synthetic service chaos pressure-spike traffic executes as in
+/// tenancy mode: a mixed cpu/io/net demand so a spike pressures every
+/// metered resource, and a QoS target nobody accounts against.
+pub(crate) fn interference_spec() -> MicroserviceSpec {
+    MicroserviceSpec {
+        name: "chaos-interference".to_string(),
+        demand: DemandVector {
+            cpu_s: 0.050,
+            mem_mb: 128.0,
+            io_mb: 10.0,
+            net_mb: 10.0,
+        },
+        qos_target_s: 10.0,
+        qos_percentile: 0.95,
+        peak_qps: 50.0,
+        container_mem_mb: 256.0,
+    }
+}
+
+/// One vendor control period elapsed: read pool occupancy, step the
+/// reclamation state machine (throttling or restoring every admitted
+/// tenant's container cap), record the sample, and re-arm.
+pub(crate) fn on_vendor_tick(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySink) {
+    let SimWorld {
+        serverless,
+        services,
+        tenancy,
+        queue,
+        horizon_t,
+        ..
+    } = world;
+    let Some(trt) = tenancy.as_mut() else {
+        return;
+    };
+    let util = serverless.utilization();
+    let peak = util[0].max(util[1]).max(util[2]);
+    let was = trt.throttled;
+    trt.throttled = trt.reclamation.step(was, peak);
+    if trt.throttled != was {
+        let cap = trt.throttled.then_some(trt.reclamation.throttled_cap);
+        if trt.throttled {
+            trt.reclamations += 1;
+        }
+        for idx in trt.svc.iter().flatten() {
+            serverless.set_tenant_cap(services[*idx].sid, cap);
+        }
+    }
+    if sink.enabled() {
+        sink.record(TelemetryEvent::VendorSample(VendorSampleRecord {
+            t: now,
+            pool_util: util,
+            containers: serverless.total_containers() as u64,
+            throttled: trt.throttled,
+        }));
+    }
+    let next = now + trt.vendor_tick;
+    if next < *horizon_t {
+        queue.push(next, Ev::VendorTick);
+    }
+}

@@ -319,6 +319,131 @@ mod multinode {
     }
 }
 
+mod tenancy_tests {
+    use super::*;
+    use amoeba_tenancy::{FleetBuilder, TenancySetup};
+
+    fn tenant_run(ratio: f64, day_s: f64, seed: u64, plan: Option<FaultPlan>) -> RunResult {
+        let fleet = FleetBuilder::new(seed).tenants(6).build();
+        let mut b = Experiment::builder(
+            SystemVariant::Amoeba,
+            SimDuration::from_secs_f64(day_s),
+            seed,
+        )
+        .tenancy(TenancySetup::new(fleet, ratio));
+        if let Some(p) = plan {
+            b = b.fault_plan(p);
+        }
+        b.build().run()
+    }
+
+    #[test]
+    fn noop_tenancy_setup_is_bit_identical_to_none() {
+        // An empty fleet with exogenous pressure changes nothing: the
+        // run must match a tenancy-free run exactly (the golden traces
+        // rely on this).
+        let bare = run(SystemVariant::Amoeba, 240.0, 23);
+        let mut setup = TenancySetup::new(Vec::new(), 1.5);
+        setup.endogenous_pressure = false;
+        assert!(setup.is_noop());
+        let noop =
+            Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(240.0), 23)
+                .services(scenario(benchmarks::float(), 240.0))
+                .tenancy(setup)
+                .build()
+                .run();
+        assert!(noop.tenancy.is_none());
+        for (a, b) in bare.services.iter().zip(&noop.services) {
+            assert_eq!(a.submitted, b.submitted, "{}", a.name);
+            assert_eq!(a.completed, b.completed, "{}", a.name);
+        }
+        assert_eq!(bare.cold_starts, noop.cold_starts);
+        assert_eq!(bare.final_weights, noop.final_weights);
+        assert_eq!(bare.mean_pressures, noop.mean_pressures);
+    }
+
+    #[test]
+    fn tenant_runs_conserve_queries_and_settle_the_books() {
+        let r = tenant_run(1.5, 240.0, 5, None);
+        for s in &r.services {
+            assert_eq!(s.submitted, s.completed + s.failed, "{}", s.name);
+            assert!(
+                !s.name.contains("chaos-interference"),
+                "interference service must stay off the books"
+            );
+        }
+        let tn = r.tenancy.expect("tenancy summary present");
+        assert_eq!(tn.admitted + tn.rejected, 6);
+        assert!(tn.reserved_total <= 1.5 + 1e-9);
+        assert_eq!(tn.ledger.accounts.len(), 6);
+        assert!(tn.ledger.profit().is_finite());
+        // Endogenous pressure emerged from the fleet's own load.
+        assert!(r.mean_pressures[0] > 0.0, "{:?}", r.mean_pressures);
+    }
+
+    #[test]
+    fn tenant_runs_are_deterministic() {
+        let a = tenant_run(2.0, 120.0, 7, None);
+        let b = tenant_run(2.0, 120.0, 7, None);
+        assert_eq!(a.tenancy, b.tenancy);
+        for (x, y) in a.services.iter().zip(&b.services) {
+            assert_eq!(x.completed, y.completed, "{}", x.name);
+        }
+    }
+
+    /// A plan that injects only pressure spikes, heavy enough for the
+    /// pool-occupancy signal to show them clearly.
+    fn spike_plan() -> FaultPlan {
+        FaultPlan {
+            pressure_spike_rate_per_hour: 120.0,
+            spike_duration_s: 20.0,
+            spike_qps: 150.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn spikes_compose_additively_with_ambient_pressure() {
+        // Tenancy mode: spike traffic runs as the dedicated
+        // interference service, so it ADDS pool load on top of the
+        // fleet's ambient signal instead of displacing the victim at
+        // its container cap. Measured pressure must rise.
+        let calm = tenant_run(2.0, 240.0, 31, None);
+        let spiky = tenant_run(2.0, 240.0, 31, Some(spike_plan()));
+        assert!(
+            spiky.mean_pressures[0] > calm.mean_pressures[0],
+            "spikes must add pressure: calm {:?} spiky {:?}",
+            calm.mean_pressures,
+            spiky.mean_pressures
+        );
+        // Ambient tenant traffic still conserves under spikes.
+        for s in &spiky.services {
+            assert_eq!(s.submitted, s.completed + s.failed, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn legacy_spike_path_is_unchanged_without_tenancy() {
+        // Exogenous mode keeps the historical displace-at-the-victim
+        // semantics (byte-level pinned by the golden traces): spiky
+        // runs stay deterministic and conserve ambient queries.
+        let mk = || {
+            Experiment::builder(SystemVariant::Amoeba, SimDuration::from_secs_f64(240.0), 37)
+                .services(scenario(benchmarks::float(), 240.0))
+                .fault_plan(spike_plan())
+                .build()
+                .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(a.tenancy.is_none());
+        for (x, y) in a.services.iter().zip(&b.services) {
+            assert_eq!(x.submitted, x.completed + x.failed, "{}", x.name);
+            assert_eq!(x.completed, y.completed, "{}", x.name);
+        }
+    }
+}
+
 mod debug_tests {
     use super::*;
 

@@ -8,6 +8,7 @@
 use super::effects::EffectBus;
 use super::fabric::{self, Fabric, NodeRt};
 use super::faults::ChaosRt;
+use super::tenancy::{interference_spec, TenancyRt};
 use super::workflow::WorkflowRt;
 use super::{Ev, Experiment};
 use crate::baselines::SystemVariant;
@@ -21,7 +22,8 @@ use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter};
 use amoeba_platform::{Effect, IaasPlatform, NodeId, Scheduler, ServerlessPlatform, ServiceId};
 use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use amoeba_telemetry::{ServiceInfo, TelemetryEvent, TelemetrySink};
+use amoeba_telemetry::{AdmissionRecord, ServiceInfo, TelemetryEvent, TelemetrySink};
+use amoeba_tenancy::PoolCapacity;
 use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals, WorkflowSpec};
 use std::collections::BTreeMap;
 
@@ -79,6 +81,9 @@ pub(crate) struct SimWorld {
     /// Workflow DAG bookkeeping, present only when a multi-stage
     /// workflow is attached. `None` runs the legacy path bit-identically.
     pub(crate) workflow: Option<WorkflowRt>,
+    /// Multi-tenant bookkeeping, present only when a non-no-op tenancy
+    /// setup is attached. `None` runs the legacy path bit-identically.
+    pub(crate) tenancy: Option<TenancyRt>,
     /// Drain watchdog deadlines, armed per `ReleaseVms`.
     pub(crate) drain_deadline: Vec<Option<SimTime>>,
     pub(crate) wasted_prewarms: u64,
@@ -222,6 +227,54 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         wf_meta.push((spec.clone(), (first..descs.len()).collect(), budgets));
     }
 
+    // Tenant lowering: run vendor admission against the pool, then
+    // append admitted tenants as ordinary foreground services — each
+    // gets its own controller row, so "every tenant runs its own
+    // Amoeba" falls out of the per-service independence that already
+    // exists. Appending after every plain service and workflow stage
+    // keeps the master-RNG fork prefix untouched (the determinism
+    // contract above); a no-op setup builds no `TenancyRt` at all.
+    let tenancy_setup = exp.tenancy.as_ref().filter(|t| !t.is_noop());
+    let mut tenancy: Option<TenancyRt> = None;
+    if let Some(tn) = tenancy_setup {
+        let pool = PoolCapacity {
+            cores: exp.serverless_cfg.node.cores,
+            mem_mb: exp.serverless_cfg.pool_memory_mb,
+            io_mbps: exp.serverless_cfg.node.disk_bw_mbps,
+            net_mbps: exp.serverless_cfg.node.nic_bw_mbps,
+            solo_io_mbps: exp.serverless_cfg.per_flow_io_mbps,
+            solo_net_mbps: exp.serverless_cfg.per_flow_net_mbps,
+        };
+        let decisions = tn.policy.admit(&tn.tenants, &pool);
+        // The tenant's diurnal day spans the run: phase heterogeneity
+        // unfolds inside the horizon whatever its length.
+        let day_s = exp.horizon.as_secs_f64();
+        let mut svc = Vec::with_capacity(tn.tenants.len());
+        for (t, d) in tn.tenants.iter().zip(&decisions) {
+            if d.admitted {
+                svc.push(Some(descs.len()));
+                descs.push(SvcDesc {
+                    spec: t.spec.clone(),
+                    background: false,
+                    day_s,
+                    trace: Some(LoadTrace::new(t.pattern.clone(), t.spec.peak_qps, day_s)),
+                });
+            } else {
+                svc.push(None);
+            }
+        }
+        tenancy = Some(TenancyRt {
+            decisions,
+            svc,
+            endogenous: tn.endogenous_pressure,
+            reclamation: tn.reclamation,
+            vendor_tick: SimDuration::from_secs_f64(tn.vendor_tick_s),
+            throttled: false,
+            reclamations: 0,
+            interference_sid: None,
+        });
+    }
+
     // Register every service on both platforms (ids must align) and
     // build its controller model from analytic profiling.
     let mut services: Vec<ServiceRt> = Vec::new();
@@ -356,6 +409,18 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         meter_curves,
     );
 
+    // The chaos interference service: in tenancy mode, pressure-spike
+    // traffic lands here so it *adds* pool load instead of displacing
+    // the victim's own containers at its tenant cap. Registered after
+    // the meters so every existing service and meter id is unchanged;
+    // registration draws no RNG, and the cap override lets a spike
+    // occupy the pool's full memory headroom.
+    if let Some(trt) = tenancy.as_mut() {
+        let isid = serverless.register(interference_spec());
+        serverless.set_tenant_cap(isid, Some(exp.serverless_cfg.memory_container_cap()));
+        trt.interference_sid = Some(isid);
+    }
+
     // Initial modes: background pinned serverless; foreground starts
     // on IaaS (Amoeba's safe default, §III) except under OpenWhisk.
     let initial_fg_mode = if exp.variant == SystemVariant::OpenWhisk {
@@ -442,6 +507,17 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
                 })
                 .collect(),
         });
+        if let (Some(tn), Some(trt)) = (tenancy_setup, tenancy.as_ref()) {
+            for (t, d) in tn.tenants.iter().zip(&trt.decisions) {
+                sink.record(TelemetryEvent::Admission(AdmissionRecord {
+                    t: SimTime::ZERO,
+                    tenant: t.spec.name.clone(),
+                    admitted: d.admitted,
+                    reserved_share: d.reserved_share,
+                    ratio: tn.policy.ratio,
+                }));
+            }
+        }
     }
 
     // Event calendar.
@@ -509,11 +585,11 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
     }
 
     // First arrivals.
-    for idx in 0..services.len() {
-        if let Some(t) = services[idx].arrivals.next_after(t0) {
+    for (idx, svc) in services.iter_mut().enumerate() {
+        if let Some(t) = svc.arrivals.next_after(t0) {
             queue.push(t, Ev::Arrival { idx });
         } else {
-            services[idx].exhausted = true;
+            svc.exhausted = true;
         }
     }
     if exp.run_meters {
@@ -530,6 +606,9 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
     queue.push(t0 + exp.control_period, Ev::ControlTick);
     queue.push(t0 + heartbeat_period, Ev::Heartbeat);
     queue.push(t0 + exp.usage_sample_period, Ev::UsageSample);
+    if let Some(trt) = tenancy.as_ref() {
+        queue.push(t0 + trt.vendor_tick, Ev::VendorTick);
+    }
 
     // Fault injection: pre-draw the whole timed-fault calendar from
     // the injector's independent RNG stream, so the runtime RNG
@@ -565,6 +644,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         chaos,
         fabric,
         workflow,
+        tenancy,
         drain_deadline: vec![None; n_services],
         wasted_prewarms: 0,
         failed_switches: 0,

@@ -77,6 +77,9 @@ pub struct ServerlessPlatform {
     resources: SharedResources,
     /// Outstanding prewarm counts per service.
     prewarm_pending: Vec<u32>,
+    /// Per-service container-cap overrides (vendor admission hook);
+    /// `None` falls back to the global `tenant_container_cap`.
+    tenant_caps: Vec<Option<u32>>,
     /// Services released by the engine: their busy containers terminate
     /// on completion instead of going idle.
     draining: Vec<bool>,
@@ -106,6 +109,7 @@ impl ServerlessPlatform {
             queue: VecDeque::new(),
             resources,
             prewarm_pending: Vec::new(),
+            tenant_caps: Vec::new(),
             draining: Vec::new(),
             next_container: 0,
             completed: 0,
@@ -147,8 +151,22 @@ impl ServerlessPlatform {
         });
         self.idle.push(VecDeque::new());
         self.prewarm_pending.push(0);
+        self.tenant_caps.push(None);
         self.draining.push(false);
         id
+    }
+
+    /// Override (or with `None` restore) one service's container cap.
+    /// The vendor's reclamation loop uses this to throttle tenants when
+    /// the pool saturates; containers above a lowered cap are not killed,
+    /// they age out through keep-alive.
+    pub fn set_tenant_cap(&mut self, service: ServiceId, cap: Option<u32>) {
+        self.tenant_caps[service.raw() as usize] = cap;
+    }
+
+    /// The container cap currently in force for `service`.
+    pub fn tenant_cap(&self, service: ServiceId) -> u32 {
+        self.tenant_caps[service.raw() as usize].unwrap_or(self.cfg.tenant_container_cap)
     }
 
     /// The registered spec.
@@ -249,7 +267,7 @@ impl ServerlessPlatform {
     }
 
     fn can_create_container(&self, service: ServiceId) -> bool {
-        let tenant_ok = self.container_count(service) < self.cfg.tenant_container_cap;
+        let tenant_ok = self.container_count(service) < self.tenant_cap(service);
         let memory_ok = (self.containers.len() as u32) < self.cfg.memory_container_cap();
         tenant_ok && memory_ok
     }
@@ -303,7 +321,7 @@ impl ServerlessPlatform {
         // Cold start, evicting an idle container of another tenant if the
         // pool is memory-full.
         if !self.can_create_container(query.service)
-            && self.container_count(query.service) < self.cfg.tenant_container_cap
+            && self.container_count(query.service) < self.tenant_cap(query.service)
         {
             self.evict_one_idle(query.service);
         }
@@ -621,7 +639,7 @@ impl ServerlessPlatform {
         let mut created = 0;
         while shortfall > 0 {
             if !self.can_create_container(service)
-                && self.container_count(service) < self.cfg.tenant_container_cap
+                && self.container_count(service) < self.tenant_cap(service)
                 && !self.evict_one_idle(service)
             {
                 break;

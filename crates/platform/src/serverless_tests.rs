@@ -350,6 +350,31 @@ fn tenant_cap_respected() {
 }
 
 #[test]
+fn per_service_cap_override_throttles_and_restores() {
+    let cfg = ServerlessConfig {
+        tenant_container_cap: 5,
+        ..Default::default()
+    };
+    let mut p = ServerlessPlatform::new(cfg);
+    let mut rng = SimRng::seed_from_u64(3);
+    let sid = p.register(benchmarks::float());
+    assert_eq!(p.tenant_cap(sid), 5, "default comes from the config");
+    p.set_tenant_cap(sid, Some(2));
+    let t0 = SimTime::ZERO;
+    for i in 0..6 {
+        p.submit(q(i, sid, t0), t0, &mut rng);
+    }
+    assert_eq!(p.container_count(sid), 2, "override caps container growth");
+    assert_eq!(p.queue_len(), 4);
+    p.set_tenant_cap(sid, None);
+    assert_eq!(p.tenant_cap(sid), 5, "None restores the global cap");
+    for i in 6..12 {
+        p.submit(q(i, sid, t0), t0, &mut rng);
+    }
+    assert_eq!(p.container_count(sid), 5);
+}
+
+#[test]
 fn prewarm_creates_idle_containers_and_acks() {
     let (mut p, mut rng) = setup();
     let sid = p.register(benchmarks::float());

@@ -462,6 +462,36 @@ pub struct NodeUtilRecord {
     pub max_node_util: f64,
 }
 
+/// One tenant's admission decision (multi-tenant runs only). Emitted at
+/// setup, one per submitted tenant, before any queries flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRecord {
+    /// Decision time (setup, so effectively t=0).
+    pub t: SimTime,
+    /// Tenant service name.
+    pub tenant: String,
+    /// Whether the vendor admitted the tenant.
+    pub admitted: bool,
+    /// The pool share the tenant's provisioned peak reserves.
+    pub reserved_share: f64,
+    /// Overbooking ratio in force at the decision.
+    pub ratio: f64,
+}
+
+/// Vendor control-tick sample (multi-tenant runs only): what the
+/// vendor's reclamation loop saw and did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VendorSampleRecord {
+    /// Tick time.
+    pub t: SimTime,
+    /// Serverless pool utilization [cpu, io, net].
+    pub pool_util: [f64; 3],
+    /// Containers alive in the pool.
+    pub containers: u64,
+    /// Whether tenant caps are throttled by reclamation after this tick.
+    pub throttled: bool,
+}
+
 /// One completed workflow stage of one query instance (workflow runs
 /// only). The `instance` is shared by every stage span of one DAG
 /// traversal, so joining on it reconstructs the whole critical path;
@@ -537,6 +567,10 @@ pub enum TelemetryEvent {
     Placement(PlacementRecord),
     /// Fleet utilization snapshot (multi-node runs only).
     NodeUtil(NodeUtilRecord),
+    /// A tenant admission decision (multi-tenant runs only).
+    Admission(AdmissionRecord),
+    /// Vendor reclamation-loop sample (multi-tenant runs only).
+    VendorSample(VendorSampleRecord),
 }
 
 /// A malformed trace line.
@@ -733,6 +767,21 @@ impl TelemetryEvent {
                 "mean_util": (triple(r.mean_util)),
                 "max_node_util": r.max_node_util,
             }),
+            TelemetryEvent::Admission(r) => json!({
+                "type": "admission",
+                "t_us": r.t.as_micros(),
+                "tenant": (r.tenant.clone()),
+                "admitted": r.admitted,
+                "reserved_share": r.reserved_share,
+                "ratio": r.ratio,
+            }),
+            TelemetryEvent::VendorSample(r) => json!({
+                "type": "vendor_sample",
+                "t_us": r.t.as_micros(),
+                "pool_util": (triple(r.pool_util)),
+                "containers": r.containers,
+                "throttled": r.throttled,
+            }),
         }
     }
 
@@ -862,6 +911,23 @@ impl TelemetryEvent {
                 mean_util: get_triple(v, "mean_util")?,
                 max_node_util: get_f64(v, "max_node_util")?,
             })),
+            "admission" => Ok(TelemetryEvent::Admission(AdmissionRecord {
+                t: get_time(v)?,
+                tenant: get_str(v, "tenant")?.to_string(),
+                admitted: v["admitted"]
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("missing 'admitted'".into()))?,
+                reserved_share: get_f64(v, "reserved_share")?,
+                ratio: get_f64(v, "ratio")?,
+            })),
+            "vendor_sample" => Ok(TelemetryEvent::VendorSample(VendorSampleRecord {
+                t: get_time(v)?,
+                pool_util: get_triple(v, "pool_util")?,
+                containers: get_u64(v, "containers")?,
+                throttled: v["throttled"]
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("missing 'throttled'".into()))?,
+            })),
             other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
         }
     }
@@ -881,6 +947,8 @@ impl TelemetryEvent {
             TelemetryEvent::StageSpan(r) => r.t,
             TelemetryEvent::Placement(r) => r.t,
             TelemetryEvent::NodeUtil(r) => r.t,
+            TelemetryEvent::Admission(r) => r.t,
+            TelemetryEvent::VendorSample(r) => r.t,
         }
     }
 }

@@ -34,10 +34,10 @@ pub mod sink;
 pub mod trace;
 
 pub use event::{
-    DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
-    PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, StageSpanRecord, SwitchPhase,
-    SwitchRecord, TelemetryEvent, TickReason, TickRecord, TraceDecision, ViolationCause,
-    ViolationRecord, WarmSampleRecord,
+    AdmissionRecord, DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode,
+    NodeUtilRecord, PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, StageSpanRecord,
+    SwitchPhase, SwitchRecord, TelemetryEvent, TickReason, TickRecord, TraceDecision,
+    VendorSampleRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 pub use sink::{MemorySink, NoopSink, TelemetrySink};
 pub use trace::{ServiceSummary, SwitchSpan, Trace, TraceSummary};

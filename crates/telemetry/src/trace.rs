@@ -692,6 +692,38 @@ mod tests {
     }
 
     #[test]
+    fn admission_and_vendor_sample_events_round_trip() {
+        use crate::event::{AdmissionRecord, VendorSampleRecord};
+        let events = vec![
+            TelemetryEvent::Admission(AdmissionRecord {
+                t: t(0.0),
+                tenant: "float-t00".to_string(),
+                admitted: true,
+                reserved_share: 0.21,
+                ratio: 1.5,
+            }),
+            TelemetryEvent::Admission(AdmissionRecord {
+                t: t(0.0),
+                tenant: "matmul-t01".to_string(),
+                admitted: false,
+                reserved_share: 0.4,
+                ratio: 1.5,
+            }),
+            TelemetryEvent::VendorSample(VendorSampleRecord {
+                t: t(5.0),
+                pool_util: [0.8, 0.2, 0.1],
+                containers: 42,
+                throttled: true,
+            }),
+        ];
+        let trace = Trace::from_events(events);
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
     fn jsonl_round_trips() {
         let trace = Trace::from_events(vec![
             header(

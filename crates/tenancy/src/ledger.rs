@@ -1,0 +1,155 @@
+//! The vendor's books: per-tenant revenue, SLO credits, and the
+//! pool-level cost of the resources actually allocated.
+//!
+//! Revenue is tenant-facing: each tenant pays `price_markup` times the
+//! infrastructure list price ([`CostModel`]) of the billable usage its
+//! queries generated. Cost is vendor-facing: the list price of the
+//! resources the pool *allocated* (busy or idle) over the run. Credits
+//! refund `slo_credit` per QoS-violating query. Profit is what remains.
+
+use amoeba_metrics::{BillableUsage, CostModel};
+
+use crate::fleet::TenantPricing;
+
+/// One tenant's line in the vendor's books.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAccount {
+    /// Tenant service name.
+    pub name: String,
+    /// Whether the tenant was admitted (rejected tenants generate no
+    /// revenue and no cost).
+    pub admitted: bool,
+    /// Reserved share the admission decision was based on.
+    pub reserved_share: f64,
+    /// Queries the tenant completed.
+    pub queries: u64,
+    /// QoS-violating queries among them.
+    pub violations: u64,
+    /// Whether the tenant's end-of-run percentile QoS target was met.
+    pub qos_met: bool,
+    /// Revenue collected from the tenant.
+    pub revenue: f64,
+    /// SLO credits refunded to the tenant.
+    pub credits: f64,
+}
+
+impl TenantAccount {
+    /// Price a tenant's billable usage and violations into an account
+    /// line.
+    #[allow(clippy::too_many_arguments)]
+    pub fn settle(
+        name: &str,
+        admitted: bool,
+        reserved_share: f64,
+        usage: &BillableUsage,
+        queries: u64,
+        violations: u64,
+        qos_met: bool,
+        pricing: &TenantPricing,
+        list: &CostModel,
+    ) -> Self {
+        TenantAccount {
+            name: name.to_string(),
+            admitted,
+            reserved_share,
+            queries,
+            violations,
+            qos_met,
+            revenue: pricing.price_markup * list.cost(usage),
+            credits: pricing.slo_credit * violations as f64,
+        }
+    }
+}
+
+/// The vendor's books for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VendorLedger {
+    /// Per-tenant lines, in fleet submission order.
+    pub accounts: Vec<TenantAccount>,
+    /// List-price cost of the resources the vendor allocated over the
+    /// run (pool + IaaS, busy or idle).
+    pub vendor_cost: f64,
+}
+
+impl VendorLedger {
+    /// Total revenue across tenants.
+    pub fn revenue(&self) -> f64 {
+        self.accounts.iter().map(|a| a.revenue).sum()
+    }
+
+    /// Total SLO credits refunded.
+    pub fn credits(&self) -> f64 {
+        self.accounts.iter().map(|a| a.credits).sum()
+    }
+
+    /// Profit = revenue − vendor cost − credits.
+    pub fn profit(&self) -> f64 {
+        self.revenue() - self.vendor_cost - self.credits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(invocations: u64) -> BillableUsage {
+        BillableUsage {
+            invocations,
+            serverless_mem_mb_seconds: invocations as f64 * 0.1 * 256.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn revenue_is_marked_up_list_price() {
+        let list = CostModel::default();
+        let pricing = TenantPricing {
+            price_markup: 3.0,
+            slo_credit: 0.0,
+        };
+        let u = usage(10_000);
+        let a = TenantAccount::settle("t", true, 0.1, &u, 10_000, 0, true, &pricing, &list);
+        assert!((a.revenue - 3.0 * list.cost(&u)).abs() < 1e-12);
+        assert_eq!(a.credits, 0.0);
+    }
+
+    #[test]
+    fn credits_scale_with_violations() {
+        let list = CostModel::default();
+        let pricing = TenantPricing {
+            price_markup: 2.0,
+            slo_credit: 0.5,
+        };
+        let u = usage(100);
+        let a = TenantAccount::settle("t", true, 0.1, &u, 100, 8, false, &pricing, &list);
+        assert!((a.credits - 4.0).abs() < 1e-12);
+        assert!(!a.qos_met);
+    }
+
+    #[test]
+    fn profit_subtracts_cost_and_credits() {
+        let list = CostModel::default();
+        let pricing = TenantPricing {
+            price_markup: 4.0,
+            slo_credit: 0.25,
+        };
+        let mut ledger = VendorLedger::default();
+        for i in 0..3 {
+            ledger.accounts.push(TenantAccount::settle(
+                &format!("t{i}"),
+                true,
+                0.1,
+                &usage(1_000_000),
+                1_000_000,
+                4,
+                true,
+                &pricing,
+                &list,
+            ));
+        }
+        ledger.vendor_cost = 0.1;
+        let expect = ledger.revenue() - 0.1 - 3.0;
+        assert!((ledger.profit() - expect).abs() < 1e-9);
+        assert!(ledger.revenue() > 0.0);
+    }
+}

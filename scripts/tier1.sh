@@ -37,12 +37,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --locked --workspace --no-deps --quiet \
 echo "== cargo test --workspace =="
 cargo test --locked --workspace -q
 
-# Exercise the multi-node and workflow report paths end to end (short
-# day, one seed); the release binary is already built above.
+# Exercise the multi-node, workflow and multi-tenant report paths end
+# to end (short day, small fleet, one seed); the release binary is
+# already built above.
 echo "== experiments multinode --smoke =="
 cargo run --locked --release -q -p amoeba-bench --bin experiments -- multinode --smoke
 
 echo "== experiments workflow --smoke =="
 cargo run --locked --release -q -p amoeba-bench --bin experiments -- workflow --smoke
+
+echo "== experiments multitenant --smoke =="
+cargo run --locked --release -q -p amoeba-bench --bin experiments -- multitenant --smoke
 
 echo "tier1: all green"

@@ -15,4 +15,5 @@ pub use amoeba_platform as platform;
 pub use amoeba_queueing as queueing;
 pub use amoeba_sim as sim;
 pub use amoeba_telemetry as telemetry;
+pub use amoeba_tenancy as tenancy;
 pub use amoeba_workload as workload;

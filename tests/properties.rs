@@ -133,3 +133,49 @@ proptest! {
         prop_assert_eq!(a.1, b.1);
     }
 }
+
+/// Mean measured CPU pressure of an endogenous-pressure tenant fleet
+/// whose peaks are scaled by `scale`, pinned serverless (OpenWhisk) so
+/// every query lands on the shared pool and no switching redistributes
+/// the load mid-measurement.
+fn endogenous_pressure_at(scale: f64, seed: u64) -> f64 {
+    use amoeba::core::{Experiment, SystemVariant};
+    use amoeba::sim::SimDuration;
+    use amoeba::tenancy::{FleetBuilder, TenancySetup};
+
+    let fleet = FleetBuilder::new(seed)
+        .tenants(6)
+        .peak_scale(scale, scale)
+        .build();
+    let r = Experiment::builder(
+        SystemVariant::OpenWhisk,
+        SimDuration::from_secs_f64(120.0),
+        seed,
+    )
+    .tenancy(TenancySetup::new(fleet, 4.0))
+    .build()
+    .run();
+    r.mean_pressures[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The pressure-emergence equation (DESIGN.md §15): measured
+    /// pressure is monotone non-decreasing in aggregate co-tenant load.
+    /// Scaling every tenant's peak up never lowers the mean measured
+    /// CPU pressure.
+    #[test]
+    fn endogenous_pressure_is_monotone_in_cotenant_load(
+        lo in 0.05f64..0.25,
+        delta in 0.10f64..0.40,
+        seed in 0u64..100,
+    ) {
+        let p_lo = endogenous_pressure_at(lo, seed);
+        let p_hi = endogenous_pressure_at(lo + delta, seed);
+        prop_assert!(
+            p_hi >= p_lo - 1e-9,
+            "pressure fell as load rose: {p_lo} -> {p_hi}"
+        );
+    }
+}
