@@ -39,6 +39,10 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
     ));
     let mut out = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = foregrounds()
             .into_iter()
             .map(|b| {
@@ -46,7 +50,7 @@ pub fn fig14(day_s: f64, seed: u64) -> Report {
                     let nameko = run_cell(SystemVariant::Nameko, b.clone(), day_s, seed);
                     let amoeba = run_cell_traced(SystemVariant::Amoeba, b.clone(), day_s, seed);
                     let nom = run_cell_traced(SystemVariant::AmoebaNoM, b.clone(), day_s, seed);
-                    (b.name.clone(), nameko, amoeba, nom)
+                    (b.name, nameko, amoeba, nom)
                 })
             })
             .collect();
@@ -183,6 +187,10 @@ pub fn fig15(seed: u64) -> Report {
     ));
     let mut out = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = foregrounds()
             .into_iter()
             .map(|b| {
@@ -226,7 +234,7 @@ pub fn fig15(seed: u64) -> Report {
                     let mut ctl_nom = DeploymentController::new(ControllerConfig::default());
                     ctl_nom.register(model_for(&b, &cfg));
                     let lambda_nom = ctl_nom.admissible_load(0, pressures, [1.0; 3]);
-                    (b.name.clone(), lambda_real, lambda_amoeba, lambda_nom)
+                    (b.name, lambda_real, lambda_amoeba, lambda_nom)
                 })
             })
             .collect();
@@ -284,13 +292,17 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
     ));
     let mut out = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = foregrounds()
             .into_iter()
             .map(|b| {
                 s.spawn(move || {
                     let nop = run_cell_traced(SystemVariant::AmoebaNoP, b.clone(), day_s, seed);
                     let amoeba = run_cell(SystemVariant::Amoeba, b.clone(), day_s, seed);
-                    (b.name.clone(), nop, amoeba)
+                    (b.name, nop, amoeba)
                 })
             })
             .collect();
@@ -348,7 +360,7 @@ pub fn fig16(day_s: f64, seed: u64) -> Report {
 pub fn overhead(day_s: f64, seed: u64) -> Report {
     let mut r = Report::new("overhead", "Overhead of Amoeba's contention meters");
     let spec = amoeba_workload::benchmarks::float();
-    let with = run_cell(SystemVariant::Amoeba, spec.clone(), day_s, seed);
+    let with = run_cell(SystemVariant::Amoeba, spec, day_s, seed);
     r.line(format!(
         "measured meter CPU overhead: {:.2}% of the node",
         with.meter_cpu_overhead * 100.0

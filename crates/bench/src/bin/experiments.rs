@@ -8,15 +8,15 @@
 //! Known ids: table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 overhead ablation-slowdown cost multi-tenant
 //! ablation-prewarm ablation-percentile week ablation-placement trace
-//! forecast resilience multinode workflow multitenant.
+//! forecast resilience multinode workflow multitenant fleet.
 //!
 //! `--smoke` shrinks the simulated day and seed sweep (currently the
-//! `multinode`, `workflow` and `multitenant` reports) so CI can
-//! exercise the report path cheaply.
+//! `multinode`, `workflow`, `multitenant` and `fleet` reports) so CI
+//! can exercise the report path cheaply.
 
 use amoeba_bench::{
-    ablations, evaluation, extensions, forecast, investigation, multinode, multitenant, profiling,
-    resilience, workflow, Report,
+    ablations, evaluation, extensions, fleet, forecast, investigation, multinode, multitenant,
+    profiling, resilience, workflow, Report,
 };
 use amoeba_bench::{DEFAULT_DAY_S, DEFAULT_SEED};
 use std::io::Write;
@@ -74,6 +74,18 @@ fn by_id(id: &str, smoke: bool) -> Option<Report> {
                 )
             }
         }
+        "fleet" => {
+            if smoke {
+                fleet::fleet(24, 1.0, 90.0, &[1, 2])
+            } else {
+                fleet::fleet(
+                    fleet::FLEET_SERVICES,
+                    fleet::FLEET_DAYS,
+                    fleet::FLEET_DAY_S,
+                    &[1, 2, 4, 8],
+                )
+            }
+        }
         _ => return None,
     };
     Some(r)
@@ -105,16 +117,16 @@ const GROUPS: &[(&str, &[&str])] = &[
             "multinode",
             "workflow",
             "multitenant",
+            "fleet",
         ],
     ),
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
     let mut smoke = false;
     let mut targets: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_dir = it.next(),

@@ -11,6 +11,10 @@ use amoeba_sim::{SimDuration, SimTime};
 /// Run the (benchmark × variant) grid in parallel.
 fn run_grid(variants: &[SystemVariant], day_s: f64, seed: u64) -> Vec<(String, Vec<RunResult>)> {
     std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = foregrounds()
             .into_iter()
             .map(|b| {

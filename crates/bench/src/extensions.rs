@@ -35,6 +35,10 @@ pub fn cost(day_s: f64, seed: u64) -> Report {
     ));
     let mut out = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = foregrounds()
             .into_iter()
             .map(|b| {
@@ -42,7 +46,7 @@ pub fn cost(day_s: f64, seed: u64) -> Report {
                     let amoeba = run_cell(SystemVariant::Amoeba, b.clone(), day_s, seed);
                     let nameko = run_cell(SystemVariant::Nameko, b.clone(), day_s, seed);
                     let ow = run_cell(SystemVariant::OpenWhisk, b.clone(), day_s, seed);
-                    (b.name.clone(), amoeba, nameko, ow)
+                    (b.name, amoeba, nameko, ow)
                 })
             })
             .collect();
@@ -177,6 +181,10 @@ pub fn ablation_prewarm(day_s: f64, seed: u64) -> Report {
     ));
     let spec = amoeba_workload::benchmarks::float();
     let runs: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = [0.25, 0.5, 1.0, 2.0, 4.0]
             .into_iter()
             .map(|factor| {

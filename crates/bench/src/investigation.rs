@@ -91,6 +91,10 @@ pub fn fig2(day_s: f64, seed: u64) -> Report {
     ));
     let mut rows = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = benchmarks::standard_benchmarks()
             .into_iter()
             .map(|b| {
@@ -147,6 +151,10 @@ pub fn fig3(seed: u64) -> Report {
     let iaas_cfg = IaasConfig::default();
     let mut rows = Vec::new();
     let results: Vec<_> = std::thread::scope(|scope| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = benchmarks::standard_benchmarks()
             .into_iter()
             .map(|b| {
@@ -188,7 +196,7 @@ pub fn fig3(seed: u64) -> Report {
                         b.peak_qps * 1.2,
                         seed,
                     );
-                    (b.name.clone(), iaas_peak, sl_peak)
+                    (b.name, iaas_peak, sl_peak)
                 })
             })
             .collect();

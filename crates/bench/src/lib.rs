@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod evaluation;
 pub mod extensions;
+pub mod fleet;
 pub mod forecast;
 pub mod investigation;
 pub mod multinode;

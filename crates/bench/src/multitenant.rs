@@ -36,18 +36,28 @@ pub const FLEET: usize = 16;
 /// only same-tick lock-step flips are counted, not adjacent ticks.
 const HERDING_WINDOW_S: f64 = 2.0;
 
+/// Control-phase jitter used by the "Amoeba+jit" rows: each tenant's
+/// decision fires at its own offset, drawn once per run from `[0,
+/// 0.5 × control period)` out of the tenant's RNG stream. All tenants
+/// still decide once per period; only the *phase* is decorrelated.
+pub const JITTER_FRAC: f64 = 0.5;
+
 /// One cell: a tenant fleet built from `seed`, admitted at `ratio`,
-/// driven through a full day with endogenous pressure on.
+/// driven through a full day with endogenous pressure on. `jitter` is
+/// the control-phase jitter fraction (0.0 = the default synchronous
+/// control tick, byte-identical to the pre-jitter runtime).
 pub fn multitenant_cell(
     variant: SystemVariant,
     ratio: f64,
     tenants: usize,
     day_s: f64,
     seed: u64,
+    jitter: f64,
 ) -> (RunResult, Trace) {
     let fleet = FleetBuilder::new(seed).tenants(tenants).build();
     Experiment::builder(variant, SimDuration::from_secs_f64(day_s), seed)
         .tenancy(TenancySetup::new(fleet, ratio))
+        .control_jitter(jitter)
         .build()
         .run_traced()
 }
@@ -85,18 +95,27 @@ pub fn multitenant(day_s: f64, seed: u64, tenants: usize, ratios: &[f64]) -> Rep
 
     // The static baseline never switches, so its variant is Nameko:
     // every admitted tenant holds dedicated IaaS capacity all day.
+    // "Amoeba+jit" is Amoeba with per-tenant control-phase jitter —
+    // the de-herding knob, measured by the same herd column.
     let variants = [
-        (SystemVariant::Amoeba, "Amoeba"),
-        (SystemVariant::Nameko, "static"),
+        (SystemVariant::Amoeba, "Amoeba", 0.0),
+        (SystemVariant::Amoeba, "Amoeba+jit", JITTER_FRAC),
+        (SystemVariant::Nameko, "static", 0.0),
     ];
-    let jobs: Vec<(f64, SystemVariant, &str)> = ratios
+    let jobs: Vec<(f64, SystemVariant, &str, f64)> = ratios
         .iter()
-        .flat_map(|&q| variants.iter().map(move |&(v, l)| (q, v, l)))
+        .flat_map(|&q| variants.iter().map(move |&(v, l, j)| (q, v, l, j)))
         .collect();
     let runs: Vec<(RunResult, Trace)> = std::thread::scope(|scope| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = jobs
             .iter()
-            .map(|&(q, v, _)| scope.spawn(move || multitenant_cell(v, q, tenants, day_s, seed)))
+            .map(|&(q, v, _, j)| {
+                scope.spawn(move || multitenant_cell(v, q, tenants, day_s, seed, j))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -124,7 +143,7 @@ pub fn multitenant(day_s: f64, seed: u64, tenants: usize, ratios: &[f64]) -> Rep
     ));
 
     let mut cells = Vec::new();
-    for ((q, _, label), (run, trace)) in jobs.iter().zip(&runs) {
+    for ((q, _, label, jitter), (run, trace)) in jobs.iter().zip(&runs) {
         let tn = run
             .tenancy
             .as_ref()
@@ -149,6 +168,7 @@ pub fn multitenant(day_s: f64, seed: u64, tenants: usize, ratios: &[f64]) -> Rep
         cells.push(json!({
             "ratio": *q,
             "system": *label,
+            "jitter": *jitter,
             "admitted": (tn.admitted as u64),
             "rejected": (tn.rejected as u64),
             "reserved_total": tn.reserved_total,
@@ -167,8 +187,10 @@ pub fn multitenant(day_s: f64, seed: u64, tenants: usize, ratios: &[f64]) -> Rep
     r.line(
         "viol = admitted tenants missing their QoS percentile; herd = \
          fraction of switch requests within 2 s of another tenant's \
-         (lock-step herding); cost = vendor's allocated-resource cost \
-         at list price; profit = revenue - cost - SLO credits",
+         (lock-step herding); Amoeba+jit spreads each tenant's control \
+         phase over half a period to break that lock-step; cost = \
+         vendor's allocated-resource cost at list price; profit = \
+         revenue - cost - SLO credits",
     );
     r.json = json!({
         "tenants": (tenants as u64),
@@ -193,17 +215,34 @@ mod tests {
     fn report_meets_the_acceptance_bar() {
         let r = multitenant(TEST_DAY_S, DEFAULT_SEED, FLEET, &RATIOS);
         let cells = r.json["cells"].as_array().unwrap();
-        assert_eq!(cells.len(), RATIOS.len() * 2);
+        assert_eq!(cells.len(), RATIOS.len() * 3);
         let get = |ratio: f64, system: &str| {
             cells
                 .iter()
                 .find(|c| c["ratio"].as_f64() == Some(ratio) && c["system"] == system)
                 .unwrap_or_else(|| panic!("missing cell {ratio}/{system}"))
         };
-        // The herding signal is measured across the whole sweep.
+        // The herding signal is measured across the whole sweep, for
+        // both the synchronous and the jittered controller.
         for &q in &RATIOS {
             assert!(get(q, "Amoeba")["herding"].as_f64().is_some());
+            assert!(get(q, "Amoeba+jit")["herding"].as_f64().is_some());
         }
+        // Phase jitter must not unleash herding: summed over the
+        // sweep, the jittered controller co-flips no more than the
+        // synchronous one (it exists to break lock-step).
+        let herd_sum = |system: &str| -> f64 {
+            RATIOS
+                .iter()
+                .map(|&q| get(q, system)["herding"].as_f64().unwrap())
+                .sum()
+        };
+        assert!(
+            herd_sum("Amoeba+jit") <= herd_sum("Amoeba") + 1e-9,
+            "jitter increased herding: {} vs {}",
+            herd_sum("Amoeba+jit"),
+            herd_sum("Amoeba")
+        );
         // Overbooking must actually overbook: the top ratio admits more
         // tenants than the no-overbooking baseline.
         assert!(
@@ -228,12 +267,28 @@ mod tests {
 
     #[test]
     fn cells_are_deterministic() {
-        let (a, ta) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7);
-        let (b, tb) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7);
+        let (a, ta) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7, 0.0);
+        let (b, tb) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7, 0.0);
         assert_eq!(a.tenancy, b.tenancy);
         assert_eq!(co_flip_fraction(&ta), co_flip_fraction(&tb));
         for (x, y) in a.services.iter().zip(&b.services) {
             assert_eq!(x.completed, y.completed, "{}", x.name);
+        }
+    }
+
+    /// The jittered controller is deterministic too, and its arrival
+    /// streams are identical to the synchronous run's: jitter offsets
+    /// are drawn *after* every per-service arrival fork, so turning
+    /// jitter on changes decision phases without touching the load.
+    #[test]
+    fn jittered_cells_are_deterministic_with_unchanged_load() {
+        let (a, ta) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7, JITTER_FRAC);
+        let (b, tb) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7, JITTER_FRAC);
+        assert_eq!(a.tenancy, b.tenancy);
+        assert_eq!(co_flip_fraction(&ta), co_flip_fraction(&tb));
+        let (sync, _) = multitenant_cell(SystemVariant::Amoeba, 2.0, 6, 120.0, 7, 0.0);
+        for (x, y) in a.services.iter().zip(&sync.services) {
+            assert_eq!(x.submitted, y.submitted, "{}: jitter changed load", x.name);
         }
     }
 }

@@ -50,6 +50,10 @@ pub fn fig8(seed: u64) -> Report {
     let sweep = [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9];
     let mut out = Vec::new();
     let results: Vec<_> = std::thread::scope(|s| {
+        // Collecting the handles before joining is load-bearing:
+        // it spawns every job before any join, which is what runs
+        // the cells in parallel rather than one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..3)
             .map(|res| {
                 s.spawn(move || {

@@ -192,7 +192,7 @@ struct ServiceState {
     model: ServiceModel,
     arrivals: VecDeque<SimTime>,
     gain: f64,
-    forecaster: Option<Box<dyn Forecaster>>,
+    forecaster: Option<Box<dyn Forecaster + Send>>,
     /// External λ-shift hint: the arrival rate this service is *about*
     /// to see, known upstream of its own measured window (a workflow
     /// stage's successors see the root's λ after the upstream
@@ -243,7 +243,7 @@ impl DeploymentController {
     /// Attach a load forecaster to a service. Until one is attached (or
     /// when [`ControllerConfig::proactive`] is `None`) decisions stay
     /// purely reactive.
-    pub fn attach_forecaster(&mut self, idx: usize, forecaster: Box<dyn Forecaster>) {
+    pub fn attach_forecaster(&mut self, idx: usize, forecaster: Box<dyn Forecaster + Send>) {
         self.services[idx].forecaster = Some(forecaster);
     }
 

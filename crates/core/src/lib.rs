@@ -39,6 +39,6 @@ pub use monitor::{
 };
 pub use monitor_nd::NdContentionMonitor;
 pub use runtime::{
-    BreakdownMeans, Experiment, ExperimentBuilder, RunResult, ServiceResult, ServiceSetup,
-    WorkflowResult, WorkflowSetup,
+    BreakdownMeans, EpochRun, Experiment, ExperimentBuilder, RunResult, ServiceResult,
+    ServiceSetup, WorkflowResult, WorkflowSetup,
 };

@@ -1,6 +1,13 @@
 //! The control tick (§IV): drain watchdog, per-service deployment
 //! decisions through the controller/engine pair, and the shadow
 //! calibration traffic.
+//!
+//! The per-service decision body lives in [`decide_service`] so two
+//! callers share it byte-identically: the synchronous in-tick loop
+//! (the legacy path, and the only one exercised while
+//! [`Experiment::control_jitter_frac`] is zero), and the
+//! jitter-deferred [`on_service_decision`] handler that fires each
+//! service's decision at its own offset past the shared tick.
 
 use super::switching::{apply_engine_actions, DRAIN_TIMEOUT_S};
 use super::tenancy::PRESSURE_CAP;
@@ -8,11 +15,76 @@ use super::{record_forecast, Ev, Experiment, SimWorld};
 use crate::controller::{prewarm_count, Decision, DeployMode};
 use crate::engine::{DeadlineAction, RouteTarget};
 use amoeba_platform::{Effect, NodeId, Query, QueryId};
-use amoeba_sim::SimTime;
+use amoeba_sim::{SimDuration, SimTime};
 use amoeba_telemetry::{
     FaultKind, FaultRecord, NodeUtilRecord, RecoveryKind, RecoveryRecord, TelemetryEvent,
     TelemetrySink, TickReason, TickRecord,
 };
+
+/// The pressures a decision is evaluated against: the locally measured
+/// signal (endogenous pool occupancy when tenancy asks for it, the
+/// profiled monitor otherwise) plus any cross-cell pressure injected by
+/// the fleet executor's epoch exchange, capped where the contention
+/// surfaces are profiled. With no external term — every serial run —
+/// this is exactly the legacy signal.
+pub(crate) fn effective_pressures(world: &SimWorld) -> [f64; 3] {
+    let base = match world.tenancy.as_ref() {
+        Some(t) if t.endogenous => {
+            let u = world.serverless.utilization();
+            [
+                u[0].min(PRESSURE_CAP),
+                u[1].min(PRESSURE_CAP),
+                u[2].min(PRESSURE_CAP),
+            ]
+        }
+        _ => world.monitor.pressures(),
+    };
+    let ext = world.external_pressure;
+    if ext == [0.0; 3] {
+        base
+    } else {
+        [
+            (base[0] + ext[0]).min(PRESSURE_CAP),
+            (base[1] + ext[1]).min(PRESSURE_CAP),
+            (base[2] + ext[2]).min(PRESSURE_CAP),
+        ]
+    }
+}
+
+/// Current serverless co-tenants with their estimated loads — the
+/// cross-service term of Eq. 5's contention model.
+fn co_tenant_loads(world: &SimWorld, now: SimTime) -> Vec<(usize, f64)> {
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        ..
+    } = world;
+    (0..services.len())
+        .filter(|&j| {
+            services[j].background || engine.mode(services[j].sid) == DeployMode::Serverless
+        })
+        .map(|j| (j, controller.estimated_load(j, now)))
+        .collect()
+}
+
+/// Co-tenancy is per pool: with a fabric, only services sharing a home
+/// node contend for the same serverless capacity.
+fn filter_by_home<'a>(
+    others: &'a [(usize, f64)],
+    homes: &Option<Vec<NodeId>>,
+    idx: usize,
+    scratch: &'a mut Vec<(usize, f64)>,
+) -> &'a [(usize, f64)] {
+    match homes {
+        Some(h) => {
+            scratch.clear();
+            scratch.extend(others.iter().copied().filter(|&(j, _)| h[j] == h[idx]));
+            scratch
+        }
+        None => others,
+    }
+}
 
 /// One control period elapsed: reclaim overdue drains, snapshot the
 /// monitor, let the controller decide per unpinned service (riding out
@@ -24,31 +96,127 @@ pub(crate) fn on_control_tick(
     now: SimTime,
     sink: &mut dyn TelemetrySink,
 ) {
+    drain_watchdog(world, now, sink);
+    let pressures = effective_pressures(world);
+    world.pressure_sum[0] += pressures[0];
+    world.pressure_sum[1] += pressures[1];
+    world.pressure_sum[2] += pressures[2];
+    world.pressure_samples += 1;
+    let weights = world.monitor.weights();
+    // Fleet utilization snapshot (multi-node runs only; single-node
+    // traces keep their legacy event stream byte-identical).
+    if sink.enabled() {
+        if let Some(f) = world.fabric.as_ref() {
+            let (mean_util, max_node_util) = f.fleet_utilization(&world.serverless);
+            sink.record(TelemetryEvent::NodeUtil(NodeUtilRecord {
+                t: now,
+                mean_util,
+                max_node_util,
+            }));
+        }
+    }
+    if exp.variant.switches() {
+        {
+            let SimWorld {
+                services,
+                controller,
+                workflow,
+                ..
+            } = world;
+            // Feed each unpinned service's forecaster before
+            // any decision this tick. Unconditional (not
+            // sink-gated): the forecast is control-plane
+            // state, so traced and untraced runs stay
+            // bit-identical. A no-op for reactive variants.
+            for (idx, svc) in services.iter().enumerate() {
+                if !svc.pinned {
+                    controller.observe_load(idx, now);
+                }
+            }
+            // λ-shift accounting: every instance visits every stage once,
+            // so each non-root stage is about to see the root's current λ
+            // (time-shifted by upstream latency). Hint it to the
+            // controller before this tick's decisions — the stage's own
+            // arrival window lags the root by the upstream latencies and
+            // goes stale across an upstream switch.
+            if let Some(wrt) = workflow.as_ref() {
+                for wf in &wrt.workflows {
+                    let root = wf.spec.root();
+                    let lam = controller.estimated_load(wf.svc[root], now);
+                    for (s, &svc_idx) in wf.svc.iter().enumerate() {
+                        if s != root {
+                            controller.set_load_hint(svc_idx, Some(lam));
+                        }
+                    }
+                }
+            }
+        }
+        let others = co_tenant_loads(world, now);
+        let homes: Option<Vec<NodeId>> = world.fabric.as_ref().map(|f| f.home.clone());
+        let mut scratch = Vec::new();
+        for idx in 0..world.services.len() {
+            if world.services[idx].pinned {
+                continue;
+            }
+            let offset = world.services[idx].control_offset;
+            if offset != SimDuration::ZERO {
+                // Jittered phase: defer this service's decision to its
+                // own offset past the tick. Decisions past the horizon
+                // are dropped, matching the tick re-arm gate.
+                if now + offset < world.horizon_t {
+                    world.queue.push(now + offset, Ev::ServiceDecision { idx });
+                }
+                continue;
+            }
+            let local = filter_by_home(&others, &homes, idx, &mut scratch);
+            decide_service(exp, world, idx, now, pressures, weights, local, sink);
+        }
+        shadow_probes(exp, world, now);
+    }
+    let next = now + exp.control_period;
+    if next < world.horizon_t {
+        world.queue.push(next, Ev::ControlTick);
+    }
+}
+
+/// A jitter-deferred decision fires: re-measure pressures and co-tenant
+/// loads *now* (the whole point of the offset — this service sees the
+/// pool as its peers' same-tick switches left it, not the shared
+/// start-of-tick snapshot) and run the common decision body.
+pub(crate) fn on_service_decision(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    idx: usize,
+    now: SimTime,
+    sink: &mut dyn TelemetrySink,
+) {
+    if world.services[idx].pinned {
+        return;
+    }
+    let pressures = effective_pressures(world);
+    let weights = world.monitor.weights();
+    let others = co_tenant_loads(world, now);
+    let homes: Option<Vec<NodeId>> = world.fabric.as_ref().map(|f| f.home.clone());
+    let mut scratch = Vec::new();
+    let local = filter_by_home(&others, &homes, idx, &mut scratch);
+    decide_service(exp, world, idx, now, pressures, weights, local, sink);
+}
+
+/// Drain watchdog: a released IaaS group whose drained ack is overdue
+/// is reclaimed forcibly and its in-flight queries re-queued on
+/// serverless.
+fn drain_watchdog(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySink) {
     let SimWorld {
         services,
-        controller,
-        monitor,
-        engine,
         serverless,
         iaas,
         platform_rng,
         bus,
         queue,
         fabric,
-        workflow,
-        tenancy,
         drain_deadline,
-        wasted_prewarms,
-        failed_switches,
-        pressure_sum,
-        pressure_samples,
-        horizon_t,
-        n_max,
         ..
     } = world;
-    // Drain watchdog: a released IaaS group whose
-    // drained ack is overdue is reclaimed forcibly and
-    // its in-flight queries re-queued on serverless.
     for idx in 0..services.len() {
         let overdue = matches!(drain_deadline[idx], Some(dl) if now >= dl);
         if !overdue {
@@ -109,220 +277,79 @@ pub(crate) fn on_control_tick(
             }
         }
     }
-    // Endogenous mode: measured pressure IS the pool's occupancy — the
-    // co-tenant fleet's own load generates the signal the controllers
-    // read (DESIGN.md §15's pressure-emergence equation). Exogenous
-    // mode (and every golden trace) reads the profiled monitor.
-    let pressures = match tenancy.as_ref() {
-        Some(t) if t.endogenous => {
-            let u = serverless.utilization();
-            [
-                u[0].min(PRESSURE_CAP),
-                u[1].min(PRESSURE_CAP),
-                u[2].min(PRESSURE_CAP),
-            ]
-        }
-        _ => monitor.pressures(),
-    };
-    pressure_sum[0] += pressures[0];
-    pressure_sum[1] += pressures[1];
-    pressure_sum[2] += pressures[2];
-    *pressure_samples += 1;
-    let weights = monitor.weights();
-    // Fleet utilization snapshot (multi-node runs only; single-node
-    // traces keep their legacy event stream byte-identical).
-    if sink.enabled() {
-        if let Some(f) = fabric.as_ref() {
-            let (mean_util, max_node_util) = f.fleet_utilization(serverless);
-            sink.record(TelemetryEvent::NodeUtil(NodeUtilRecord {
-                t: now,
-                mean_util,
-                max_node_util,
-            }));
-        }
-    }
-    if exp.variant.switches() {
-        // Feed each unpinned service's forecaster before
-        // any decision this tick. Unconditional (not
-        // sink-gated): the forecast is control-plane
-        // state, so traced and untraced runs stay
-        // bit-identical. A no-op for reactive variants.
-        for (idx, svc) in services.iter().enumerate() {
-            if !svc.pinned {
-                controller.observe_load(idx, now);
-            }
-        }
-        // λ-shift accounting: every instance visits every stage once,
-        // so each non-root stage is about to see the root's current λ
-        // (time-shifted by upstream latency). Hint it to the
-        // controller before this tick's decisions — the stage's own
-        // arrival window lags the root by the upstream latencies and
-        // goes stale across an upstream switch.
-        if let Some(wrt) = workflow.as_ref() {
-            for wf in &wrt.workflows {
-                let root = wf.spec.root();
-                let lam = controller.estimated_load(wf.svc[root], now);
-                for (s, &svc_idx) in wf.svc.iter().enumerate() {
-                    if s != root {
-                        controller.set_load_hint(svc_idx, Some(lam));
-                    }
+}
+
+/// The per-service decision body, shared between the synchronous tick
+/// loop and the jitter-deferred path: ride out an in-flight switch via
+/// the ack-deadline machinery, otherwise consult the controller and
+/// apply whatever the engine wants done.
+#[allow(clippy::too_many_arguments)]
+fn decide_service(
+    exp: &Experiment,
+    world: &mut SimWorld,
+    idx: usize,
+    now: SimTime,
+    pressures: [f64; 3],
+    weights: [f64; 3],
+    others: &[(usize, f64)],
+    sink: &mut dyn TelemetrySink,
+) {
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        serverless,
+        iaas,
+        platform_rng,
+        bus,
+        queue,
+        fabric,
+        drain_deadline,
+        wasted_prewarms,
+        failed_switches,
+        n_max,
+        ..
+    } = world;
+    let sid = services[idx].sid;
+    let mode = engine.mode(sid);
+    if engine.in_transition(sid) {
+        // Ack deadline: a lost prewarm/boot ack
+        // must not park the switch forever — retry
+        // with backoff, then roll back (the router
+        // keeps serving from the old platform
+        // throughout, so nothing is dropped).
+        if let Some(act) = engine.poll_deadline(sid, now, sink) {
+            let (actions, prewarm, rolled_back_after) = match act {
+                DeadlineAction::Retried {
+                    actions, prewarm, ..
+                } => (actions, prewarm, None),
+                DeadlineAction::Aborted {
+                    actions,
+                    prewarm,
+                    requested_at,
+                } => {
+                    *failed_switches += 1;
+                    (actions, prewarm, Some(now.duration_since(requested_at)))
                 }
-            }
-        }
-        // Current serverless co-tenants with their loads.
-        let others: Vec<(usize, f64)> = (0..services.len())
-            .filter(|&j| {
-                services[j].background || engine.mode(services[j].sid) == DeployMode::Serverless
-            })
-            .map(|j| (j, controller.estimated_load(j, now)))
-            .collect();
-        // Co-tenancy is per pool: with a fabric, only services sharing
-        // a home node contend for the same serverless capacity.
-        let homes: Option<Vec<NodeId>> = fabric.as_ref().map(|f| f.home.clone());
-        for idx in 0..services.len() {
-            if services[idx].pinned {
-                continue;
-            }
-            let sid = services[idx].sid;
-            let mode = engine.mode(sid);
-            let local_others: Vec<(usize, f64)>;
-            let others: &[(usize, f64)] = match &homes {
-                Some(h) => {
-                    local_others = others
-                        .iter()
-                        .copied()
-                        .filter(|&(j, _)| h[j] == h[idx])
-                        .collect();
-                    &local_others
-                }
-                None => &others,
             };
-            if engine.in_transition(sid) {
-                // Ack deadline: a lost prewarm/boot ack
-                // must not park the switch forever — retry
-                // with backoff, then roll back (the router
-                // keeps serving from the old platform
-                // throughout, so nothing is dropped).
-                if let Some(act) = engine.poll_deadline(sid, now, sink) {
-                    let (actions, prewarm, rolled_back_after) = match act {
-                        DeadlineAction::Retried {
-                            actions, prewarm, ..
-                        } => (actions, prewarm, None),
-                        DeadlineAction::Aborted {
-                            actions,
-                            prewarm,
-                            requested_at,
-                        } => {
-                            *failed_switches += 1;
-                            (actions, prewarm, Some(now.duration_since(requested_at)))
-                        }
-                    };
-                    *wasted_prewarms += prewarm as u64;
-                    if sink.enabled() {
-                        sink.record(TelemetryEvent::Fault(FaultRecord {
-                            t: now,
-                            kind: FaultKind::AckTimeout,
-                            service: Some(idx),
-                            queries_displaced: 0,
-                            queries_dropped: 0,
-                        }));
-                        if let Some(after) = rolled_back_after {
-                            sink.record(TelemetryEvent::Recovery(RecoveryRecord {
-                                t: now,
-                                kind: RecoveryKind::SwitchRolledBack,
-                                service: Some(idx),
-                                after_s: after.as_secs_f64(),
-                            }));
-                        }
-                    }
-                    apply_engine_actions(
-                        actions,
-                        now,
-                        serverless,
-                        iaas,
-                        fabric.as_mut(),
-                        queue,
-                        platform_rng,
-                        bus,
-                        drain_deadline,
-                    );
-                    continue;
-                }
-                // The controller is not consulted while a
-                // switch is in flight, but the tick is
-                // still recorded (decide_explained is
-                // pure, so this costs nothing when the
-                // sink is disabled).
-                if sink.enabled() {
-                    let (_, tr) = controller.decide_explained(
-                        idx,
-                        mode,
-                        now,
-                        engine.last_switch(sid),
-                        pressures,
-                        weights,
-                        others,
-                    );
-                    sink.record(TelemetryEvent::Tick(TickRecord {
-                        t: now,
-                        service: idx,
-                        mode: mode.into(),
-                        load_qps: tr.load_qps,
-                        mu: tr.mu,
-                        lambda_max: tr.lambda_max,
-                        pressures: tr.pressures,
-                        weights,
-                        decision: Decision::Stay.into(),
-                        reason: TickReason::InTransition,
-                    }));
-                    record_forecast(sink, now, idx, &tr);
-                }
-                continue;
-            }
-            let (decision, tr) = controller.decide_explained(
-                idx,
-                mode,
-                now,
-                engine.last_switch(sid),
-                pressures,
-                weights,
-                others,
-            );
+            *wasted_prewarms += prewarm as u64;
             if sink.enabled() {
-                sink.record(TelemetryEvent::Tick(TickRecord {
+                sink.record(TelemetryEvent::Fault(FaultRecord {
                     t: now,
-                    service: idx,
-                    mode: mode.into(),
-                    load_qps: tr.load_qps,
-                    mu: tr.mu,
-                    lambda_max: tr.lambda_max,
-                    pressures: tr.pressures,
-                    weights,
-                    decision: decision.into(),
-                    reason: tr.reason,
+                    kind: FaultKind::AckTimeout,
+                    service: Some(idx),
+                    queries_displaced: 0,
+                    queries_dropped: 0,
                 }));
-                record_forecast(sink, now, idx, &tr);
+                if let Some(after) = rolled_back_after {
+                    sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                        t: now,
+                        kind: RecoveryKind::SwitchRolledBack,
+                        service: Some(idx),
+                        after_s: after.as_secs_f64(),
+                    }));
+                }
             }
-            let load = tr.load_qps;
-            let actions = match decision {
-                Decision::Stay => Vec::new(),
-                Decision::SwitchToServerless => {
-                    let spec = &controller.model(idx).spec;
-                    // Prewarm for the load the decision
-                    // was evaluated at — in proactive
-                    // mode the forecast upper bound, so
-                    // the pool is sized for the load
-                    // arriving by the time it is warm.
-                    let n = prewarm_count(tr.eval_qps, spec.qos_target_s);
-                    let n = ((n as f64 * exp.prewarm_factor).ceil() as u32)
-                        .max(1)
-                        .min(*n_max);
-                    engine.begin_switch(sid, DeployMode::Serverless, n, load, now, sink)
-                }
-                Decision::SwitchToIaas => {
-                    engine.begin_switch(sid, DeployMode::Iaas, 0, load, now, sink)
-                }
-            };
             apply_engine_actions(
                 actions,
                 now,
@@ -334,44 +361,139 @@ pub(crate) fn on_control_tick(
                 bus,
                 drain_deadline,
             );
+            return;
         }
-        // Shadow traffic: one mirrored query per IaaS-mode
-        // service per tick keeps calibration fed (§III).
-        if exp.variant.uses_pca() {
-            for (idx, svc) in services.iter_mut().enumerate() {
-                let sid = svc.sid;
-                if svc.background
-                    || engine.mode(sid) != DeployMode::Iaas
-                    || controller.estimated_load(idx, now) <= 0.0
-                {
-                    continue;
-                }
-                let query = Query {
-                    id: QueryId::shadow_probe(svc.next_query_id),
-                    service: sid,
-                    submitted: now,
-                };
-                svc.next_query_id += 1;
-                let home = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
-                if home == NodeId::ZERO {
-                    bus.extend(serverless.submit(query, now, platform_rng));
-                } else {
-                    // The probe mirrors onto the home node's pool —
-                    // internal traffic, so no wire delay.
-                    queue.push(
-                        now,
-                        Ev::RemoteSubmit {
-                            node: home,
-                            query,
-                            route: RouteTarget::Serverless,
-                        },
-                    );
-                }
-            }
+        // The controller is not consulted while a
+        // switch is in flight, but the tick is
+        // still recorded (decide_explained is
+        // pure, so this costs nothing when the
+        // sink is disabled).
+        if sink.enabled() {
+            let (_, tr) = controller.decide_explained(
+                idx,
+                mode,
+                now,
+                engine.last_switch(sid),
+                pressures,
+                weights,
+                others,
+            );
+            sink.record(TelemetryEvent::Tick(TickRecord {
+                t: now,
+                service: idx,
+                mode: mode.into(),
+                load_qps: tr.load_qps,
+                mu: tr.mu,
+                lambda_max: tr.lambda_max,
+                pressures: tr.pressures,
+                weights,
+                decision: Decision::Stay.into(),
+                reason: TickReason::InTransition,
+            }));
+            record_forecast(sink, now, idx, &tr);
         }
+        return;
     }
-    let next = now + exp.control_period;
-    if next < *horizon_t {
-        queue.push(next, Ev::ControlTick);
+    let (decision, tr) = controller.decide_explained(
+        idx,
+        mode,
+        now,
+        engine.last_switch(sid),
+        pressures,
+        weights,
+        others,
+    );
+    if sink.enabled() {
+        sink.record(TelemetryEvent::Tick(TickRecord {
+            t: now,
+            service: idx,
+            mode: mode.into(),
+            load_qps: tr.load_qps,
+            mu: tr.mu,
+            lambda_max: tr.lambda_max,
+            pressures: tr.pressures,
+            weights,
+            decision: decision.into(),
+            reason: tr.reason,
+        }));
+        record_forecast(sink, now, idx, &tr);
+    }
+    let load = tr.load_qps;
+    let actions = match decision {
+        Decision::Stay => Vec::new(),
+        Decision::SwitchToServerless => {
+            let spec = &controller.model(idx).spec;
+            // Prewarm for the load the decision
+            // was evaluated at — in proactive
+            // mode the forecast upper bound, so
+            // the pool is sized for the load
+            // arriving by the time it is warm.
+            let n = prewarm_count(tr.eval_qps, spec.qos_target_s);
+            let n = ((n as f64 * exp.prewarm_factor).ceil() as u32)
+                .max(1)
+                .min(*n_max);
+            engine.begin_switch(sid, DeployMode::Serverless, n, load, now, sink)
+        }
+        Decision::SwitchToIaas => engine.begin_switch(sid, DeployMode::Iaas, 0, load, now, sink),
+    };
+    apply_engine_actions(
+        actions,
+        now,
+        serverless,
+        iaas,
+        fabric.as_mut(),
+        queue,
+        platform_rng,
+        bus,
+        drain_deadline,
+    );
+}
+
+/// Shadow traffic: one mirrored query per IaaS-mode
+/// service per tick keeps calibration fed (§III).
+fn shadow_probes(exp: &Experiment, world: &mut SimWorld, now: SimTime) {
+    if !exp.variant.uses_pca() {
+        return;
+    }
+    let SimWorld {
+        services,
+        controller,
+        engine,
+        serverless,
+        platform_rng,
+        bus,
+        queue,
+        fabric,
+        ..
+    } = world;
+    for (idx, svc) in services.iter_mut().enumerate() {
+        let sid = svc.sid;
+        if svc.background
+            || engine.mode(sid) != DeployMode::Iaas
+            || controller.estimated_load(idx, now) <= 0.0
+        {
+            continue;
+        }
+        let query = Query {
+            id: QueryId::shadow_probe(svc.next_query_id),
+            service: sid,
+            submitted: now,
+        };
+        svc.next_query_id += 1;
+        let home = fabric.as_ref().map_or(NodeId::ZERO, |f| f.home[idx]);
+        if home == NodeId::ZERO {
+            bus.extend(serverless.submit(query, now, platform_rng));
+        } else {
+            // The probe mirrors onto the home node's pool —
+            // internal traffic, so no wire delay.
+            queue.push(
+                now,
+                Ev::RemoteSubmit {
+                    node: home,
+                    query,
+                    route: RouteTarget::Serverless,
+                },
+            );
+        }
     }
 }

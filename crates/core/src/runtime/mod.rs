@@ -33,6 +33,7 @@ mod fabric;
 mod faults;
 mod metering;
 mod results;
+mod shard;
 mod switching;
 mod tenancy;
 mod workflow;
@@ -41,6 +42,7 @@ mod world;
 pub use results::{
     BreakdownMeans, MultiNodeSummary, NodeTotals, RunResult, ServiceResult, WorkflowResult,
 };
+pub use shard::EpochRun;
 
 use crate::baselines::SystemVariant;
 use crate::controller::{ControllerConfig, DecisionTrace};
@@ -166,6 +168,13 @@ pub struct Experiment {
     /// — or a no-op setup (empty fleet, exogenous pressure) — runs the
     /// legacy single-maintainer path bit-identically.
     pub tenancy: Option<TenancySetup>,
+    /// Jittered control phase: each unpinned service's decision fires
+    /// this fraction of a control period after the shared tick, at an
+    /// offset drawn once from the service's own RNG stream. `0.0` (the
+    /// default) draws nothing and keeps every trace byte-identical to
+    /// the synchronous path; nonzero values desynchronise the per-tenant
+    /// controllers (the herding knob of the multitenant report).
+    pub control_jitter_frac: f64,
 }
 
 impl Experiment {
@@ -202,6 +211,7 @@ impl Experiment {
                 topology: TopologyConfig::default(),
                 scheduler: Scheduler::default(),
                 tenancy: None,
+                control_jitter_frac: 0.0,
             },
         }
     }
@@ -255,6 +265,7 @@ fn dispatch(
         Ev::Arrival { idx } => arrivals::on_arrival(world, idx, now, sink),
         Ev::MeterArrival { meter } => metering::on_meter_arrival(world, meter, now),
         Ev::ControlTick => control::on_control_tick(exp, world, now, sink),
+        Ev::ServiceDecision { idx } => control::on_service_decision(exp, world, idx, now, sink),
         Ev::Heartbeat => metering::on_heartbeat(world, now, sink),
         Ev::UsageSample => metering::on_usage_sample(exp, world, now),
         Ev::Platform(pe) => faults::on_platform_event(exp, world, pe, now, sink),
@@ -282,6 +293,11 @@ pub(crate) enum Ev {
         meter: usize,
     },
     ControlTick,
+    /// One service's jitter-deferred control decision fires (only
+    /// scheduled when [`Experiment::control_jitter_frac`] is nonzero).
+    ServiceDecision {
+        idx: usize,
+    },
     Heartbeat,
     UsageSample,
     /// A scheduled fault fires (only present when a plan is attached).
@@ -439,6 +455,19 @@ impl ExperimentBuilder {
     /// Placement scheduler for multi-node runs.
     pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
         self.inner.scheduler = scheduler;
+        self
+    }
+
+    /// Spread each unpinned service's control decision over `frac` of a
+    /// control period past the shared tick (per-service offset, drawn
+    /// once from the service's own RNG stream). `0.0` restores the
+    /// synchronous path bit-identically.
+    pub fn control_jitter(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction {frac} not in [0, 1)"
+        );
+        self.inner.control_jitter_frac = frac;
         self
     }
 

@@ -21,7 +21,7 @@ use amoeba_forecast::HoltWintersDiurnal;
 use amoeba_meters::{cpu_meter, io_meter, net_meter, LatencySurface, ProfileCurve};
 use amoeba_metrics::{BillableUsage, LatencyRecorder, TimeSeries, UsageMeter};
 use amoeba_platform::{Effect, IaasPlatform, NodeId, Scheduler, ServerlessPlatform, ServiceId};
-use amoeba_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use amoeba_sim::{Distributions, EventQueue, SimDuration, SimRng, SimTime};
 use amoeba_telemetry::{AdmissionRecord, ServiceInfo, TelemetryEvent, TelemetrySink};
 use amoeba_tenancy::PoolCapacity;
 use amoeba_workload::{ArrivalProcess, LoadTrace, MicroserviceSpec, PoissonArrivals, WorkflowSpec};
@@ -39,6 +39,11 @@ pub(crate) struct ServiceRt {
     pub(crate) spec: MicroserviceSpec,
     pub(crate) background: bool,
     pub(crate) pinned: bool,
+    /// Jittered control phase: this service's decision fires this long
+    /// after the shared control tick. Zero (always, when
+    /// [`Experiment::control_jitter_frac`] is zero) runs the synchronous
+    /// in-tick decision path bit-identically.
+    pub(crate) control_offset: SimDuration,
     pub(crate) arrivals: PoissonArrivals,
     pub(crate) exhausted: bool,
     pub(crate) recorder: LatencyRecorder,
@@ -89,6 +94,11 @@ pub(crate) struct SimWorld {
     pub(crate) wasted_prewarms: u64,
     pub(crate) failed_switches: u64,
     pub(crate) meter_core_seconds: f64,
+    /// Cross-cell pool pressure injected by the fleet executor's epoch
+    /// exchange, added to the locally measured pressures at decision
+    /// time. All-zero (the default, and the only state serial runs ever
+    /// observe) is a no-op.
+    pub(crate) external_pressure: [f64; 3],
     pub(crate) last_usage_sample: SimTime,
     pub(crate) pressure_sum: [f64; 3],
     pub(crate) pressure_samples: usize,
@@ -353,6 +363,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
             spec: desc.spec.clone(),
             background: desc.background,
             pinned,
+            control_offset: SimDuration::ZERO,
             arrivals,
             exhausted: false,
             recorder: LatencyRecorder::new(),
@@ -372,6 +383,24 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         });
     }
     let workflow = WorkflowRt::new(wf_meta, services.len());
+
+    // Jittered control phase: each unpinned service draws its decision
+    // offset from its own fork of the master stream. The forks happen
+    // *after* every arrival-stream fork, so turning jitter on leaves
+    // the arrival randomness untouched — a jittered run sees exactly
+    // the load of its synchronous twin and isolates pure phase
+    // desynchronisation. The `> 0.0` gate draws nothing by default,
+    // keeping the master fork sequence (and every golden trace) intact.
+    if exp.control_jitter_frac > 0.0 {
+        let span = exp.control_period.as_secs_f64() * exp.control_jitter_frac;
+        for svc in services.iter_mut() {
+            if !svc.pinned {
+                let mut jitter_rng = master_rng.fork();
+                svc.control_offset =
+                    SimDuration::from_secs_f64(jitter_rng.uniform_range(0.0, span));
+            }
+        }
+    }
 
     // Register the three contention meters (serverless only — they
     // never run on IaaS, and their ids come after all services).
@@ -649,6 +678,7 @@ pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld 
         wasted_prewarms: 0,
         failed_switches: 0,
         meter_core_seconds: 0.0,
+        external_pressure: [0.0; 3],
         last_usage_sample: t0,
         pressure_sum: [0.0; 3],
         pressure_samples: 0,

@@ -151,13 +151,21 @@ impl<E> EventQueue<E> {
     }
 
     /// The firing time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap
-            .iter()
-            .filter(|e| !self.cancelled.contains(&e.seq))
-            .map(|e| (e.time, e.seq))
-            .min()
-            .map(|(t, _)| t)
+    ///
+    /// Takes `&mut self` to sweep cancelled tombstones off the top of
+    /// the heap as it looks — amortised O(1) per call, which the
+    /// epoch-sliced runtime relies on (it peeks before every pop).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
     }
 
     /// Number of pending (non-cancelled) events.

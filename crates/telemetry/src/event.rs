@@ -7,290 +7,9 @@
 use amoeba_json::{json, Value};
 use amoeba_sim::SimTime;
 
-/// Deployment mode, mirrored from `amoeba-core` so the trace layer does
-/// not depend on the runtime it instruments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mode {
-    /// Dedicated VM group.
-    Iaas,
-    /// Shared serverless pool.
-    Serverless,
-}
-
-impl Mode {
-    fn tag(self) -> &'static str {
-        match self {
-            Mode::Iaas => "iaas",
-            Mode::Serverless => "serverless",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "iaas" => Ok(Mode::Iaas),
-            "serverless" => Ok(Mode::Serverless),
-            _ => Err(DecodeError::new(format!("unknown mode '{s}'"))),
-        }
-    }
-}
-
-/// The controller's verdict, as traced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceDecision {
-    /// Keep the current mode.
-    Stay,
-    /// Begin the switch to serverless.
-    SwitchToServerless,
-    /// Begin the switch to IaaS.
-    SwitchToIaas,
-}
-
-impl TraceDecision {
-    fn tag(self) -> &'static str {
-        match self {
-            TraceDecision::Stay => "stay",
-            TraceDecision::SwitchToServerless => "switch_to_serverless",
-            TraceDecision::SwitchToIaas => "switch_to_iaas",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "stay" => Ok(TraceDecision::Stay),
-            "switch_to_serverless" => Ok(TraceDecision::SwitchToServerless),
-            "switch_to_iaas" => Ok(TraceDecision::SwitchToIaas),
-            _ => Err(DecodeError::new(format!("unknown decision '{s}'"))),
-        }
-    }
-}
-
-/// Why the controller decided what it decided at one tick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TickReason {
-    /// A switch is already in flight; the controller was not consulted.
-    InTransition,
-    /// `min_dwell` since the last switch has not elapsed.
-    DwellPending,
-    /// IaaS-resident, `V_u < down_margin · λ(μ)` and the impact check
-    /// passed: switch down.
-    LoadBelowDownMargin,
-    /// IaaS-resident, load too high for the pool: stay.
-    LoadAboveDownMargin,
-    /// IaaS-resident, load admissible but the §III impact check vetoed
-    /// the move.
-    ImpactVetoed,
-    /// Serverless-resident, `V_u > up_margin · λ(μ)`: switch up.
-    LoadAboveUpMargin,
-    /// Serverless-resident, load admissible: stay.
-    LoadBelowUpMargin,
-}
-
-impl TickReason {
-    fn tag(self) -> &'static str {
-        match self {
-            TickReason::InTransition => "in_transition",
-            TickReason::DwellPending => "dwell_pending",
-            TickReason::LoadBelowDownMargin => "load_below_down_margin",
-            TickReason::LoadAboveDownMargin => "load_above_down_margin",
-            TickReason::ImpactVetoed => "impact_vetoed",
-            TickReason::LoadAboveUpMargin => "load_above_up_margin",
-            TickReason::LoadBelowUpMargin => "load_below_up_margin",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "in_transition" => Ok(TickReason::InTransition),
-            "dwell_pending" => Ok(TickReason::DwellPending),
-            "load_below_down_margin" => Ok(TickReason::LoadBelowDownMargin),
-            "load_above_down_margin" => Ok(TickReason::LoadAboveDownMargin),
-            "impact_vetoed" => Ok(TickReason::ImpactVetoed),
-            "load_above_up_margin" => Ok(TickReason::LoadAboveUpMargin),
-            "load_below_up_margin" => Ok(TickReason::LoadBelowUpMargin),
-            _ => Err(DecodeError::new(format!("unknown reason '{s}'"))),
-        }
-    }
-}
-
-/// One step of the §V switch protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SwitchPhase {
-    /// The controller committed to a switch; the prepare signal `S_pw`
-    /// (prewarm containers / boot VMs) was issued.
-    Requested,
-    /// The target side acknowledged readiness.
-    Ack,
-    /// The router flipped: new queries go to the target side.
-    Flip,
-    /// The shutdown signal `S_sd` was sent to the old side.
-    ReleaseIssued,
-    /// The old side's VM group finished draining in-flight queries.
-    Drained,
-    /// The transition was aborted before the ack.
-    Aborted,
-}
-
-impl SwitchPhase {
-    fn tag(self) -> &'static str {
-        match self {
-            SwitchPhase::Requested => "requested",
-            SwitchPhase::Ack => "ack",
-            SwitchPhase::Flip => "flip",
-            SwitchPhase::ReleaseIssued => "release_issued",
-            SwitchPhase::Drained => "drained",
-            SwitchPhase::Aborted => "aborted",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "requested" => Ok(SwitchPhase::Requested),
-            "ack" => Ok(SwitchPhase::Ack),
-            "flip" => Ok(SwitchPhase::Flip),
-            "release_issued" => Ok(SwitchPhase::ReleaseIssued),
-            "drained" => Ok(SwitchPhase::Drained),
-            "aborted" => Ok(SwitchPhase::Aborted),
-            _ => Err(DecodeError::new(format!("unknown phase '{s}'"))),
-        }
-    }
-}
-
-/// What pushed a query over its QoS target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ViolationCause {
-    /// The query paid a container cold start.
-    ColdStart,
-    /// The query waited in the platform queue.
-    Queueing,
-    /// Neither: the execution itself was slowed by co-tenant contention.
-    Contention,
-}
-
-impl ViolationCause {
-    /// Attribution rule: cold start present → [`ViolationCause::ColdStart`];
-    /// else queueing present → [`ViolationCause::Queueing`]; else the
-    /// slowdown happened inside the execution → [`ViolationCause::Contention`].
-    pub fn attribute(cold_start_s: f64, queue_wait_s: f64) -> Self {
-        if cold_start_s > 0.0 {
-            ViolationCause::ColdStart
-        } else if queue_wait_s > 0.0 {
-            ViolationCause::Queueing
-        } else {
-            ViolationCause::Contention
-        }
-    }
-
-    fn tag(self) -> &'static str {
-        match self {
-            ViolationCause::ColdStart => "cold_start",
-            ViolationCause::Queueing => "queueing",
-            ViolationCause::Contention => "contention",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "cold_start" => Ok(ViolationCause::ColdStart),
-            "queueing" => Ok(ViolationCause::Queueing),
-            "contention" => Ok(ViolationCause::Contention),
-            _ => Err(DecodeError::new(format!("unknown cause '{s}'"))),
-        }
-    }
-}
-
-/// The class of an injected (or injector-induced) fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// A serverless container died; in-flight work was displaced.
-    ContainerCrash,
-    /// A VM boot failed and the group re-booted from scratch.
-    VmBootFailure,
-    /// A VM boot straggled past its nominal boot time.
-    VmSlowBoot,
-    /// A prewarm ack was lost between platform and engine.
-    AckDropped,
-    /// The engine's ack deadline expired for an in-flight switch.
-    AckTimeout,
-    /// An IaaS drain overran its deadline and was forced.
-    DrainTimeout,
-    /// A meter blackout window began: observations discarded.
-    MeterOutage,
-    /// One meter latency sample was corrupted by a large factor.
-    MeterOutlier,
-    /// A transient co-tenant pressure spike hit the shared pool.
-    PressureSpike,
-}
-
-impl FaultKind {
-    fn tag(self) -> &'static str {
-        match self {
-            FaultKind::ContainerCrash => "container_crash",
-            FaultKind::VmBootFailure => "vm_boot_failure",
-            FaultKind::VmSlowBoot => "vm_slow_boot",
-            FaultKind::AckDropped => "ack_dropped",
-            FaultKind::AckTimeout => "ack_timeout",
-            FaultKind::DrainTimeout => "drain_timeout",
-            FaultKind::MeterOutage => "meter_outage",
-            FaultKind::MeterOutlier => "meter_outlier",
-            FaultKind::PressureSpike => "pressure_spike",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "container_crash" => Ok(FaultKind::ContainerCrash),
-            "vm_boot_failure" => Ok(FaultKind::VmBootFailure),
-            "vm_slow_boot" => Ok(FaultKind::VmSlowBoot),
-            "ack_dropped" => Ok(FaultKind::AckDropped),
-            "ack_timeout" => Ok(FaultKind::AckTimeout),
-            "drain_timeout" => Ok(FaultKind::DrainTimeout),
-            "meter_outage" => Ok(FaultKind::MeterOutage),
-            "meter_outlier" => Ok(FaultKind::MeterOutlier),
-            "pressure_spike" => Ok(FaultKind::PressureSpike),
-            _ => Err(DecodeError::new(format!("unknown fault kind '{s}'"))),
-        }
-    }
-}
-
-/// How the system got back on its feet after a fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecoveryKind {
-    /// A crash-displaced query was re-queued and completed.
-    RequeuedQueryCompleted,
-    /// A VM group finished booting after at least one failed attempt.
-    VmBootSucceeded,
-    /// A prewarm ack landed after at least one deadline retry.
-    AckReceived,
-    /// An un-ackable switch was rolled back; the old platform kept
-    /// serving throughout.
-    SwitchRolledBack,
-    /// An overdue IaaS drain was forced; stragglers were re-queued on
-    /// the serverless side.
-    DrainForced,
-}
-
-impl RecoveryKind {
-    fn tag(self) -> &'static str {
-        match self {
-            RecoveryKind::RequeuedQueryCompleted => "requeued_query_completed",
-            RecoveryKind::VmBootSucceeded => "vm_boot_succeeded",
-            RecoveryKind::AckReceived => "ack_received",
-            RecoveryKind::SwitchRolledBack => "switch_rolled_back",
-            RecoveryKind::DrainForced => "drain_forced",
-        }
-    }
-
-    fn from_tag(s: &str) -> Result<Self, DecodeError> {
-        match s {
-            "requeued_query_completed" => Ok(RecoveryKind::RequeuedQueryCompleted),
-            "vm_boot_succeeded" => Ok(RecoveryKind::VmBootSucceeded),
-            "ack_received" => Ok(RecoveryKind::AckReceived),
-            "switch_rolled_back" => Ok(RecoveryKind::SwitchRolledBack),
-            "drain_forced" => Ok(RecoveryKind::DrainForced),
-            _ => Err(DecodeError::new(format!("unknown recovery kind '{s}'"))),
-        }
-    }
-}
+pub use crate::vocab::{
+    FaultKind, Mode, RecoveryKind, SwitchPhase, TickReason, TraceDecision, ViolationCause,
+};
 
 /// One service's identity in the run header.
 #[derive(Debug, Clone, PartialEq)]
@@ -492,6 +211,41 @@ pub struct VendorSampleRecord {
     pub throttled: bool,
 }
 
+/// One worker shard's accounting for one epoch of a fleet run (fleet
+/// executor only). Spans are emitted per epoch in shard-index order —
+/// a deterministic order for a given shard count, but the shard → cell
+/// assignment varies with the worker-thread count, which is why the
+/// fleet digest covers per-cell traces and not these spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpanRecord {
+    /// The epoch boundary the span ends at.
+    pub t: SimTime,
+    /// Epoch index.
+    pub epoch: u64,
+    /// Shard (worker slot) index.
+    pub shard: usize,
+    /// Cells the shard advanced this epoch.
+    pub cells: u64,
+    /// Simulation events the shard dispatched this epoch.
+    pub events: u64,
+}
+
+/// Fleet-wide sample at one epoch boundary (fleet executor only): the
+/// cross-cell state the epoch exchange computed and fed back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSampleRecord {
+    /// The epoch boundary.
+    pub t: SimTime,
+    /// Epoch index.
+    pub epoch: u64,
+    /// Mean serverless-pool utilization across cells [cpu, io, net].
+    pub mean_util: [f64; 3],
+    /// External pressure injected into every cell for the next epoch.
+    pub external_pressure: [f64; 3],
+    /// Whether fleet-level reclamation throttled service caps.
+    pub throttled: bool,
+}
+
 /// One completed workflow stage of one query instance (workflow runs
 /// only). The `instance` is shared by every stage span of one DAG
 /// traversal, so joining on it reconstructs the whole critical path;
@@ -571,6 +325,10 @@ pub enum TelemetryEvent {
     Admission(AdmissionRecord),
     /// Vendor reclamation-loop sample (multi-tenant runs only).
     VendorSample(VendorSampleRecord),
+    /// One shard's per-epoch accounting (fleet executor only).
+    ShardSpan(ShardSpanRecord),
+    /// Fleet-wide epoch-boundary sample (fleet executor only).
+    FleetSample(FleetSampleRecord),
 }
 
 /// A malformed trace line.
@@ -782,6 +540,22 @@ impl TelemetryEvent {
                 "containers": r.containers,
                 "throttled": r.throttled,
             }),
+            TelemetryEvent::ShardSpan(r) => json!({
+                "type": "shard_span",
+                "t_us": r.t.as_micros(),
+                "epoch": r.epoch,
+                "shard": r.shard,
+                "cells": r.cells,
+                "events": r.events,
+            }),
+            TelemetryEvent::FleetSample(r) => json!({
+                "type": "fleet_sample",
+                "t_us": r.t.as_micros(),
+                "epoch": r.epoch,
+                "mean_util": (triple(r.mean_util)),
+                "external_pressure": (triple(r.external_pressure)),
+                "throttled": r.throttled,
+            }),
         }
     }
 
@@ -928,6 +702,22 @@ impl TelemetryEvent {
                     .as_bool()
                     .ok_or_else(|| DecodeError::new("missing 'throttled'".into()))?,
             })),
+            "shard_span" => Ok(TelemetryEvent::ShardSpan(ShardSpanRecord {
+                t: get_time(v)?,
+                epoch: get_u64(v, "epoch")?,
+                shard: get_u64(v, "shard")? as usize,
+                cells: get_u64(v, "cells")?,
+                events: get_u64(v, "events")?,
+            })),
+            "fleet_sample" => Ok(TelemetryEvent::FleetSample(FleetSampleRecord {
+                t: get_time(v)?,
+                epoch: get_u64(v, "epoch")?,
+                mean_util: get_triple(v, "mean_util")?,
+                external_pressure: get_triple(v, "external_pressure")?,
+                throttled: v["throttled"]
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("missing 'throttled'".into()))?,
+            })),
             other => Err(DecodeError::new(format!("unknown event type '{other}'"))),
         }
     }
@@ -949,6 +739,8 @@ impl TelemetryEvent {
             TelemetryEvent::NodeUtil(r) => r.t,
             TelemetryEvent::Admission(r) => r.t,
             TelemetryEvent::VendorSample(r) => r.t,
+            TelemetryEvent::ShardSpan(r) => r.t,
+            TelemetryEvent::FleetSample(r) => r.t,
         }
     }
 }

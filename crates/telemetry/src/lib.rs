@@ -32,12 +32,14 @@
 pub mod event;
 pub mod sink;
 pub mod trace;
+pub mod vocab;
 
 pub use event::{
-    AdmissionRecord, DecodeError, FaultKind, FaultRecord, ForecastRecord, HeartbeatRecord, Mode,
-    NodeUtilRecord, PlacementRecord, RecoveryKind, RecoveryRecord, ServiceInfo, StageSpanRecord,
-    SwitchPhase, SwitchRecord, TelemetryEvent, TickReason, TickRecord, TraceDecision,
-    VendorSampleRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
+    AdmissionRecord, DecodeError, FaultKind, FaultRecord, FleetSampleRecord, ForecastRecord,
+    HeartbeatRecord, Mode, NodeUtilRecord, PlacementRecord, RecoveryKind, RecoveryRecord,
+    ServiceInfo, ShardSpanRecord, StageSpanRecord, SwitchPhase, SwitchRecord, TelemetryEvent,
+    TickReason, TickRecord, TraceDecision, VendorSampleRecord, ViolationCause, ViolationRecord,
+    WarmSampleRecord,
 };
 pub use sink::{MemorySink, NoopSink, TelemetrySink};
 pub use trace::{ServiceSummary, SwitchSpan, Trace, TraceSummary};

@@ -7,9 +7,9 @@ use std::fmt;
 use amoeba_sim::{SimDuration, SimTime};
 
 use crate::event::{
-    DecodeError, FaultRecord, ForecastRecord, HeartbeatRecord, Mode, NodeUtilRecord,
-    PlacementRecord, RecoveryRecord, StageSpanRecord, SwitchPhase, SwitchRecord, TelemetryEvent,
-    TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
+    DecodeError, FaultRecord, FleetSampleRecord, ForecastRecord, HeartbeatRecord, Mode,
+    NodeUtilRecord, PlacementRecord, RecoveryRecord, ShardSpanRecord, StageSpanRecord, SwitchPhase,
+    SwitchRecord, TelemetryEvent, TickRecord, ViolationCause, ViolationRecord, WarmSampleRecord,
 };
 
 /// An ordered, append-only stream of [`TelemetryEvent`]s for one run.
@@ -240,6 +240,22 @@ impl Trace {
     pub fn node_utils(&self) -> impl Iterator<Item = &NodeUtilRecord> {
         self.events.iter().filter_map(|e| match e {
             TelemetryEvent::NodeUtil(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Per-shard per-epoch accounting spans, in order (fleet runs only).
+    pub fn shard_spans(&self) -> impl Iterator<Item = &ShardSpanRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::ShardSpan(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Fleet-wide epoch-boundary samples, in order (fleet runs only).
+    pub fn fleet_samples(&self) -> impl Iterator<Item = &FleetSampleRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::FleetSample(r) => Some(r),
             _ => None,
         })
     }

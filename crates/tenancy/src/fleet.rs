@@ -64,6 +64,7 @@ pub struct FleetBuilder {
     seed: u64,
     n: usize,
     peak_scale: (f64, f64),
+    peak_floor: f64,
     qos_slack: f64,
     pricing: TenantPricing,
 }
@@ -76,6 +77,7 @@ impl FleetBuilder {
             seed,
             n: 6,
             peak_scale: (0.1, 0.3),
+            peak_floor: 1.0,
             qos_slack: 2.0,
             pricing: TenantPricing::default(),
         }
@@ -92,6 +94,16 @@ impl FleetBuilder {
     pub fn peak_scale(mut self, lo: f64, hi: f64) -> Self {
         assert!(lo > 0.0 && lo <= hi);
         self.peak_scale = (lo, hi);
+        self
+    }
+
+    /// Lower clamp on the drawn per-tenant peak, qps. The default 1.0
+    /// keeps report-sized fleets comfortably loaded; thousand-service
+    /// fleets (the `amoeba-fleet` executor) lower it so the *aggregate*
+    /// arrival volume, not the per-tenant floor, sets the event count.
+    pub fn peak_floor(mut self, floor: f64) -> Self {
+        assert!(floor > 0.0);
+        self.peak_floor = floor;
         self
     }
 
@@ -126,7 +138,7 @@ impl FleetBuilder {
                 let mut spec = base.clone();
                 spec.name = format!("{}-t{i:02}", base.name);
                 let (lo, hi) = self.peak_scale;
-                spec.peak_qps = (base.peak_qps * rng.uniform_range(lo, hi)).max(1.0);
+                spec.peak_qps = (base.peak_qps * rng.uniform_range(lo, hi)).max(self.peak_floor);
                 spec.qos_target_s = base.qos_target_s * self.qos_slack;
                 let shape = if i % 2 == 0 {
                     DiurnalPattern::didi()

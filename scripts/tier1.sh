@@ -37,9 +37,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --locked --workspace --no-deps --quiet \
 echo "== cargo test --workspace =="
 cargo test --locked --workspace -q
 
-# Exercise the multi-node, workflow and multi-tenant report paths end
-# to end (short day, small fleet, one seed); the release binary is
-# already built above.
+# Exercise the multi-node, workflow, multi-tenant and fleet report
+# paths end to end (short day, small fleet, one seed); the release
+# binary is already built above.
 echo "== experiments multinode --smoke =="
 cargo run --locked --release -q -p amoeba-bench --bin experiments -- multinode --smoke
 
@@ -48,5 +48,8 @@ cargo run --locked --release -q -p amoeba-bench --bin experiments -- workflow --
 
 echo "== experiments multitenant --smoke =="
 cargo run --locked --release -q -p amoeba-bench --bin experiments -- multitenant --smoke
+
+echo "== experiments fleet --smoke =="
+cargo run --locked --release -q -p amoeba-bench --bin experiments -- fleet --smoke
 
 echo "tier1: all green"

@@ -7,6 +7,7 @@
 pub use amoeba_bench as bench;
 pub use amoeba_chaos as chaos;
 pub use amoeba_core as core;
+pub use amoeba_fleet as fleet;
 pub use amoeba_forecast as forecast;
 pub use amoeba_linalg as linalg;
 pub use amoeba_meters as meters;

@@ -18,6 +18,7 @@
 //! and review the fixture diff like any other code change.
 
 use amoeba::core::{Experiment, ServiceSetup, SystemVariant};
+use amoeba::fleet::FleetRun;
 use amoeba::sim::SimDuration;
 use amoeba::workload::{benchmarks, DiurnalPattern, LoadTrace};
 use amoeba_chaos::FaultPlan;
@@ -143,6 +144,79 @@ golden!(amoeba_nop_clean, SystemVariant::AmoebaNoP, false);
 golden!(amoeba_nop_faults, SystemVariant::AmoebaNoP, true);
 golden!(amoeba_pro_clean, SystemVariant::AmoebaPro, false);
 golden!(amoeba_pro_faults, SystemVariant::AmoebaPro, true);
+
+/// Build the golden-scenario experiment for `variant`/`faulty`.
+fn golden_experiment(variant: SystemVariant, faulty: bool, seed: u64) -> Experiment {
+    let mut b =
+        Experiment::builder(variant, SimDuration::from_secs_f64(DAY_S), seed).services(scenario());
+    if faulty {
+        b = b.fault_plan(level1_plan());
+    }
+    b.build()
+}
+
+/// The sharded executor against the *serial* fixtures: running the
+/// golden experiment as a fleet cell — sliced into ten epochs, at one
+/// and at four worker threads, alone and co-resident with three sibling
+/// cells — must reproduce the committed JSONL byte for byte. This is
+/// the executable form of the §16 determinism argument: epoch slicing,
+/// thread count and co-residency never leak into a cell's trace.
+fn check_sharded(variant: SystemVariant, faulty: bool) {
+    let path = fixture_path(variant, faulty);
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    let epoch = SimDuration::from_secs_f64(DAY_S / 10.0);
+
+    // One cell, one shard: epoch slicing alone.
+    let solo = FleetRun::from_experiments(vec![golden_experiment(variant, faulty, SEED)], epoch);
+    let (_, traces) = solo.run_traced(1);
+    assert_eq!(
+        traces[0].to_jsonl(),
+        want,
+        "{} ({faulty}): 1-cell sharded trace diverges from serial fixture",
+        variant.label()
+    );
+
+    // Four cells on four threads; the golden experiment is cell 0 and
+    // the siblings differ by seed, so any cross-cell or cross-thread
+    // leakage would perturb cell 0's bytes.
+    let cells: Vec<Experiment> = (0..4)
+        .map(|i| golden_experiment(variant, faulty, SEED + i))
+        .collect();
+    let (_, traces) = FleetRun::from_experiments(cells, epoch).run_traced(4);
+    assert_eq!(
+        traces[0].to_jsonl(),
+        want,
+        "{} ({faulty}): co-resident sharded trace diverges from serial fixture",
+        variant.label()
+    );
+}
+
+macro_rules! golden_sharded {
+    ($name:ident, $variant:expr, $faulty:expr) => {
+        #[test]
+        fn $name() {
+            check_sharded($variant, $faulty);
+        }
+    };
+}
+
+golden_sharded!(sharded_amoeba_clean, SystemVariant::Amoeba, false);
+golden_sharded!(sharded_amoeba_faults, SystemVariant::Amoeba, true);
+golden_sharded!(sharded_nameko_clean, SystemVariant::Nameko, false);
+golden_sharded!(sharded_nameko_faults, SystemVariant::Nameko, true);
+golden_sharded!(sharded_openwhisk_clean, SystemVariant::OpenWhisk, false);
+golden_sharded!(sharded_openwhisk_faults, SystemVariant::OpenWhisk, true);
+golden_sharded!(sharded_amoeba_nom_clean, SystemVariant::AmoebaNoM, false);
+golden_sharded!(sharded_amoeba_nom_faults, SystemVariant::AmoebaNoM, true);
+golden_sharded!(sharded_amoeba_nop_clean, SystemVariant::AmoebaNoP, false);
+golden_sharded!(sharded_amoeba_nop_faults, SystemVariant::AmoebaNoP, true);
+golden_sharded!(sharded_amoeba_pro_clean, SystemVariant::AmoebaPro, false);
+golden_sharded!(sharded_amoeba_pro_faults, SystemVariant::AmoebaPro, true);
 
 /// The traced and untraced paths must agree: attaching a sink never
 /// feeds back into the run (checked here once on the richest variant
