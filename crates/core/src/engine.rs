@@ -207,8 +207,8 @@ pub struct HybridEngine {
 /// runtime; the construction is guarded so the disabled sink costs one
 /// branch.
 #[allow(clippy::too_many_arguments)]
-fn emit_phase(
-    sink: &mut dyn TelemetrySink,
+fn emit_phase<S: TelemetrySink + ?Sized>(
+    sink: &mut S,
     t: SimTime,
     service: ServiceId,
     from: DeployMode,
@@ -320,14 +320,14 @@ impl HybridEngine {
     /// Emits a `Requested` switch-protocol stage to `sink` (for the NoP
     /// immediate flip, also `Flip` and `ReleaseIssued` at the same
     /// instant — the protocol collapses to one step).
-    pub fn begin_switch(
+    pub fn begin_switch<S: TelemetrySink + ?Sized>(
         &mut self,
         service: ServiceId,
         target: DeployMode,
         prewarm_count: u32,
         load: f64,
         now: SimTime,
-        sink: &mut dyn TelemetrySink,
+        sink: &mut S,
     ) -> Vec<EngineAction> {
         let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
@@ -414,13 +414,13 @@ impl HybridEngine {
     /// Emits `Ack`, `Flip` and `ReleaseIssued` stages (all at `now`: the
     /// router flips as soon as the ack lands, and the old side's release
     /// is issued in the same step).
-    pub fn on_ready(
+    pub fn on_ready<S: TelemetrySink + ?Sized>(
         &mut self,
         service: ServiceId,
         side: DeployMode,
         load: f64,
         now: SimTime,
-        sink: &mut dyn TelemetrySink,
+        sink: &mut S,
     ) -> Vec<EngineAction> {
         let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
@@ -457,11 +457,11 @@ impl HybridEngine {
     /// Abort an in-flight transition (e.g. the controller reversed its
     /// decision before the ack). The prepared resources are released.
     /// Emits an `Aborted` stage closing the open switch span.
-    pub fn abort_transition(
+    pub fn abort_transition<S: TelemetrySink + ?Sized>(
         &mut self,
         service: ServiceId,
         now: SimTime,
-        sink: &mut dyn TelemetrySink,
+        sink: &mut S,
     ) -> Vec<EngineAction> {
         let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];
@@ -508,11 +508,11 @@ impl HybridEngine {
     /// transition aborts: the prepared side is released, the router
     /// stays on the old (still serving) platform, and the open switch
     /// span closes as `Aborted`.
-    pub fn poll_deadline(
+    pub fn poll_deadline<S: TelemetrySink + ?Sized>(
         &mut self,
         service: ServiceId,
         now: SimTime,
-        sink: &mut dyn TelemetrySink,
+        sink: &mut S,
     ) -> Option<DeadlineAction> {
         let home = self.home[service.raw() as usize];
         let r = &mut self.routes[service.raw() as usize];

@@ -14,11 +14,11 @@ use amoeba_workload::ArrivalProcess;
 /// services are pinned serverless), place it on a node (multi-node
 /// runs only — single-node everything executes on node 0), submit it
 /// to the chosen platform and re-arm the service's next arrival.
-pub(crate) fn on_arrival(
+pub(crate) fn on_arrival<S: TelemetrySink + ?Sized>(
     world: &mut SimWorld,
     idx: usize,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,
@@ -90,7 +90,7 @@ pub(crate) fn on_arrival(
 /// and workflow stage hand-offs — both classes of traffic pay the same
 /// placement, spill and wire-delay rules.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn route_and_submit(
+pub(crate) fn route_and_submit<S: TelemetrySink + ?Sized>(
     idx: usize,
     query: Query,
     target: RouteTarget,
@@ -102,7 +102,7 @@ pub(crate) fn route_and_submit(
     bus: &mut EffectBus,
     queue: &mut EventQueue<Ev>,
     fabric: &mut Option<Fabric>,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let sid = query.service;
     if let Some(f) = fabric.as_mut() {

@@ -16,12 +16,12 @@ use amoeba_telemetry::{
 /// One query finished. Chaos gets first refusal (spike traffic, meter
 /// blackouts and outliers are swallowed there); re-queued crash
 /// victims log their recovery; everything else is accounted normally.
-pub(crate) fn on_completed(
+pub(crate) fn on_completed<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     outcome: QueryOutcome,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,
@@ -44,15 +44,19 @@ pub(crate) fn on_completed(
     let mut swallowed = false;
     if let Some(ch) = chaos.as_mut() {
         swallowed = chaos_completion(ch, &outcome, now, meter_ids, monitor);
-        let key = (outcome.query.service.raw(), outcome.query.id.raw());
-        if let Some(t_crash) = ch.crash_requeued.remove(&key) {
-            if sink.enabled() {
-                sink.record(TelemetryEvent::Recovery(RecoveryRecord {
-                    t: now,
-                    kind: RecoveryKind::RequeuedQueryCompleted,
-                    service: Some(outcome.query.service.raw() as usize),
-                    after_s: now.duration_since(t_crash).as_secs_f64(),
-                }));
+        // Almost every completion is an ordinary query; skip the map
+        // probe entirely while no crash-requeued queries are pending.
+        if !ch.crash_requeued.is_empty() {
+            let key = (outcome.query.service.raw(), outcome.query.id.raw());
+            if let Some(t_crash) = ch.crash_requeued.remove(&key) {
+                if sink.enabled() {
+                    sink.record(TelemetryEvent::Recovery(RecoveryRecord {
+                        t: now,
+                        kind: RecoveryKind::RequeuedQueryCompleted,
+                        service: Some(outcome.query.service.raw() as usize),
+                        after_s: now.duration_since(t_crash).as_secs_f64(),
+                    }));
+                }
             }
         }
     }
@@ -97,7 +101,7 @@ pub(crate) fn on_completed(
 /// queries land in the latency recorder with QoS-violation and
 /// warm-breakdown attribution.
 #[allow(clippy::too_many_arguments)]
-fn account(
+fn account<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     outcome: &QueryOutcome,
     now: SimTime,
@@ -106,7 +110,7 @@ fn account(
     services: &mut [ServiceRt],
     controller: &mut DeploymentController,
     monitor: &mut ContentionMonitor,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let sid = outcome.query.service;
     // Meter completion: feed the monitor.

@@ -90,11 +90,11 @@ fn filter_by_home<'a>(
 /// monitor, let the controller decide per unpinned service (riding out
 /// in-flight switches via the ack-deadline machinery), and mirror one
 /// shadow query per IaaS-mode service to keep calibration fed (§III).
-pub(crate) fn on_control_tick(
+pub(crate) fn on_control_tick<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     drain_watchdog(world, now, sink);
     let pressures = effective_pressures(world);
@@ -183,12 +183,12 @@ pub(crate) fn on_control_tick(
 /// loads *now* (the whole point of the offset — this service sees the
 /// pool as its peers' same-tick switches left it, not the shared
 /// start-of-tick snapshot) and run the common decision body.
-pub(crate) fn on_service_decision(
+pub(crate) fn on_service_decision<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     idx: usize,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     if world.services[idx].pinned {
         return;
@@ -205,7 +205,7 @@ pub(crate) fn on_service_decision(
 /// Drain watchdog: a released IaaS group whose drained ack is overdue
 /// is reclaimed forcibly and its in-flight queries re-queued on
 /// serverless.
-fn drain_watchdog(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySink) {
+fn drain_watchdog<S: TelemetrySink + ?Sized>(world: &mut SimWorld, now: SimTime, sink: &mut S) {
     let SimWorld {
         services,
         serverless,
@@ -284,7 +284,7 @@ fn drain_watchdog(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySi
 /// the ack-deadline machinery, otherwise consult the controller and
 /// apply whatever the engine wants done.
 #[allow(clippy::too_many_arguments)]
-fn decide_service(
+fn decide_service<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     idx: usize,
@@ -292,7 +292,7 @@ fn decide_service(
     pressures: [f64; 3],
     weights: [f64; 3],
     others: &[(usize, f64)],
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,

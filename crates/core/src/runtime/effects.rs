@@ -54,11 +54,11 @@ impl EffectBus {
 /// at simulation time `now`. Scheduling effects land back on the
 /// calendar; completions and switch-protocol acks go to their handler
 /// modules.
-pub(crate) fn apply(
+pub(crate) fn apply<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     while !world.bus.is_idle() {
         let batch = world.bus.take_batch();

@@ -258,13 +258,13 @@ pub(crate) fn edge_aware_homes(
 /// calendar as [`Ev::NodePlatform`], completions are counted and
 /// accounted, and switch-protocol acks join the main effect bus (the
 /// single-node switching handlers are node-agnostic).
-pub(crate) fn absorb(
+pub(crate) fn absorb<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     node: NodeId,
     effects: Vec<Effect>,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     for e in effects {
         match e {
@@ -287,13 +287,13 @@ pub(crate) fn absorb(
 }
 
 /// A remote node's platform pair made progress.
-pub(crate) fn on_node_platform(
+pub(crate) fn on_node_platform<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     node: NodeId,
     event: ClusterEvent,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let eff = {
         let SimWorld {
@@ -311,14 +311,14 @@ pub(crate) fn on_node_platform(
 }
 
 /// A query lands on a remote node after its wire delay.
-pub(crate) fn on_remote_submit(
+pub(crate) fn on_remote_submit<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     node: NodeId,
     query: Query,
     route: RouteTarget,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let eff = {
         let SimWorld {

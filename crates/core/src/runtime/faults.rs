@@ -68,12 +68,12 @@ pub(crate) fn chaos_completion(
 /// straight through; `VmBootDone` first runs the chaos boot gauntlet —
 /// a boot in flight may fail outright or land late by the plan's
 /// slow-boot multiplier (§V resilience).
-pub(crate) fn on_platform_event(
+pub(crate) fn on_platform_event<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     ev: ClusterEvent,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         serverless,
@@ -166,11 +166,11 @@ pub(crate) fn on_platform_event(
 /// A scheduled fault fires. Container crashes displace or drop the
 /// victim's in-flight query; meter faults poison the monitor's inputs;
 /// pressure spikes schedule a burst of synthetic queries.
-pub(crate) fn on_chaos(
+pub(crate) fn on_chaos<S: TelemetrySink + ?Sized>(
     world: &mut SimWorld,
     fault: TimedFault,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,

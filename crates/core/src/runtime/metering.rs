@@ -37,7 +37,11 @@ pub(crate) fn on_meter_arrival(world: &mut SimWorld, meter: usize, now: SimTime)
 
 /// End of one Eq. 8 sample period: deliver the heartbeat package to
 /// the monitor (pressure snapshot into the PCA window, weight refresh).
-pub(crate) fn on_heartbeat(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySink) {
+pub(crate) fn on_heartbeat<S: TelemetrySink + ?Sized>(
+    world: &mut SimWorld,
+    now: SimTime,
+    sink: &mut S,
+) {
     let SimWorld {
         monitor,
         queue,

@@ -67,7 +67,12 @@ pub(crate) use world::SimWorld;
 /// carried one (proactive variants with an attached forecaster only).
 /// `realized_qps` stays `None` here — only the report layer, replaying
 /// the trace after the fact, knows what λ turned out to be.
-fn record_forecast(sink: &mut dyn TelemetrySink, now: SimTime, idx: usize, tr: &DecisionTrace) {
+fn record_forecast<S: TelemetrySink + ?Sized>(
+    sink: &mut S,
+    now: SimTime,
+    idx: usize,
+    tr: &DecisionTrace,
+) {
     if let Some(fc) = tr.forecast {
         sink.record(TelemetryEvent::Forecast(ForecastRecord {
             t: now,
@@ -218,16 +223,19 @@ impl Experiment {
 
     /// Execute the experiment with telemetry disabled. Identical to
     /// [`Experiment::run_with_sink`] with a [`NoopSink`] — same seeds,
-    /// same decisions, same results.
+    /// same decisions, same results. The kernel is monomorphized over
+    /// the concrete [`NoopSink`], so every `sink.enabled()` guard
+    /// folds to a constant `false` and telemetry costs nothing on the
+    /// hot path — no virtual call, no branch.
     pub fn run(&self) -> RunResult {
-        self.run_with_sink(&mut NoopSink)
+        self.run_mono(&mut NoopSink)
     }
 
     /// Execute the experiment recording the full telemetry stream in
     /// memory, returning it as a [`Trace`] alongside the results.
     pub fn run_traced(&self) -> (RunResult, Trace) {
         let mut sink = MemorySink::new();
-        let result = self.run_with_sink(&mut sink);
+        let result = self.run_mono(&mut sink);
         (result, sink.into_trace())
     }
 
@@ -238,9 +246,19 @@ impl Experiment {
     /// allocation; the event stream never feeds back into the run, so
     /// results are bit-identical whatever sink is attached.
     ///
-    /// This is the whole kernel: build the `SimWorld`, then pop →
-    /// dispatch → apply-effects until the calendar drains.
+    /// Dynamic-dispatch entry point: the kernel instantiates once with
+    /// `S = dyn TelemetrySink`, so callers holding a trait object pay
+    /// one virtual call per guarded emission, exactly as before the
+    /// sink was monomorphized. Callers with a concrete sink type get
+    /// the branch-free instantiation through [`Experiment::run`] /
+    /// [`Experiment::run_traced`].
     pub fn run_with_sink(&self, sink: &mut dyn TelemetrySink) -> RunResult {
+        self.run_mono(sink)
+    }
+
+    /// The whole kernel, generic over the sink: build the `SimWorld`,
+    /// then pop → dispatch → apply-effects until the calendar drains.
+    fn run_mono<S: TelemetrySink + ?Sized>(&self, sink: &mut S) -> RunResult {
         let mut world = world::setup(self, sink);
         while let Some(fired) = world.queue.pop() {
             let now = fired.time;
@@ -254,12 +272,12 @@ impl Experiment {
 /// Route one calendar event to its domain handler. Pure fan-out: every
 /// state change happens inside the handler modules, and anything a
 /// platform wants done comes back as an effect on the bus.
-fn dispatch(
+fn dispatch<S: TelemetrySink + ?Sized>(
     exp: &Experiment,
     world: &mut SimWorld,
     ev: Ev,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     match ev {
         Ev::Arrival { idx } => arrivals::on_arrival(world, idx, now, sink),

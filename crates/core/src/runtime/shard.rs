@@ -44,7 +44,7 @@ const _: fn() = || {
 impl EpochRun {
     /// Build the cell's world (forking its RNG streams from the
     /// experiment's own seed) and emit the run-started telemetry.
-    pub fn new(exp: Experiment, sink: &mut dyn TelemetrySink) -> Self {
+    pub fn new<S: TelemetrySink + ?Sized>(exp: Experiment, sink: &mut S) -> Self {
         let world = world::setup(&exp, sink);
         EpochRun {
             exp,
@@ -61,7 +61,7 @@ impl EpochRun {
     /// Dispatch every event strictly before `until`. Events at exactly
     /// `until` stay queued for the next epoch, so slicing the horizon
     /// into epochs never reorders events across the boundary.
-    pub fn run_until(&mut self, until: SimTime, sink: &mut dyn TelemetrySink) {
+    pub fn run_until<S: TelemetrySink + ?Sized>(&mut self, until: SimTime, sink: &mut S) {
         while matches!(self.world.queue.peek_time(), Some(t) if t < until) {
             let fired = self.world.queue.pop().expect("peeked event");
             let now = fired.time;
@@ -72,7 +72,7 @@ impl EpochRun {
     }
 
     /// Drain the calendar completely (the final epoch).
-    pub fn run_to_completion(&mut self, sink: &mut dyn TelemetrySink) {
+    pub fn run_to_completion<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
         while let Some(fired) = self.world.queue.pop() {
             let now = fired.time;
             dispatch(&self.exp, &mut self.world, fired.payload, now, sink);

@@ -88,11 +88,11 @@ pub(crate) fn apply_engine_actions(
 /// The serverless side acked a prewarm: unless chaos eats the ack on
 /// the wire, the engine completes the switch-down and the old IaaS
 /// side is released (watchdogged).
-pub(crate) fn on_prewarm_ready(
+pub(crate) fn on_prewarm_ready<S: TelemetrySink + ?Sized>(
     world: &mut SimWorld,
     service: ServiceId,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,
@@ -144,11 +144,11 @@ pub(crate) fn on_prewarm_ready(
 
 /// The IaaS side acked its VM group boot: the engine completes the
 /// switch-up and releases the serverless pool.
-pub(crate) fn on_vm_group_ready(
+pub(crate) fn on_vm_group_ready<S: TelemetrySink + ?Sized>(
     world: &mut SimWorld,
     service: ServiceId,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,
@@ -183,11 +183,11 @@ pub(crate) fn on_vm_group_ready(
 
 /// The old IaaS side has finished its in-flight queries: the span's
 /// terminal step. Disarms the drain watchdog.
-pub(crate) fn on_iaas_drained(
+pub(crate) fn on_iaas_drained<S: TelemetrySink + ?Sized>(
     world: &mut SimWorld,
     service: ServiceId,
     now: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let SimWorld {
         services,
@@ -195,11 +195,14 @@ pub(crate) fn on_iaas_drained(
         drain_deadline,
         ..
     } = world;
-    if (service.raw() as usize) < services.len() {
-        drain_deadline[service.raw() as usize] = None;
+    // Resolve the service index once; everything below is in bounds by
+    // construction (meters and other unmanaged ids fall out here).
+    let idx = service.raw() as usize;
+    if idx >= services.len() {
+        return;
     }
-    if sink.enabled() && (service.raw() as usize) < services.len() {
-        let idx = service.raw() as usize;
+    drain_deadline[idx] = None;
+    if sink.enabled() {
         sink.record(TelemetryEvent::Switch(SwitchRecord {
             t: now,
             service: idx,

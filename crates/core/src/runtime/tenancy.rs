@@ -66,7 +66,11 @@ pub(crate) fn interference_spec() -> MicroserviceSpec {
 /// One vendor control period elapsed: read pool occupancy, step the
 /// reclamation state machine (throttling or restoring every admitted
 /// tenant's container cap), record the sample, and re-arm.
-pub(crate) fn on_vendor_tick(world: &mut SimWorld, now: SimTime, sink: &mut dyn TelemetrySink) {
+pub(crate) fn on_vendor_tick<S: TelemetrySink + ?Sized>(
+    world: &mut SimWorld,
+    now: SimTime,
+    sink: &mut S,
+) {
     let SimWorld {
         serverless,
         services,

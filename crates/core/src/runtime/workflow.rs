@@ -28,7 +28,7 @@ use amoeba_platform::{ExecutedOn, IaasPlatform, Query, QueryId, QueryOutcome, Se
 use amoeba_sim::{EventQueue, SimRng, SimTime};
 use amoeba_telemetry::{StageSpanRecord, TelemetryEvent, TelemetrySink};
 use amoeba_workload::WorkflowSpec;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// One query's traversal of a workflow DAG.
 struct InstanceRt {
@@ -44,6 +44,58 @@ struct InstanceRt {
     remaining: u32,
 }
 
+/// Open instances in a dense sliding window over root sequence
+/// numbers.
+///
+/// Roots are opened with strictly increasing seqs (the global arrival
+/// counter), and instances close within a bounded latency, so the live
+/// span `[base, base + slots.len())` stays narrow. Lookups become one
+/// subtraction and an array index instead of a `BTreeMap` descent —
+/// this sits on the per-stage-completion hot path. The front of the
+/// window is compacted on removal, so memory tracks the oldest open
+/// instance, not the run length.
+#[derive(Default)]
+struct InstanceTable {
+    /// Seq of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<InstanceRt>>,
+}
+
+impl InstanceTable {
+    fn insert(&mut self, seq: u64, inst: InstanceRt) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        }
+        debug_assert!(seq >= self.base, "root seqs open in increasing order");
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "root seq opened twice");
+        self.slots[idx] = Some(inst);
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut InstanceRt> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<InstanceRt> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        let inst = self.slots.get_mut(idx)?.take()?;
+        // Compact the closed prefix so the window tracks the oldest
+        // still-open instance.
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() {
+            self.base = 0;
+        }
+        Some(inst)
+    }
+}
+
 /// Aggregates for one multi-stage workflow across the run.
 pub(crate) struct WorkflowState {
     pub(crate) spec: WorkflowSpec,
@@ -52,7 +104,7 @@ pub(crate) struct WorkflowState {
     /// Per-stage latency budgets (the split end-to-end target).
     pub(crate) budgets: Vec<f64>,
     /// Open instances keyed by root sequence number.
-    instances: BTreeMap<u64, InstanceRt>,
+    instances: InstanceTable,
     /// End-to-end latencies of counted, completed instances.
     pub(crate) recorder: LatencyRecorder,
     pub(crate) submitted: usize,
@@ -99,7 +151,7 @@ impl WorkflowRt {
                     spec,
                     svc,
                     budgets,
-                    instances: BTreeMap::new(),
+                    instances: InstanceTable::default(),
                     recorder: LatencyRecorder::new(),
                     submitted: 0,
                     completed: 0,
@@ -162,7 +214,7 @@ impl WorkflowRt {
             return;
         };
         let wf = &mut self.workflows[w];
-        if let Some(inst) = wf.instances.remove(&qid.seq()) {
+        if let Some(inst) = wf.instances.remove(qid.seq()) {
             if inst.counted {
                 wf.failed += 1;
             }
@@ -175,7 +227,7 @@ impl WorkflowRt {
 /// is ready exactly when its last predecessor completes), and close
 /// the instance on its final stage.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn on_stage_complete(
+pub(crate) fn on_stage_complete<S: TelemetrySink + ?Sized>(
     wrt: &mut WorkflowRt,
     w: usize,
     s: usize,
@@ -192,13 +244,13 @@ pub(crate) fn on_stage_complete(
     queue: &mut EventQueue<Ev>,
     fabric: &mut Option<Fabric>,
     warmup_t: SimTime,
-    sink: &mut dyn TelemetrySink,
+    sink: &mut S,
 ) {
     let wf = &mut wrt.workflows[w];
     let seq = outcome.query.id.seq();
     // A missing instance means a sibling branch already failed the
     // traversal (crash-dropped query): swallow the completion.
-    let Some(inst) = wf.instances.get_mut(&seq) else {
+    let Some(inst) = wf.instances.get_mut(seq) else {
         return;
     };
     let latency_s = outcome.latency().as_secs_f64();
@@ -233,7 +285,7 @@ pub(crate) fn on_stage_complete(
     let t0 = inst.t0;
     if inst.remaining == 0 {
         debug_assert!(ready.is_empty(), "final stage with ready successors");
-        wf.instances.remove(&seq);
+        wf.instances.remove(seq);
         if counted {
             let e2e = now.duration_since(t0);
             wf.recorder.record(e2e);

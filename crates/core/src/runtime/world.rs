@@ -129,7 +129,7 @@ struct SvcDesc {
 /// event calendar and pre-draw the chaos fault calendar. The RNG fork
 /// and registration order here is part of the determinism contract —
 /// reordering anything reshuffles every downstream draw.
-pub(crate) fn setup(exp: &Experiment, sink: &mut dyn TelemetrySink) -> SimWorld {
+pub(crate) fn setup<S: TelemetrySink + ?Sized>(exp: &Experiment, sink: &mut S) -> SimWorld {
     let mut master_rng = SimRng::seed_from_u64(exp.seed);
     let platform_rng = master_rng.fork();
     let iaas_rng = master_rng.fork();

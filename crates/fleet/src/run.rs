@@ -130,11 +130,31 @@ enum CellSink {
 }
 
 impl CellSink {
-    fn as_dyn(&mut self) -> &mut dyn TelemetrySink {
+    /// Dispatch on the sink variant *once per call*, handing the cell
+    /// kernel a concrete sink type: quiet cells run the branch-free
+    /// `NoopSink` instantiation of the event loop instead of paying a
+    /// virtual call at every guarded emission.
+    fn build(&mut self, exp: Experiment) -> EpochRun {
         match self {
-            CellSink::Noop(n) => n,
-            CellSink::Digest(d) => d,
-            CellSink::Memory(m) => &mut **m,
+            CellSink::Noop(n) => EpochRun::new(exp, n),
+            CellSink::Digest(d) => EpochRun::new(exp, d),
+            CellSink::Memory(m) => EpochRun::new(exp, &mut **m),
+        }
+    }
+
+    fn run_until(&mut self, run: &mut EpochRun, until: SimTime) {
+        match self {
+            CellSink::Noop(n) => run.run_until(until, n),
+            CellSink::Digest(d) => run.run_until(until, d),
+            CellSink::Memory(m) => run.run_until(until, &mut **m),
+        }
+    }
+
+    fn run_to_completion(&mut self, run: &mut EpochRun) {
+        match self {
+            CellSink::Noop(n) => run.run_to_completion(n),
+            CellSink::Digest(d) => run.run_to_completion(d),
+            CellSink::Memory(m) => run.run_to_completion(&mut **m),
         }
     }
 
@@ -255,7 +275,7 @@ impl FleetRun {
                     SinkMode::Digest => CellSink::Digest(DigestSink::new()),
                     SinkMode::Traced => CellSink::Memory(Box::new(MemorySink::new())),
                 };
-                let run = EpochRun::new(exp, sink.as_dyn());
+                let run = sink.build(exp);
                 Cell { run, sink }
             })
             .collect();
@@ -283,7 +303,7 @@ impl FleetRun {
                             let mut events = 0;
                             for cell in shard.iter_mut() {
                                 let before = cell.run.events_processed();
-                                cell.run.run_until(boundary, cell.sink.as_dyn());
+                                cell.sink.run_until(&mut cell.run, boundary);
                                 events += cell.run.events_processed() - before;
                             }
                             (shard.len(), events)
@@ -354,7 +374,7 @@ impl FleetRun {
                 for shard in cells.chunks_mut(plan.chunk()) {
                     scope.spawn(move || {
                         for cell in shard.iter_mut() {
-                            cell.run.run_to_completion(cell.sink.as_dyn());
+                            cell.sink.run_to_completion(&mut cell.run);
                         }
                     });
                 }

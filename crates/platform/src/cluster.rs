@@ -5,8 +5,9 @@
 //! of an [`amoeba_sim::EventQueue`] and feeds fired [`ClusterEvent`]s
 //! back into the right platform.
 
-use crate::ids::{ContainerId, QueryId, ServiceId};
+use crate::ids::{ContainerId, ServiceId};
 use crate::query::QueryOutcome;
+use crate::slab::QueryTicket;
 use amoeba_sim::SimDuration;
 
 /// A future event inside one of the platforms.
@@ -41,8 +42,11 @@ pub enum ClusterEvent {
     IaasExecDone {
         /// The service it belongs to.
         service: ServiceId,
-        /// The finished query.
-        query: QueryId,
+        /// Slab ticket of the in-flight query. A stale ticket — the
+        /// query was force-drained and its slot possibly recycled — is
+        /// rejected by the slab's generation check, making the event a
+        /// no-op exactly like the old map miss.
+        ticket: QueryTicket,
     },
 }
 

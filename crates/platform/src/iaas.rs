@@ -10,12 +10,13 @@
 
 use crate::cluster::{ClusterEvent, Effect};
 use crate::config::IaasConfig;
-use crate::ids::{QueryId, ServiceId};
+use crate::ids::ServiceId;
 use crate::query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
+use crate::slab::{QuerySlab, QueryTicket};
 use amoeba_queueing::{MmnModel, QosCheck};
 use amoeba_sim::{Distributions, SimDuration, SimRng, SimTime};
 use amoeba_workload::MicroserviceSpec;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Minimum total cores (M/M/N servers) needed to satisfy the spec's QoS
 /// at its peak load, per the same queueing model the controller uses.
@@ -64,7 +65,10 @@ struct VmGroup {
     draining: bool,
     busy: u32,
     queue: VecDeque<Query>,
-    running: BTreeMap<QueryId, RunningQuery>,
+    /// In-flight queries, slab-indexed: the scheduled `IaasExecDone`
+    /// carries the ticket, so completion is an O(1) slot probe with
+    /// stale events rejected by the generation check.
+    running: QuerySlab<RunningQuery>,
 }
 
 impl VmGroup {
@@ -111,7 +115,7 @@ impl IaasPlatform {
             draining: false,
             busy: 0,
             queue: VecDeque::new(),
-            running: BTreeMap::new(),
+            running: QuerySlab::new(),
         });
         id
     }
@@ -237,8 +241,13 @@ impl IaasPlatform {
             return (Vec::new(), Vec::new());
         }
         let mut displaced: Vec<Query> = g.queue.drain(..).collect();
-        displaced.extend(g.running.values().map(|r| r.query));
-        g.running.clear();
+        // Slot order is allocation order, not id order; sort to keep the
+        // old ordered-map contract (queued first, then running by
+        // ascending query id). Draining bumps every slot's generation,
+        // so the pending `IaasExecDone` tickets die here.
+        let mut running: Vec<Query> = g.running.drain().into_iter().map(|r| r.query).collect();
+        running.sort_unstable_by_key(|q| q.id);
+        displaced.extend(running);
         g.busy = 0;
         g.state = GroupState::Inactive;
         g.draining = false;
@@ -282,20 +291,14 @@ impl IaasPlatform {
                 .solo_exec_seconds(cfg.per_flow_io_mbps, cfg.per_flow_net_mbps);
             let exec_s = solo * rng.lognormal(0.0, cfg.exec_jitter_sigma);
             let service_s = cfg.overhead_s + exec_s;
-            g.running.insert(
-                query.id,
-                RunningQuery {
-                    query,
-                    started: now,
-                    exec_s,
-                },
-            );
+            let ticket = g.running.insert(RunningQuery {
+                query,
+                started: now,
+                exec_s,
+            });
             effects.push(Effect::Schedule {
                 after: SimDuration::from_secs_f64(service_s),
-                event: ClusterEvent::IaasExecDone {
-                    service,
-                    query: query.id,
-                },
+                event: ClusterEvent::IaasExecDone { service, ticket },
             });
         }
     }
@@ -313,8 +316,8 @@ impl IaasPlatform {
                 }
                 effects
             }
-            ClusterEvent::IaasExecDone { service, query } => {
-                self.on_exec_done(service, query, now, rng)
+            ClusterEvent::IaasExecDone { service, ticket } => {
+                self.on_exec_done(service, ticket, now, rng)
             }
             _ => Vec::new(),
         }
@@ -323,14 +326,14 @@ impl IaasPlatform {
     fn on_exec_done(
         &mut self,
         service: ServiceId,
-        query: QueryId,
+        ticket: QueryTicket,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Vec<Effect> {
         let mut effects = Vec::new();
         let cfg = self.cfg;
         let g = &mut self.groups[service.raw() as usize];
-        let Some(run) = g.running.remove(&query) else {
+        let Some(run) = g.running.remove(ticket) else {
             return effects;
         };
         g.busy -= 1;
@@ -363,6 +366,7 @@ impl IaasPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::QueryId;
     use amoeba_workload::benchmarks;
 
     fn setup(spec: MicroserviceSpec) -> (IaasPlatform, ServiceId, SimRng) {
@@ -667,6 +671,98 @@ mod tests {
         assert!(!other
             .iter()
             .any(|e| matches!(e, Effect::IaasDrained { .. })));
+    }
+
+    #[test]
+    fn stale_tickets_dead_after_slots_recycled() {
+        // The chaos path: force-drain a saturated group (its pending
+        // IaasExecDone tickets go stale), reactivate, and refill so the
+        // slab recycles the freed slots for new tenants. Delivering the
+        // stale events afterwards must not complete — or even disturb —
+        // the new occupants.
+        let (mut p, sid, mut rng) = setup(benchmarks::linpack());
+        let eff = p.activate(sid, SimTime::ZERO);
+        drain(&mut p, &mut rng, eff, SimTime::ZERO);
+        let cores = (p.vm_count(sid) * p.config().cores_per_vm) as u64;
+        let t1 = SimTime::from_secs(30);
+        let mut wave1 = Vec::new();
+        for i in 0..cores {
+            wave1.extend(p.submit(q(i, sid, t1), t1, &mut rng));
+        }
+        let (_, displaced) = p.force_drain(sid, t1 + SimDuration::from_secs(1));
+        assert_eq!(displaced.len(), cores as usize);
+
+        // Reactivate and refill: the LIFO free list hands the same
+        // slots to wave 2 under bumped generations.
+        let t2 = SimTime::from_secs(40);
+        let eff = p.activate(sid, t2);
+        drain(&mut p, &mut rng, eff, t2);
+        let t3 = SimTime::from_secs(60);
+        let mut wave2 = Vec::new();
+        for i in 0..cores {
+            wave2.extend(p.submit(q(100 + i, sid, t3), t3, &mut rng));
+        }
+        assert_eq!(p.in_flight(sid), cores as usize);
+
+        // Fire every stale wave-1 completion while wave 2 occupies the
+        // recycled slots: each must be rejected as a pure no-op.
+        for e in wave1 {
+            if let Effect::Schedule { event, .. } = e {
+                let out = p.handle(event, t3, &mut rng);
+                assert!(out.is_empty(), "stale ticket produced effects: {out:?}");
+            }
+        }
+        assert_eq!(p.in_flight(sid), cores as usize, "wave 2 undisturbed");
+
+        // Wave 2 then completes exactly once each.
+        let (outcomes, _) = drain(&mut p, &mut rng, wave2, t3);
+        assert_eq!(outcomes.len(), cores as usize);
+        for o in &outcomes {
+            assert!(o.query.id.raw() >= 100, "only wave-2 queries complete");
+        }
+    }
+
+    #[test]
+    fn conservation_across_slab_reuse() {
+        // submitted == completed + displaced over repeated
+        // drain/refill cycles that keep recycling slab slots.
+        let (mut p, sid, mut rng) = setup(benchmarks::matmul());
+        let eff = p.activate(sid, SimTime::ZERO);
+        drain(&mut p, &mut rng, eff, SimTime::ZERO);
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut lost = 0u64;
+        let mut id = 0u64;
+        for cycle in 0..4u64 {
+            let t = SimTime::from_secs(30 + cycle * 60);
+            let mut eff = Vec::new();
+            for _ in 0..25 {
+                eff.extend(p.submit(q(id, sid, t), t, &mut rng));
+                id += 1;
+                submitted += 1;
+            }
+            if cycle % 2 == 0 {
+                // Let the wave run to completion.
+                let (outcomes, _) = drain(&mut p, &mut rng, eff, t);
+                completed += outcomes.len() as u64;
+            } else {
+                // Yank the group mid-flight; displaced queries count as
+                // handed back, their events as dead.
+                let (_, displaced) = p.force_drain(sid, t + SimDuration::from_millis(1));
+                lost += displaced.len() as u64;
+                let (outcomes, _) = drain(&mut p, &mut rng, eff, t);
+                completed += outcomes.len() as u64;
+                let eff = p.activate(sid, t + SimDuration::from_secs(10));
+                drain(&mut p, &mut rng, eff, t + SimDuration::from_secs(10));
+            }
+        }
+        assert_eq!(p.in_flight(sid), 0);
+        assert_eq!(p.queue_len(sid), 0);
+        assert_eq!(
+            submitted,
+            completed + lost,
+            "every query either completed or was handed back, despite slot reuse"
+        );
     }
 
     #[test]

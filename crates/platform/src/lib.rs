@@ -34,6 +34,7 @@ pub mod placement;
 pub mod query;
 pub mod resources;
 pub mod serverless;
+pub mod slab;
 
 pub use cluster::{ClusterEvent, Effect};
 pub use config::{IaasConfig, NodeConfig, ServerlessConfig};
@@ -44,3 +45,4 @@ pub use placement::{PlacementTarget, Scheduler, TargetId, TargetMode, TopologyCo
 pub use query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
 pub use resources::SharedResources;
 pub use serverless::{CrashReport, ServerlessPlatform};
+pub use slab::{QuerySlab, QueryTicket};

@@ -8,7 +8,7 @@ use crate::query::{ExecutedOn, LatencyBreakdown, Query, QueryOutcome};
 use crate::resources::{LoadVector, SharedResources};
 use amoeba_sim::{Distributions, SimDuration, SimRng, SimTime};
 use amoeba_workload::MicroserviceSpec;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Pre-derived execution profile of a registered service.
 #[derive(Debug, Clone)]
@@ -44,11 +44,101 @@ enum ContainerState {
     },
 }
 
-#[derive(Debug, Clone)]
-struct Container {
-    service: ServiceId,
-    state: ContainerState,
-    epoch: u64,
+/// Struct-of-arrays container table.
+///
+/// `ContainerId`s are issued from a monotone counter, so appending keeps
+/// `ids` sorted ascending: binary search replaces the old `BTreeMap`
+/// lookup, positional access (`ids[victim_idx]`) replaces the ordered
+/// `keys().nth()` crash-victim walk with identical ascending-id
+/// semantics, and state scans walk contiguous memory. Per-service
+/// live/busy tallies are maintained on every insert/remove/transition so
+/// the capacity checks and metering reads the runtime performs per tick
+/// (`container_count`, `busy_count`, `can_create_container`) are O(1)
+/// instead of full-pool filters.
+struct ContainerTable {
+    /// Live container ids, strictly ascending.
+    ids: Vec<ContainerId>,
+    /// Owning service, parallel to `ids`.
+    service: Vec<ServiceId>,
+    /// Execution state, parallel to `ids`.
+    state: Vec<ContainerState>,
+    /// Reuse-epoch counter (guards stale expire timers), parallel to `ids`.
+    epoch: Vec<u64>,
+    /// Containers per service, any state.
+    live: Vec<u32>,
+    /// Busy containers per service.
+    busy: Vec<u32>,
+}
+
+impl ContainerTable {
+    fn new() -> Self {
+        ContainerTable {
+            ids: Vec::new(),
+            service: Vec::new(),
+            state: Vec::new(),
+            epoch: Vec::new(),
+            live: Vec::new(),
+            busy: Vec::new(),
+        }
+    }
+
+    /// Extend the per-service tallies for a newly registered service.
+    fn add_service(&mut self) {
+        self.live.push(0);
+        self.busy.push(0);
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn index_of(&self, cid: ContainerId) -> Option<usize> {
+        self.ids.binary_search(&cid).ok()
+    }
+
+    /// Append a new container. `cid` must exceed every stored id (ids
+    /// come from a monotone counter), keeping the table sorted.
+    fn insert(&mut self, cid: ContainerId, service: ServiceId, state: ContainerState) {
+        debug_assert!(self.ids.last().is_none_or(|&last| last < cid));
+        if matches!(state, ContainerState::Busy { .. }) {
+            self.busy[service.raw() as usize] += 1;
+        }
+        self.live[service.raw() as usize] += 1;
+        self.ids.push(cid);
+        self.service.push(service);
+        self.state.push(state);
+        self.epoch.push(0);
+    }
+
+    /// Remove the container at `idx`, returning its service and state.
+    fn remove_at(&mut self, idx: usize) -> (ServiceId, ContainerState) {
+        let service = self.service.remove(idx);
+        let state = self.state.remove(idx);
+        self.ids.remove(idx);
+        self.epoch.remove(idx);
+        self.live[service.raw() as usize] -= 1;
+        if matches!(state, ContainerState::Busy { .. }) {
+            self.busy[service.raw() as usize] -= 1;
+        }
+        (service, state)
+    }
+
+    fn remove(&mut self, cid: ContainerId) -> Option<(ServiceId, ContainerState)> {
+        self.index_of(cid).map(|idx| self.remove_at(idx))
+    }
+
+    /// Transition the container at `idx`, keeping the busy tally exact.
+    fn set_state(&mut self, idx: usize, new: ContainerState) {
+        let sid = self.service[idx].raw() as usize;
+        let was_busy = matches!(self.state[idx], ContainerState::Busy { .. });
+        let is_busy = matches!(new, ContainerState::Busy { .. });
+        match (was_busy, is_busy) {
+            (false, true) => self.busy[sid] += 1,
+            (true, false) => self.busy[sid] -= 1,
+            _ => {}
+        }
+        self.state[idx] = new;
+    }
 }
 
 /// What one injected container crash hit (see
@@ -69,7 +159,7 @@ pub struct CrashReport {
 pub struct ServerlessPlatform {
     cfg: ServerlessConfig,
     services: Vec<ServiceProfile>,
-    containers: BTreeMap<ContainerId, Container>,
+    containers: ContainerTable,
     /// Idle warm containers per service, oldest first.
     idle: Vec<VecDeque<ContainerId>>,
     /// The global FIFO queue of Fig. 7.
@@ -104,7 +194,7 @@ impl ServerlessPlatform {
         ServerlessPlatform {
             cfg,
             services: Vec::new(),
-            containers: BTreeMap::new(),
+            containers: ContainerTable::new(),
             idle: Vec::new(),
             queue: VecDeque::new(),
             resources,
@@ -150,6 +240,7 @@ impl ServerlessPlatform {
             code_load_s,
         });
         self.idle.push(VecDeque::new());
+        self.containers.add_service();
         self.prewarm_pending.push(0);
         self.tenant_caps.push(None);
         self.draining.push(false);
@@ -212,18 +303,12 @@ impl ServerlessPlatform {
 
     /// Number of containers currently held by `service` (any state).
     pub fn container_count(&self, service: ServiceId) -> u32 {
-        self.containers
-            .values()
-            .filter(|c| c.service == service)
-            .count() as u32
+        self.containers.live[service.raw() as usize]
     }
 
     /// Number of busy containers of `service`.
     pub fn busy_count(&self, service: ServiceId) -> u32 {
-        self.containers
-            .values()
-            .filter(|c| c.service == service && matches!(c.state, ContainerState::Busy { .. }))
-            .count() as u32
+        self.containers.busy[service.raw() as usize]
     }
 
     /// Total containers in the pool.
@@ -267,6 +352,7 @@ impl ServerlessPlatform {
     }
 
     fn can_create_container(&self, service: ServiceId) -> bool {
+        // Both operands are O(1) reads off the tallies.
         let tenant_ok = self.container_count(service) < self.tenant_cap(service);
         let memory_ok = (self.containers.len() as u32) < self.cfg.memory_container_cap();
         tenant_ok && memory_ok
@@ -281,7 +367,7 @@ impl ServerlessPlatform {
                 continue;
             }
             if let Some(cid) = idle.pop_front() {
-                self.containers.remove(&cid);
+                self.containers.remove(cid);
                 return true;
             }
         }
@@ -327,7 +413,7 @@ impl ServerlessPlatform {
         }
         if self.can_create_container(query.service) {
             let cid = self.create_container(query.service, now, Some((query, now)), rng, effects);
-            debug_assert!(self.containers.contains_key(&cid));
+            debug_assert!(self.containers.index_of(cid).is_some());
             return true;
         }
         false
@@ -343,14 +429,8 @@ impl ServerlessPlatform {
     ) -> ContainerId {
         let cid = ContainerId(self.next_container);
         self.next_container += 1;
-        self.containers.insert(
-            cid,
-            Container {
-                service,
-                state: ContainerState::Warming { since: now, query },
-                epoch: 0,
-            },
-        );
+        self.containers
+            .insert(cid, service, ContainerState::Warming { since: now, query });
         self.cold_starts += 1;
         // Lognormal cold start around the configured median (§V-A: one to
         // three seconds).
@@ -372,7 +452,11 @@ impl ServerlessPlatform {
         rng: &mut SimRng,
         effects: &mut Vec<Effect>,
     ) {
-        let service = self.containers[&cid].service;
+        let idx = self
+            .containers
+            .index_of(cid)
+            .expect("start_execution requires a live container: caller just looked it up");
+        let service = self.containers.service[idx];
         debug_assert_eq!(service, query.service, "container/service mismatch");
         let profile = &self.services[service.raw() as usize];
         let rates = profile.rates;
@@ -414,18 +498,17 @@ impl ServerlessPlatform {
         };
         self.resources.acquire(&held);
 
-        let c = self
-            .containers
-            .get_mut(&cid)
-            .expect("start_execution requires a live container: caller just looked it up");
-        c.epoch += 1;
-        c.state = ContainerState::Busy {
-            query,
-            assigned: now,
-            cold_start,
-            load: held,
-            exec_s,
-        };
+        self.containers.epoch[idx] += 1;
+        self.containers.set_state(
+            idx,
+            ContainerState::Busy {
+                query,
+                assigned: now,
+                cold_start,
+                load: held,
+                exec_s,
+            },
+        );
         effects.push(Effect::Schedule {
             after: SimDuration::from_secs_f64(busy_s),
             event: ClusterEvent::ServerlessExecDone { container: cid },
@@ -456,11 +539,11 @@ impl ServerlessPlatform {
         rng: &mut SimRng,
     ) -> Vec<Effect> {
         let mut effects = Vec::new();
-        let Some(c) = self.containers.get(&cid) else {
+        let Some(idx) = self.containers.index_of(cid) else {
             return effects;
         };
-        let service = c.service;
-        match c.state.clone() {
+        let service = self.containers.service[idx];
+        match self.containers.state[idx].clone() {
             ContainerState::Warming {
                 since,
                 query: Some((q, _assigned)),
@@ -490,7 +573,7 @@ impl ServerlessPlatform {
 
     fn on_exec_done(&mut self, cid: ContainerId, now: SimTime, rng: &mut SimRng) -> Vec<Effect> {
         let mut effects = Vec::new();
-        let Some(c) = self.containers.get(&cid) else {
+        let Some(idx) = self.containers.index_of(cid) else {
             return effects;
         };
         if let ContainerState::Busy {
@@ -499,7 +582,7 @@ impl ServerlessPlatform {
             cold_start,
             load,
             exec_s,
-        } = c.state.clone()
+        } = self.containers.state[idx].clone()
         {
             self.resources.release(&load);
             self.completed += 1;
@@ -528,7 +611,7 @@ impl ServerlessPlatform {
                 // keep-alive (S_sd, §V-B). One warm container is kept so
                 // the low-rate shadow/calibration traffic (§III step 1)
                 // does not cold-start every probe.
-                self.containers.remove(&cid);
+                self.containers.remove(cid);
             } else {
                 self.make_idle(cid, now, &mut effects);
             }
@@ -538,14 +621,15 @@ impl ServerlessPlatform {
     }
 
     fn make_idle(&mut self, cid: ContainerId, _now: SimTime, effects: &mut Vec<Effect>) {
-        let c = self
+        let idx = self
             .containers
-            .get_mut(&cid)
+            .index_of(cid)
             .expect("make_idle requires a live container: callers transition existing state");
-        c.epoch += 1;
-        let epoch = c.epoch;
-        let service = c.service;
-        c.state = ContainerState::Idle { epoch };
+        self.containers.epoch[idx] += 1;
+        let epoch = self.containers.epoch[idx];
+        let service = self.containers.service[idx];
+        self.containers
+            .set_state(idx, ContainerState::Idle { epoch });
         self.idle[service.raw() as usize].push_back(cid);
         effects.push(Effect::Schedule {
             after: self.cfg.keep_alive,
@@ -564,12 +648,11 @@ impl ServerlessPlatform {
         rng: &mut SimRng,
     ) -> Vec<Effect> {
         let mut effects = Vec::new();
-        let Some(c) = self.containers.get(&cid) else {
+        let Some(idx) = self.containers.index_of(cid) else {
             return effects;
         };
-        if matches!(c.state, ContainerState::Idle { epoch: e } if e == epoch) {
-            let service = c.service;
-            self.containers.remove(&cid);
+        if matches!(self.containers.state[idx], ContainerState::Idle { epoch: e } if e == epoch) {
+            let (service, _) = self.containers.remove_at(idx);
             self.idle[service.raw() as usize].retain(|&x| x != cid);
             // The freed memory slot may unblock queued queries of a
             // capped tenant.
@@ -626,11 +709,7 @@ impl ServerlessPlatform {
         self.draining[service.raw() as usize] = false;
         let mut effects = Vec::new();
         let sid = service.raw() as usize;
-        let existing = self
-            .containers
-            .values()
-            .filter(|c| c.service == service && !matches!(c.state, ContainerState::Busy { .. }))
-            .count() as u32;
+        let existing = self.containers.live[sid] - self.containers.busy[sid];
         let mut shortfall = count.saturating_sub(existing);
         if shortfall == 0 {
             effects.push(Effect::PrewarmReady { service });
@@ -693,17 +772,16 @@ impl ServerlessPlatform {
         rng: &mut SimRng,
     ) -> (Vec<Effect>, Option<CrashReport>) {
         let mut effects = Vec::new();
-        let Some(&cid) = self.containers.keys().nth(victim_idx) else {
+        let Some(&cid) = self.containers.ids.get(victim_idx) else {
             return (effects, None);
         };
-        let c = self
-            .containers
-            .remove(&cid)
-            .expect("victim container exists: id was just enumerated from the live map");
-        let sid = c.service.raw() as usize;
+        // Positional removal on the sorted table: the same victim the
+        // old ordered-map `keys().nth()` walk selected.
+        let (service, state) = self.containers.remove_at(victim_idx);
+        let sid = service.raw() as usize;
         let mut displaced = None;
         let mut was_prewarm = false;
-        match c.state {
+        match state {
             ContainerState::Busy { query, load, .. } => {
                 self.resources.release(&load);
                 displaced = Some(query);
@@ -727,7 +805,7 @@ impl ServerlessPlatform {
         // The freed memory slot may unblock queued queries.
         self.dispatch_queue(now, rng, &mut effects);
         let report = CrashReport {
-            service: c.service,
+            service,
             displaced,
             was_prewarm,
         };
@@ -741,7 +819,7 @@ impl ServerlessPlatform {
     pub fn release_service(&mut self, service: ServiceId) {
         let idle = std::mem::take(&mut self.idle[service.raw() as usize]);
         for cid in idle {
-            self.containers.remove(&cid);
+            self.containers.remove(cid);
         }
         self.prewarm_pending[service.raw() as usize] = 0;
         self.draining[service.raw() as usize] = true;

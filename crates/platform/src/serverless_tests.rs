@@ -424,7 +424,7 @@ fn prewarm_already_satisfied_acks_immediately() {
     let sid = p.register(benchmarks::float());
     let t0 = SimTime::ZERO;
     let eff = p.prewarm(sid, 3, t0, &mut rng);
-    run_effects(&mut p, &mut rng, eff.clone(), t0);
+    run_effects(&mut p, &mut rng, eff, t0);
     // Warm again while still warm — but run_effects drained expiry,
     // so re-create and check the immediate-ack path with count 0.
     let eff = p.prewarm(sid, 0, SimTime::from_secs(1), &mut rng);

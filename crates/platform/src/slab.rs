@@ -1,0 +1,215 @@
+//! Generational slab for in-flight query state.
+//!
+//! In-flight IaaS queries used to live in a `BTreeMap<QueryId, _>` per
+//! VM group: every completion hashed-and-chased the tree to find its
+//! entry, and stale events (force-drained switches, crash re-queues)
+//! were rejected by the map miss. The slab keeps the same observable
+//! contract with O(1) array indexing: `insert` hands out a
+//! [`QueryTicket`] naming a slot and the slot's current generation,
+//! `remove` honours the ticket only while the generation matches, and
+//! freeing a slot bumps its generation so every outstanding ticket to
+//! the old tenant is dead the moment the slot is recycled.
+
+/// Handle to one slab entry: slot index plus the generation it was
+/// issued under. Copyable and order-free — tickets ride inside
+/// scheduled events and come back long after the slot may have been
+/// freed and reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTicket {
+    slot: u32,
+    generation: u32,
+}
+
+impl QueryTicket {
+    /// The raw slot index, mostly useful in logs.
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The generation the ticket was issued under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+struct Slot<T> {
+    /// Bumped every time the slot is freed; a ticket is live only while
+    /// its generation equals the slot's.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab: O(1) insert/lookup/remove with stale-handle
+/// rejection, deterministic by construction (LIFO free list, no
+/// hashing).
+pub struct QuerySlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for QuerySlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> QuerySlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        QuerySlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, value: T) -> QueryTicket {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none(), "free list pointed at a live slot");
+            s.value = Some(value);
+            QueryTicket {
+                slot,
+                generation: s.generation,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            QueryTicket {
+                slot,
+                generation: 0,
+            }
+        }
+    }
+
+    /// The entry behind `ticket`, if it is still the same tenancy.
+    pub fn get(&self, ticket: QueryTicket) -> Option<&T> {
+        let s = self.slots.get(ticket.slot as usize)?;
+        if s.generation != ticket.generation {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    /// Remove and return the entry behind `ticket`. A stale ticket —
+    /// its slot freed, possibly reoccupied by a later query — is
+    /// rejected by the generation check and returns `None`.
+    pub fn remove(&mut self, ticket: QueryTicket) -> Option<T> {
+        let s = self.slots.get_mut(ticket.slot as usize)?;
+        if s.generation != ticket.generation {
+            return None;
+        }
+        let value = s.value.take()?;
+        s.generation += 1;
+        self.free.push(ticket.slot);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Empty the slab, returning every occupied entry in slot order and
+    /// invalidating every outstanding ticket (each freed slot's
+    /// generation is bumped).
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = s.value.take() {
+                s.generation += 1;
+                self.free.push(i as u32);
+                out.push(v);
+            }
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Iterate the occupied entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.value.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = QuerySlab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(b), Some("b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn stale_ticket_rejected_after_recycle() {
+        let mut slab = QuerySlab::new();
+        let old = slab.insert(1u64);
+        assert_eq!(slab.remove(old), Some(1));
+        // The slot is recycled by a new tenant; the old ticket points at
+        // the same slot but a dead generation.
+        let new = slab.insert(2u64);
+        assert_eq!(new.slot(), old.slot(), "LIFO free list reuses the slot");
+        assert_ne!(new.generation(), old.generation());
+        assert_eq!(slab.remove(old), None, "stale ticket must be rejected");
+        assert_eq!(slab.get(old), None);
+        assert_eq!(slab.remove(new), Some(2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut slab = QuerySlab::new();
+        let t = slab.insert(7);
+        assert_eq!(slab.remove(t), Some(7));
+        assert_eq!(slab.remove(t), None);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn drain_invalidates_all_tickets() {
+        let mut slab = QuerySlab::new();
+        let tickets: Vec<_> = (0..5).map(|i| slab.insert(i)).collect();
+        slab.remove(tickets[2]);
+        let drained = slab.drain();
+        assert_eq!(drained, vec![0, 1, 3, 4], "slot order");
+        assert!(slab.is_empty());
+        for t in tickets {
+            assert_eq!(slab.remove(t), None, "drained tickets are dead");
+        }
+        // Reuse after a drain still works and still rejects the old
+        // generation.
+        let t = slab.insert(9);
+        assert_eq!(slab.get(t), Some(&9));
+    }
+
+    #[test]
+    fn out_of_range_ticket_is_none() {
+        let mut a: QuerySlab<u8> = QuerySlab::new();
+        let mut b: QuerySlab<u8> = QuerySlab::new();
+        for i in 0..4 {
+            b.insert(i);
+        }
+        let foreign = b.insert(9);
+        assert_eq!(a.remove(foreign), None, "slot index out of range");
+        assert_eq!(a.get(foreign), None);
+    }
+}

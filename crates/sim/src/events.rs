@@ -3,10 +3,25 @@
 //! Events scheduled for the same instant pop in the order they were pushed
 //! (FIFO tie-break on a monotone sequence number), so a simulation run is a
 //! pure function of its inputs and seed.
+//!
+//! The queue is a calendar (bucket ring) keyed on the discrete microsecond
+//! grid rather than a binary heap: each bucket covers `2^BUCKET_SHIFT` µs
+//! and holds its events in ascending `(time, seq)` order, so the hot path —
+//! push at `now + δ`, pop the front of the cursor's bucket — is O(1) with
+//! no heap sift. Events past the ring's horizon stay in their modulo slot
+//! and are filtered by an absolute-bucket lap check; a full fruitless lap
+//! makes the cursor jump straight to the earliest occupied bucket, so a
+//! sparse calendar never degenerates into a linear scan per pop.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Bucket width: `2^BUCKET_SHIFT` microseconds (≈16.4 ms).
+const BUCKET_SHIFT: u32 = 14;
+/// Number of buckets in the ring. Together with the width this spans a
+/// ≈33.6 s horizon; later events wrap and are lap-checked.
+const RING: usize = 2048;
+const RING_MASK: u64 = (RING as u64) - 1;
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,32 +46,16 @@ pub struct ScheduledEvent<E> {
     pub payload: E,
 }
 
-struct HeapEntry<E> {
+struct Entry<E> {
     time: SimTime,
     seq: u64,
     payload: E,
 }
 
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<E> Entry<E> {
+    /// Absolute bucket index on the tick grid (not yet masked to the ring).
+    fn abs(&self) -> u64 {
+        self.time.as_micros() >> BUCKET_SHIFT
     }
 }
 
@@ -74,15 +73,24 @@ impl<E> PartialOrd for HeapEntry<E> {
 /// assert_eq!(q.pop().unwrap().payload, "later");
 /// ```
 ///
-/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-/// on pop, which keeps `cancel` O(log n) amortised without a secondary
-/// index into the heap.
+/// Cancellation is lazy: cancelled entries stay in their bucket and are
+/// skipped when the cursor reaches them, which keeps `cancel` cheap without
+/// a secondary index into the calendar.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
+    /// The bucket ring. Each bucket holds entries whose absolute bucket
+    /// index is congruent to its slot, in ascending `(time, seq)` order.
+    ring: Vec<VecDeque<Entry<E>>>,
+    /// Absolute bucket index the cursor is currently draining. Invariant:
+    /// no entry's absolute index is below this (pushes into the past
+    /// rewind it).
+    cur_abs: u64,
     next_seq: u64,
     // Sorted would be overkill: cancellations are rare relative to pushes.
     cancelled: std::collections::HashSet<u64>,
+    /// Pending (non-cancelled) events.
     live: usize,
+    /// All stored entries, including not-yet-swept tombstones.
+    entries: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -95,10 +103,12 @@ impl<E> EventQueue<E> {
     /// An empty calendar.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..RING).map(|_| VecDeque::new()).collect(),
+            cur_abs: 0,
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
             live: 0,
+            entries: 0,
         }
     }
 
@@ -107,8 +117,36 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { time, seq, payload });
+        let abs = time.as_micros() >> BUCKET_SHIFT;
+        // Scheduling before the cursor (never done by the runtime, but
+        // legal) rewinds it so the entry is still reachable.
+        if abs < self.cur_abs {
+            self.cur_abs = abs;
+        }
+        let bucket = &mut self.ring[(abs & RING_MASK) as usize];
+        let entry = Entry { time, seq, payload };
+        // `seq` is larger than every existing seq, so ordering within the
+        // bucket reduces to time: the entry goes after all entries at or
+        // before `time`. Pushes arrive in roughly ascending time, so the
+        // common case is a plain append.
+        match bucket.back() {
+            Some(last) if last.time > time => {
+                let mut lo = 0usize;
+                let mut hi = bucket.len();
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if bucket[mid].time <= time {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                bucket.insert(lo, entry);
+            }
+            _ => bucket.push_back(entry),
+        }
         self.live += 1;
+        self.entries += 1;
         EventId(seq)
     }
 
@@ -131,41 +169,84 @@ impl<E> EventQueue<E> {
     fn contains_seq(&self, seq: u64) -> bool {
         // O(n) scan, but cancel is used for keep-alive timers and prewarm
         // deadlines — a handful per simulated second.
-        self.heap.iter().any(|e| e.seq == seq) && !self.cancelled.contains(&seq)
+        self.ring.iter().flatten().any(|e| e.seq == seq) && !self.cancelled.contains(&seq)
+    }
+
+    /// Advance the cursor until the front of its bucket is a live entry
+    /// scheduled for the current absolute bucket — the global `(time, seq)`
+    /// minimum — sweeping tombstones as they surface. Returns `false` when
+    /// no live events remain.
+    fn settle(&mut self) -> bool {
+        let mut steps = 0usize;
+        while self.entries > 0 {
+            let bucket = &mut self.ring[(self.cur_abs & RING_MASK) as usize];
+            while let Some(front) = bucket.front() {
+                // A front from a later lap leaves the bucket parked until
+                // the cursor comes back around.
+                if front.abs() != self.cur_abs {
+                    break;
+                }
+                // Guard the tombstone probe: cancels are rare, so the
+                // set is almost always empty and the hash per settled
+                // entry would dominate this loop.
+                if !self.cancelled.is_empty() && self.cancelled.remove(&front.seq) {
+                    bucket.pop_front();
+                    self.entries -= 1;
+                    continue;
+                }
+                return true;
+            }
+            self.cur_abs += 1;
+            steps += 1;
+            if steps >= RING {
+                // A full fruitless lap: everything left is beyond the
+                // ring's horizon. Jump straight to the earliest bucket.
+                steps = 0;
+                self.cur_abs = self.min_front_abs();
+            }
+        }
+        false
+    }
+
+    /// The smallest absolute bucket index over all stored entries. Only
+    /// called while `entries > 0`.
+    fn min_front_abs(&self) -> u64 {
+        self.ring
+            .iter()
+            .filter_map(|b| b.front())
+            .map(|e| e.abs())
+            .min()
+            .expect("min_front_abs on an empty calendar")
     }
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.live -= 1;
-            return Some(ScheduledEvent {
-                time: entry.time,
-                id: EventId(entry.seq),
-                payload: entry.payload,
-            });
+        if !self.settle() {
+            return None;
         }
-        None
+        let bucket = &mut self.ring[(self.cur_abs & RING_MASK) as usize];
+        let entry = bucket.pop_front().expect("settle positioned the cursor");
+        self.entries -= 1;
+        self.live -= 1;
+        Some(ScheduledEvent {
+            time: entry.time,
+            id: EventId(entry.seq),
+            payload: entry.payload,
+        })
     }
 
     /// The firing time of the earliest pending event, if any.
     ///
-    /// Takes `&mut self` to sweep cancelled tombstones off the top of
-    /// the heap as it looks — amortised O(1) per call, which the
+    /// Takes `&mut self` to position the cursor and sweep cancelled
+    /// tombstones as it looks — amortised O(1) per call, which the
     /// epoch-sliced runtime relies on (it peeks before every pop).
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
+        if !self.settle() {
+            return None;
         }
-        None
+        self.ring[(self.cur_abs & RING_MASK) as usize]
+            .front()
+            .map(|e| e.time)
     }
 
     /// Number of pending (non-cancelled) events.
@@ -284,5 +365,46 @@ mod tests {
         }
         assert_eq!(seen, [1, 3, 5, 9]);
         let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn same_bucket_sub_tick_times_stay_ordered() {
+        // Distinct times inside one bucket (< 2^BUCKET_SHIFT µs apart)
+        // must still pop by time, not insertion order.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(900), "c");
+        q.push(SimTime::from_micros(100), "a");
+        q.push(SimTime::from_micros(500), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn far_future_beyond_ring_horizon() {
+        // Two events a ring-lap apart land in nearby modulo slots; the
+        // lap check must keep the later one parked.
+        let mut q = EventQueue::new();
+        let lap = SimDuration::from_micros((RING as u64) << BUCKET_SHIFT);
+        let near = SimTime::from_micros(10);
+        let far = near + lap + SimDuration::from_micros(3);
+        q.push(far, "far");
+        q.push(near, "near");
+        assert_eq!(q.pop().unwrap().payload, "near");
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop().unwrap().payload, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_before_cursor_rewinds() {
+        let mut q = EventQueue::new();
+        q.push(t(100), "late");
+        assert_eq!(q.pop().unwrap().payload, "late");
+        // The cursor now sits at t=100's bucket; a push into the past
+        // must still be reachable, and in order.
+        q.push(t(1), "early");
+        q.push(t(50), "mid");
+        assert_eq!(q.pop().unwrap().payload, "early");
+        assert_eq!(q.pop().unwrap().payload, "mid");
     }
 }

@@ -52,4 +52,16 @@ cargo run --locked --release -q -p amoeba-bench --bin experiments -- multitenant
 echo "== experiments fleet --smoke =="
 cargo run --locked --release -q -p amoeba-bench --bin experiments -- fleet --smoke
 
+# Single-sample bench smoke: asserts the hot-loop bench completes and
+# reports a median — the cheap canary for a kernel refactor that
+# compiles but hangs or panics only under the bench scenario. Real
+# medians (10 samples) are recorded in results/BENCH_simcore.json.
+echo "== bench smoke (sim_hot_loop, 1 sample) =="
+smoke=$(AMOEBA_BENCH_SAMPLES=1 cargo bench --locked -q -p amoeba-bench --bench sim_hot_loop 2>&1)
+echo "$smoke"
+echo "$smoke" | grep -q "sim_hot_loop/amoeba_day .* median" || {
+  echo "bench smoke failed: no amoeba_day median reported"
+  exit 1
+}
+
 echo "tier1: all green"

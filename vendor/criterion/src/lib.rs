@@ -89,6 +89,13 @@ fn run_named<F: FnMut(&mut Bencher)>(
     budget: Duration,
     routine: &mut F,
 ) {
+    // `AMOEBA_BENCH_SAMPLES` overrides every group's sample count —
+    // CI's bench smoke sets it to 1 to assert the benches still *run*
+    // without paying for statistically meaningful timings.
+    let samples = std::env::var("AMOEBA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(samples, |n| n.max(1));
     // Calibration pass: let the routine pick an iteration count that
     // fills roughly budget/samples per sample.
     let mut b = Bencher {
